@@ -1,0 +1,50 @@
+# Development targets for the Transaction Datalog engine.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench suite suite-quick examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The full reproduction suite (EXPERIMENTS.md tables).
+suite:
+	$(GO) run ./cmd/tdbench
+
+suite-quick:
+	$(GO) run ./cmd/tdbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/genomelab
+	$(GO) run ./examples/turing
+	$(GO) run ./examples/boundedtd
+	$(GO) run ./examples/verification
+	$(GO) run ./examples/idioms
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

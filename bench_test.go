@@ -1,0 +1,256 @@
+package td_test
+
+// Benchmark harness: one benchmark per experiment in EXPERIMENTS.md. Each
+// BenchmarkE* regenerates the corresponding table/figure-equivalent
+// artifact of the paper through the same code path as cmd/tdbench, and the
+// focused benchmarks below time the individual workloads at a fixed size
+// so allocations and per-op cost are visible with -benchmem.
+//
+// Run everything:   go test -bench=. -benchmem
+// One experiment:   go test -bench=BenchmarkE7 -benchmem
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	td "repro"
+	"repro/internal/datalog"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// benchExperiment runs one full experiment (all its sweeps) per iteration.
+func benchExperiment(b *testing.B, f func(experiments.Config) experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := f(experiments.Config{Quick: true})
+		if !rep.Pass {
+			b.Fatalf("%s failed: %v", rep.ID, rep.Notes)
+		}
+	}
+}
+
+func BenchmarkE1Transfer(b *testing.B)   { benchExperiment(b, experiments.E1Transfer) }
+func BenchmarkE2Nested(b *testing.B)     { benchExperiment(b, experiments.E2NestedAbort) }
+func BenchmarkE3Workflow(b *testing.B)   { benchExperiment(b, experiments.E3WorkflowSpec) }
+func BenchmarkE4Simulation(b *testing.B) { benchExperiment(b, experiments.E4Simulation) }
+func BenchmarkE5Agents(b *testing.B)     { benchExperiment(b, experiments.E5SharedAgents) }
+func BenchmarkE6Sync(b *testing.B)       { benchExperiment(b, experiments.E6Cooperation) }
+func BenchmarkE7TwoStack(b *testing.B)   { benchExperiment(b, experiments.E7TwoStack) }
+func BenchmarkE8QBF(b *testing.B)        { benchExperiment(b, experiments.E8SequentialQBF) }
+func BenchmarkE9NonRec(b *testing.B)     { benchExperiment(b, experiments.E9NonRecursive) }
+func BenchmarkE10Bounded(b *testing.B)   { benchExperiment(b, experiments.E10FullyBounded) }
+func BenchmarkE11InsOnly(b *testing.B)   { benchExperiment(b, experiments.E11InsOnlyDatalog) }
+func BenchmarkE12Isolation(b *testing.B) { benchExperiment(b, experiments.E12Isolation) }
+func BenchmarkE13Turing(b *testing.B)    { benchExperiment(b, experiments.E13TuringChain) }
+func BenchmarkE14Verify(b *testing.B)    { benchExperiment(b, experiments.E14Verification) }
+func BenchmarkA1Tabling(b *testing.B)    { benchExperiment(b, experiments.A1Tabling) }
+func BenchmarkA2DBFork(b *testing.B)     { benchExperiment(b, experiments.A2DBFork) }
+func BenchmarkA3Index(b *testing.B)      { benchExperiment(b, experiments.A3Index) }
+
+// ---------------------------------------------------------------------------
+// Focused micro/meso benchmarks at fixed sizes.
+
+const benchBank = `
+	balance(A, B) :- account(A, B).
+	change_balance(A, B1, B2) :- del.account(A, B1), ins.account(A, B2).
+	withdraw(Amt, A) :- balance(A, B), B >= Amt, sub(B, Amt, C), change_balance(A, B, C).
+	deposit(Amt, A) :- balance(A, B), add(B, Amt, C), change_balance(A, B, C).
+	transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+	account(a, 1000000).
+	account(b, 1000000).
+`
+
+// BenchmarkProverTransfer times one committed money transfer end to end.
+func BenchmarkProverTransfer(b *testing.B) {
+	prog := parser.MustParse(benchBank)
+	g := parser.MustParseGoal("transfer(1, a, b)", prog.VarHigh)
+	eng := engine.NewDefault(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := db.FromFacts(prog.Facts)
+		res, err := eng.Prove(g, d)
+		if err != nil || !res.Success {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+// BenchmarkProverAbort times a failing (rolled back) transfer.
+func BenchmarkProverAbort(b *testing.B) {
+	prog := parser.MustParse(benchBank)
+	g := parser.MustParseGoal("transfer(99999999, a, b)", prog.VarHigh)
+	eng := engine.NewDefault(prog)
+	d, _ := db.FromFacts(prog.Facts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Prove(g, d)
+		if err != nil || res.Success {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+// BenchmarkSimLab times the full genome laboratory simulation (8 samples).
+func BenchmarkSimLab(b *testing.B) {
+	cfg := workflow.DefaultLab(8)
+	src, goal, err := workflow.LabSource(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(goal, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.New(prog, sim.Options{Timeout: time.Minute, Seed: int64(i)}).Run(g, d)
+		if !res.Completed {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkTwoStackCopy times the Theorem 4.4 construction moving 8
+// symbols between stacks.
+func BenchmarkTwoStackCopy(b *testing.B) {
+	src, goal, err := machine.Source(machine.Copy(), machine.ABWord(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(goal, prog.VarHigh)
+	eng := engine.NewDefault(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := db.FromFacts(prog.Facts)
+		res, err := eng.Prove(g, d)
+		if err != nil || !res.Success {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+// BenchmarkQBFAlternating3 times the sequential-TD alternation workload at
+// k = 3 quantifier blocks.
+func BenchmarkQBFAlternating3(b *testing.B) {
+	q := machine.AlternatingQBF(3)
+	facts, err := machine.QBFFacts(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := parser.MustParse(machine.QBFRules + facts)
+	g := parser.MustParseGoal(machine.QBFGoal, prog.VarHigh)
+	eng := engine.NewDefault(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := db.FromFacts(prog.Facts)
+		res, err := eng.Prove(g, d)
+		if err != nil || !res.Success {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+// BenchmarkDatalogTC60 times the semi-naive baseline on a 60-edge chain.
+func BenchmarkDatalogTC60(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n")
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb, "edge(n%d, n%d).\n", i, i+1)
+	}
+	prog := parser.MustParse(sb.String())
+	dl, err := datalog.FromTD(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datalog.Eval(dl, datalog.SemiNaive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse times the parser on the generated laboratory program.
+func BenchmarkParse(b *testing.B) {
+	src, _, err := workflow.LabSource(workflow.DefaultLab(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := td.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDBInsertDelete times raw tuple churn with the undo log.
+func BenchmarkDBInsertDelete(b *testing.B) {
+	d := db.New()
+	row := []td.Term{td.Sym("k"), td.Int(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[1] = td.Int(int64(i % 1000))
+		d.Insert("p", row)
+		d.Delete("p", row)
+		if i%1000 == 999 {
+			d.ResetTrail()
+		}
+	}
+}
+
+// BenchmarkProveVsParWide compares sequential and parallel proof search on
+// a wide top-level branching where the only success sits in the last
+// branch: the parallel fan-out does not have to exhaust the dead branches
+// one by one.
+func BenchmarkProveVsParWide(b *testing.B) {
+	var sb strings.Builder
+	// 8 branches; each dead branch runs a bounded-but-expensive loop that
+	// ends in failure, the last branch succeeds quickly.
+	sb.WriteString("countdown(0) :- nosuccess(never).\n")
+	sb.WriteString("countdown(N) :- N > 0, ins.c(N), sub(N, 1, M), countdown(M), del.c(N).\n")
+	for i := 0; i < 7; i++ {
+		fmt.Fprintf(&sb, "t :- branch%d, countdown(40).\n", i)
+		fmt.Fprintf(&sb, "branch%d :- ins.b%d.\n", i, i)
+	}
+	sb.WriteString("t :- ins.win.\n")
+	prog := parser.MustParse(sb.String())
+	g := parser.MustParseGoal("t", prog.VarHigh)
+	opts := engine.Options{MaxSteps: 50_000_000, MaxDepth: 100_000}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := db.New()
+			res, err := engine.New(prog, opts).Prove(g, d)
+			if err != nil || !res.Success {
+				b.Fatal(err, res)
+			}
+		}
+	})
+	b.Run("parallel8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := db.New()
+			res, err := engine.New(prog, opts).ProvePar(g, d, 8)
+			if err != nil || !res.Success {
+				b.Fatal(err, res)
+			}
+		}
+	})
+}

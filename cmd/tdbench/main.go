@@ -1,0 +1,64 @@
+// Command tdbench runs the reproduction suite: every experiment from
+// EXPERIMENTS.md (the paper's worked examples E1–E6, the complexity
+// landscape E7–E12, and the ablations A1–A3), printing the tables each
+// regenerates.
+//
+// Usage:
+//
+//	tdbench [-quick] [-only E7,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workload sizes")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	md := flag.Bool("md", false, "emit tables as GitHub markdown (for EXPERIMENTS.md)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	start := time.Now()
+	failures := 0
+	for _, rep := range experiments.All(experiments.Config{Quick: *quick}) {
+		if len(want) > 0 && !want[rep.ID] {
+			continue
+		}
+		status := "PASS"
+		if !rep.Pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("=== %s [%s] %s\n", rep.ID, status, rep.Title)
+		for _, tab := range rep.Tables {
+			fmt.Println()
+			if *md {
+				fmt.Print(tab.Markdown())
+			} else {
+				fmt.Print(tab)
+			}
+		}
+		for _, note := range rep.Notes {
+			fmt.Println("  note:", note)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("suite finished in %s\n", time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+}

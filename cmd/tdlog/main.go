@@ -1,0 +1,209 @@
+// Command tdlog runs Transaction Datalog programs.
+//
+// Usage:
+//
+//	tdlog [flags] program.td
+//
+// The program's "?- goal." directives are executed in order against the
+// database formed by the program's facts, threading the database through:
+// each committed goal's final state feeds the next goal. With -goal, the
+// given goal is run instead of the file's directives.
+//
+// Flags:
+//
+//	-goal G       run goal G instead of the file's ?- directives
+//	-sim          use the operational simulator (goroutines, blocking
+//	              reads, committed choice) instead of the prover
+//	-trace        print the execution trace
+//	-all          enumerate all solutions (prover only)
+//	-db           print the final database
+//	-classify     print the fragment classification and exit
+//	-check        print static safety issues and exit nonzero if any
+//	-steps N      step budget (prover) / op budget (simulator)
+//	-seed N       simulator scheduling seed
+//	-timeout D    simulator timeout (e.g. 30s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	td "repro"
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		goalFlag    = flag.String("goal", "", "goal to run instead of the file's ?- directives")
+		simFlag     = flag.Bool("sim", false, "use the operational simulator")
+		trace       = flag.Bool("trace", false, "print execution trace")
+		all         = flag.Bool("all", false, "enumerate all solutions (prover only)")
+		dumpDB      = flag.Bool("db", false, "print the final database")
+		classify    = flag.Bool("classify", false, "print fragment classification and exit")
+		check       = flag.Bool("check", false, "print static safety issues and exit")
+		steps       = flag.Int64("steps", 0, "step/op budget (0 = default)")
+		seed        = flag.Int64("seed", 0, "simulator scheduling seed")
+		timeout     = flag.Duration("timeout", 30*time.Second, "simulator timeout")
+		interactive = flag.Bool("i", false, "interactive REPL after loading the program")
+		parWorkers  = flag.Int("par", 0, "parallel proof search with N workers (prover only)")
+	)
+	flag.Parse()
+	if *interactive {
+		if flag.NArg() > 1 {
+			fmt.Fprintln(os.Stderr, "usage: tdlog -i [program.td]")
+			os.Exit(2)
+		}
+		var prog *td.Program
+		var err error
+		if flag.NArg() == 1 {
+			prog, err = td.ParseFile(flag.Arg(0))
+		} else {
+			prog, err = td.Parse("")
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdlog:", err)
+			os.Exit(1)
+		}
+		d, err := td.DatabaseFor(prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdlog:", err)
+			os.Exit(1)
+		}
+		if err := repl(prog, d, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tdlog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tdlog [flags] program.td")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *goalFlag, options{
+		sim: *simFlag, trace: *trace, all: *all, dumpDB: *dumpDB,
+		classify: *classify, check: *check,
+		steps: *steps, seed: *seed, timeout: *timeout, par: *parWorkers,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "tdlog:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	sim, trace, all, dumpDB, classify, check bool
+	steps                                    int64
+	seed                                     int64
+	timeout                                  time.Duration
+	par                                      int
+}
+
+func run(path, goalSrc string, opt options) error {
+	prog, err := td.ParseFile(path)
+	if err != nil {
+		return err
+	}
+
+	if opt.classify {
+		rep := td.Classify(prog)
+		fmt.Printf("fragment: %s\n", rep.Fragment)
+		fmt.Printf("complexity: %s\n", rep.Fragment.Complexity())
+		fmt.Printf("features: %+v\n", rep.Features)
+		return nil
+	}
+	if opt.check {
+		issues := td.CheckSafety(prog)
+		for _, is := range issues {
+			fmt.Println(is)
+		}
+		if len(issues) > 0 {
+			return fmt.Errorf("%d safety issue(s)", len(issues))
+		}
+		fmt.Println("no safety issues")
+		return nil
+	}
+
+	goals := prog.Queries
+	if goalSrc != "" {
+		g, _, err := td.ParseGoal(goalSrc, prog.VarHigh)
+		if err != nil {
+			return err
+		}
+		goals = []td.Goal{g}
+	}
+	if len(goals) == 0 {
+		return fmt.Errorf("%s has no ?- directives; use -goal", path)
+	}
+
+	d, err := td.DatabaseFor(prog)
+	if err != nil {
+		return err
+	}
+
+	for i, g := range goals {
+		if len(goals) > 1 {
+			fmt.Printf("?- %s.\n", g)
+		}
+		if opt.sim {
+			sopts := sim.Options{Seed: opt.seed, Timeout: opt.timeout, MaxOps: opt.steps, Trace: opt.trace, Shuffle: opt.seed != 0}
+			res := td.NewSimulator(prog, sopts).Run(g, d)
+			if res.Completed {
+				fmt.Printf("completed (%d ops, %d processes)\n", res.Ops, res.Spawned)
+				d = res.Final
+			} else {
+				fmt.Printf("failed: %v\n", res.Err)
+			}
+			if opt.trace {
+				for _, e := range res.Events {
+					fmt.Println("  ", e)
+				}
+			}
+			continue
+		}
+		eopts := engine.DefaultOptions()
+		eopts.MaxSteps = opt.steps
+		eopts.Trace = opt.trace
+		eng := td.NewEngine(prog, eopts)
+		if opt.all {
+			sols, res, err := eng.Solutions(g, d, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d solution(s) in %d steps\n", len(sols), res.Stats.Steps)
+			for j, s := range sols {
+				fmt.Printf("  solution %d: %v\n", j+1, s.Bindings)
+			}
+			continue
+		}
+		var res *td.Result
+		if opt.par > 0 {
+			res, err = eng.ProvePar(g, d, opt.par)
+		} else {
+			res, err = eng.Prove(g, d)
+		}
+		if err != nil {
+			return err
+		}
+		if res.Success {
+			fmt.Printf("yes (%d steps)\n", res.Stats.Steps)
+			for name, val := range res.Bindings {
+				fmt.Printf("  %s = %s\n", name, val)
+			}
+		} else {
+			fmt.Printf("no (%d steps)\n", res.Stats.Steps)
+		}
+		if opt.trace {
+			for _, e := range res.Trace {
+				fmt.Println("  ", e)
+			}
+		}
+		_ = i
+	}
+	if opt.dumpDB {
+		fmt.Print(d)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	td "repro"
+)
+
+func testdata(name string) string {
+	return filepath.Join("..", "..", "testdata", name)
+}
+
+func TestRunFileWithDirectives(t *testing.T) {
+	if err := run(testdata("bank.td"), "", options{timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithGoalFlag(t *testing.T) {
+	if err := run(testdata("bank.td"), "transfer(10, bob, alice)", options{dumpDB: true, timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimMode(t *testing.T) {
+	if err := run(testdata("workflow.td"), "", options{sim: true, timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClassify(t *testing.T) {
+	if err := run(testdata("workflow.td"), "", options{classify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckSafety(t *testing.T) {
+	if err := run(testdata("bank.td"), "", options{check: true}); err != nil {
+		t.Fatal(err)
+	}
+	// An unsafe program must make -check fail.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.td")
+	if err := os.WriteFile(bad, []byte("bad :- ins.p(X).\n?- bad.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", options{check: true}); err == nil {
+		t.Fatal("-check accepted an unsafe program")
+	}
+}
+
+func TestRunAllSolutions(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "p.td")
+	if err := os.WriteFile(f, []byte("p(a). p(b).\n?- p(X).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, "", options{all: true, timeout: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingDirectives(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "nogoal.td")
+	if err := os.WriteFile(f, []byte("p(a).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, "", options{}); err == nil {
+		t.Fatal("file without directives and without -goal accepted")
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	prog, err := td.ParseFile(testdata("bank.td"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := td.DatabaseFor(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join([]string{
+		"transfer(30, alice, bob).",
+		":db",
+		":facts account(carol, 10).",
+		"account(carol, N).",
+		":classify",
+		":trace on",
+		"balance(alice, B).",
+		":trace off",
+		":reset",
+		":db",
+		"nonsense goal here(",
+		":unknowncmd",
+		":help",
+		":quit",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := repl(prog, d, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"yes",                    // transfer succeeded
+		"account(alice, 70).",    // :db after transfer
+		"asserted 1 fact(s)",     // :facts
+		"N = 10",                 // query over asserted fact
+		"fragment:",              // :classify
+		"account(alice, 100).",   // :db after :reset
+		"error:",                 // bad goal
+		"unknown command; :help", // bad command
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestREPLEOF(t *testing.T) {
+	prog := td.MustParse("")
+	d := td.NewDatabase()
+	var out bytes.Buffer
+	if err := repl(prog, d, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Verification: using the proof-theoretic engine as an exhaustive workflow
+// verifier — check an invariant over EVERY reachable database state of
+// every interleaving, and decide serializability of concurrent
+// transactions. This is the analysis direction the paper's related work
+// (Davulcu–Kifer et al.) develops on top of Transaction Datalog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	td "repro"
+)
+
+func main() {
+	// The shared-agent idiom from Example 3.3, WITHOUT isolation. Under
+	// pure TD semantics this is racy: deleting an absent tuple silently
+	// succeeds, so two processes can both see available(a1) before either
+	// consumes it.
+	racy := td.MustParse(`
+		available(a1).
+		job(W) :- available(A), del.available(A), ins.busy(A, W),
+		          del.busy(A, W), ins.done(W), ins.available(A).
+	`)
+	goal, _, err := td.ParseGoal(`job(w1) | job(w2)`, racy.VarHigh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := td.DatabaseFor(racy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := func(d *td.Database) error {
+		if n := d.Count("busy", 2); n > 1 {
+			return fmt.Errorf("%d agents busy, pool holds 1", n)
+		}
+		return nil
+	}
+	res, err := td.CheckInvariant(racy, goal, d, capacity, td.EngineOptions{LoopCheck: true, Table: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bare test-and-consume: capacity invariant holds =", res.Holds)
+	if !res.Holds {
+		fmt.Println("counterexample interleaving:")
+		for _, e := range res.Violation.Trace {
+			fmt.Println("   ", e)
+		}
+	}
+
+	// The TD-native fix is the paper's isolation modality.
+	safe := td.MustParse(`
+		available(a1).
+		acquire(A, W) :- available(A), del.available(A), ins.busy(A, W).
+		release(A, W) :- del.busy(A, W), ins.done(W), ins.available(A).
+		job(W) :- iso(acquire(A, W)), iso(release(A, W)).
+	`)
+	goal2, _, err := td.ParseGoal(`job(w1) | job(w2)`, safe.VarHigh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, err := td.DatabaseFor(safe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := td.CheckInvariant(safe, goal2, d2, capacity, td.EngineOptions{LoopCheck: true, Table: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\niso-protected acquisition: capacity invariant holds =", res2.Holds)
+	fmt.Printf("(proved over every interleaving in %d search steps)\n", res2.Stats.Steps)
+
+	// Serializability: iso(t) | iso(t) behaves like some serial order;
+	// the bare composition does not.
+	counter := td.MustParse(`
+		counter(0).
+		bump :- counter(N), del.counter(N), add(N, 1, M), ins.counter(M).
+	`)
+	dc, err := td.DatabaseFor(counter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(src string) td.Goal {
+		g, _, err := td.ParseGoal(src, counter.VarHigh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	iso, err := td.CheckSerializable(counter, []td.Goal{mk("iso(bump)"), mk("iso(bump)")}, dc, td.EngineOptions{LoopCheck: true, Table: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bare, err := td.CheckSerializable(counter, []td.Goal{mk("bump"), mk("bump")}, dc, td.EngineOptions{LoopCheck: true, Table: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\niso(bump) | iso(bump) serializable:", iso.OK)
+	fmt.Println("bump | bump serializable:", bare.OK)
+	if bare.Anomaly != nil {
+		fmt.Println("anomalous final state (the lost update):")
+		fmt.Print(bare.Anomaly)
+	}
+}

@@ -1,0 +1,107 @@
+package ast
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// builtinArity maps builtin predicate names to their required arity.
+// Comparisons take two integer arguments; arithmetic builtins take two
+// integer inputs and unify the third argument with the result.
+var builtinArity = map[string]int{
+	"lt": 2, "le": 2, "gt": 2, "ge": 2,
+	"eq": 2, "neq": 2,
+	"add": 3, "sub": 3, "mul": 3, "div": 3, "mod": 3,
+}
+
+// IsBuiltinName reports whether name denotes an evaluable builtin predicate.
+func IsBuiltinName(name string) bool {
+	_, ok := builtinArity[name]
+	return ok
+}
+
+// EvalBuiltin evaluates builtin b under env. It returns ok=false when the
+// builtin (deterministically) fails, and a non-nil error when the call is
+// ill-formed (wrong arity, unbound input, non-integer argument, division by
+// zero). A successful arithmetic call may extend env by binding the output
+// argument.
+func EvalBuiltin(b *Builtin, env *term.Env) (ok bool, err error) {
+	want, known := builtinArity[b.Name]
+	if !known {
+		return false, fmt.Errorf("unknown builtin %s/%d", b.Name, len(b.Args))
+	}
+	if len(b.Args) != want {
+		return false, fmt.Errorf("builtin %s expects %d arguments, got %d", b.Name, want, len(b.Args))
+	}
+	switch b.Name {
+	case "eq":
+		return env.Unify(b.Args[0], b.Args[1]), nil
+	case "neq":
+		x, y := env.Walk(b.Args[0]), env.Walk(b.Args[1])
+		if x.IsVar() || y.IsVar() {
+			return false, fmt.Errorf("neq: unbound argument in %s", b)
+		}
+		return !x.Equal(y), nil
+	case "lt", "le", "gt", "ge":
+		x, err := intArg(b, env, 0)
+		if err != nil {
+			return false, err
+		}
+		y, err := intArg(b, env, 1)
+		if err != nil {
+			return false, err
+		}
+		switch b.Name {
+		case "lt":
+			return x < y, nil
+		case "le":
+			return x <= y, nil
+		case "gt":
+			return x > y, nil
+		default:
+			return x >= y, nil
+		}
+	case "add", "sub", "mul", "div", "mod":
+		x, err := intArg(b, env, 0)
+		if err != nil {
+			return false, err
+		}
+		y, err := intArg(b, env, 1)
+		if err != nil {
+			return false, err
+		}
+		var z int64
+		switch b.Name {
+		case "add":
+			z = x + y
+		case "sub":
+			z = x - y
+		case "mul":
+			z = x * y
+		case "div":
+			if y == 0 {
+				return false, fmt.Errorf("div: division by zero in %s", b)
+			}
+			z = x / y
+		case "mod":
+			if y == 0 {
+				return false, fmt.Errorf("mod: division by zero in %s", b)
+			}
+			z = x % y
+		}
+		return env.Unify(b.Args[2], term.NewInt(z)), nil
+	}
+	return false, fmt.Errorf("unhandled builtin %s", b.Name)
+}
+
+func intArg(b *Builtin, env *term.Env, i int) (int64, error) {
+	t := env.Walk(b.Args[i])
+	if t.IsVar() {
+		return 0, fmt.Errorf("%s: argument %d unbound in %s", b.Name, i+1, b)
+	}
+	if t.Kind() != term.Int {
+		return 0, fmt.Errorf("%s: argument %d is %s, want integer, in %s", b.Name, i+1, t.Kind(), b)
+	}
+	return t.IntVal(), nil
+}

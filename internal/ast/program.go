@@ -1,0 +1,232 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Rule is a TD rule head :- body. The head predicate becomes a derived
+// predicate ("transaction name" in the paper's terminology).
+type Rule struct {
+	Head term.Atom
+	Body Goal
+}
+
+// Program is a parsed TD program: a rulebase plus the facts that form the
+// initial database.
+type Program struct {
+	Rules []Rule
+	Facts []term.Atom
+
+	// Queries holds the goals of "?- goal." directives, in source order.
+	// They are not part of the rulebase; runners execute them in sequence.
+	Queries []Goal
+
+	// VarHigh is one more than the largest variable id used in the program;
+	// engines seed their renamers with it.
+	VarHigh int64
+
+	derived map[predArity]bool   // predicates with at least one rule
+	byPred  map[predArity][]int  // predicate/arity -> indexes into Rules
+	rulesAt map[predArity][]Rule // materialized rule slices (hot path)
+	arities map[string][]int     // predicate name -> sorted arities seen
+}
+
+// predArity identifies a predicate; used as a map key on hot paths (a
+// struct key avoids the Sprintf the engine would otherwise pay per call
+// step).
+type predArity struct {
+	pred  string
+	arity int
+}
+
+func predKey(pred string, arity int) predArity {
+	return predArity{pred: pred, arity: arity}
+}
+
+// Analyze resolves parse-time ambiguity (call vs query), builds rule
+// indexes, and validates the program. It must be called once after
+// construction and before execution; the parser does this automatically.
+//
+// Validation errors reported:
+//   - a base predicate (one that is updated or queried but has no rules) is
+//     fine, but updating a *derived* predicate is an error;
+//   - facts must be ground;
+//   - builtin predicates may not be defined by rules, updated, or stored.
+func (p *Program) Analyze() error {
+	p.derived = make(map[predArity]bool)
+	p.byPred = make(map[predArity][]int)
+	p.rulesAt = make(map[predArity][]Rule)
+	p.arities = make(map[string][]int)
+	for i, r := range p.Rules {
+		if IsBuiltinName(r.Head.Pred) {
+			return fmt.Errorf("rule %d: cannot define builtin predicate %s", i, r.Head.Pred)
+		}
+		k := predKey(r.Head.Pred, len(r.Head.Args))
+		p.derived[k] = true
+		p.byPred[k] = append(p.byPred[k], i)
+	}
+	for i, f := range p.Facts {
+		if !f.IsGround() {
+			return fmt.Errorf("fact %d (%s): facts must be ground", i, f)
+		}
+		if IsBuiltinName(f.Pred) {
+			return fmt.Errorf("fact %d: builtin predicate %s cannot be stored", i, f.Pred)
+		}
+		if p.derived[predKey(f.Pred, len(f.Args))] {
+			return fmt.Errorf("fact %d: predicate %s is derived (has rules) and cannot appear as a fact", i, f.Pred)
+		}
+	}
+	var err error
+	for ri := range p.Rules {
+		p.Rules[ri].Body = p.resolveGoal(p.Rules[ri].Body, ri, &err)
+		if err != nil {
+			return err
+		}
+	}
+	for qi := range p.Queries {
+		p.Queries[qi] = p.resolveGoal(p.Queries[qi], -1, &err)
+		if err != nil {
+			return err
+		}
+	}
+	for k, idx := range p.byPred {
+		rules := make([]Rule, len(idx))
+		for i, j := range idx {
+			rules[i] = p.Rules[j]
+		}
+		p.rulesAt[k] = rules
+	}
+	p.recordArities()
+	return nil
+}
+
+func (p *Program) recordArities() {
+	seen := make(map[string]map[int]bool)
+	note := func(pred string, ar int) {
+		if seen[pred] == nil {
+			seen[pred] = make(map[int]bool)
+		}
+		seen[pred][ar] = true
+	}
+	for _, r := range p.Rules {
+		note(r.Head.Pred, len(r.Head.Args))
+		Walk(r.Body, func(g Goal) bool {
+			if l, ok := g.(*Lit); ok {
+				note(l.Atom.Pred, len(l.Atom.Args))
+			}
+			return true
+		})
+	}
+	for _, f := range p.Facts {
+		note(f.Pred, len(f.Args))
+	}
+	for pred, ars := range seen {
+		for ar := range ars {
+			p.arities[pred] = append(p.arities[pred], ar)
+		}
+		sort.Ints(p.arities[pred])
+	}
+}
+
+// resolveGoal rewrites OpCall literals over rule-less predicates into
+// OpQuery literals and checks update targets.
+func (p *Program) resolveGoal(g Goal, rule int, err *error) Goal {
+	if *err != nil {
+		return g
+	}
+	switch g := g.(type) {
+	case *Lit:
+		k := predKey(g.Atom.Pred, len(g.Atom.Args))
+		switch g.Op {
+		case OpCall:
+			if IsBuiltinName(g.Atom.Pred) {
+				return &Builtin{Name: g.Atom.Pred, Args: g.Atom.Args}
+			}
+			if !p.derived[k] {
+				return &Lit{Op: OpQuery, Atom: g.Atom}
+			}
+		case OpIns, OpDel:
+			if p.derived[k] {
+				*err = fmt.Errorf("rule %d: %s.%s: cannot update derived predicate", rule, g.Op, g.Atom)
+			}
+			if IsBuiltinName(g.Atom.Pred) {
+				*err = fmt.Errorf("rule %d: cannot update builtin predicate %s", rule, g.Atom.Pred)
+			}
+		}
+		return g
+	case *Seq:
+		for i, sub := range g.Goals {
+			g.Goals[i] = p.resolveGoal(sub, rule, err)
+		}
+		return g
+	case *Conc:
+		for i, sub := range g.Goals {
+			g.Goals[i] = p.resolveGoal(sub, rule, err)
+		}
+		return g
+	case *Iso:
+		g.Body = p.resolveGoal(g.Body, rule, err)
+		return g
+	default:
+		return g
+	}
+}
+
+// ResolveGoal rewrites a stand-alone goal (e.g. a top-level transaction
+// invocation parsed separately from the program) the same way rule bodies
+// are rewritten during Analyze.
+func (p *Program) ResolveGoal(g Goal) (Goal, error) {
+	var err error
+	out := p.resolveGoal(g, -1, &err)
+	return out, err
+}
+
+// IsDerived reports whether pred/arity is defined by at least one rule.
+func (p *Program) IsDerived(pred string, arity int) bool {
+	return p.derived[predKey(pred, arity)]
+}
+
+// RulesFor returns the rules whose head is pred/arity, in source order.
+// The returned slice is shared; callers must not mutate it.
+func (p *Program) RulesFor(pred string, arity int) []Rule {
+	return p.rulesAt[predKey(pred, arity)]
+}
+
+// Predicates returns every predicate name mentioned in the program, sorted.
+func (p *Program) Predicates() []string {
+	names := make([]string, 0, len(p.arities))
+	for pred := range p.arities {
+		names = append(names, pred)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Arities returns the arities seen for pred, sorted ascending.
+func (p *Program) Arities(pred string) []int { return p.arities[pred] }
+
+// String renders the program in concrete syntax: facts, rules, then query
+// directives. Parse(p.String()) reproduces the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Facts {
+		b.WriteString(f.String())
+		b.WriteString(".\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.Head.String())
+		b.WriteString(" :- ")
+		b.WriteString(r.Body.String())
+		b.WriteString(".\n")
+	}
+	for _, q := range p.Queries {
+		b.WriteString("?- ")
+		b.WriteString(q.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}

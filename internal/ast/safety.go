@@ -1,0 +1,170 @@
+package ast
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// SafetyIssue describes one place where a rule may execute an update or a
+// builtin with unbound variables. Safety in TD (the paper's sense: the
+// language "does not generate an unbounded number of tuples") hinges on
+// updates being ground when they execute; the engine enforces this at run
+// time, and CheckSafety reports the static approximation so programs can be
+// rejected early.
+type SafetyIssue struct {
+	Rule    int    // index into Program.Rules, or -1 for a standalone goal
+	Pred    string // head predicate of the rule ("" for a goal)
+	Problem string
+}
+
+func (s SafetyIssue) String() string {
+	if s.Rule < 0 {
+		return "goal: " + s.Problem
+	}
+	return fmt.Sprintf("rule %d (%s): %s", s.Rule, s.Pred, s.Problem)
+}
+
+// CheckSafety runs a conservative dataflow analysis over every rule:
+// scanning each body left to right through sequential composition, a
+// variable counts as bound if it occurs in an earlier query, call, builtin
+// output, or in the rule head (heads may be called with ground arguments —
+// the analysis assumes callers bind head variables, which the engine's
+// runtime groundness check backstops). Components of a concurrent
+// composition are analyzed independently: a variable bound only in a
+// sibling concurrent branch is NOT considered bound, because interleaving
+// order is not statically known.
+//
+// The returned slice is empty for safe programs.
+func CheckSafety(p *Program) []SafetyIssue {
+	var issues []SafetyIssue
+	for i, r := range p.Rules {
+		bound := varSet{}
+		for _, v := range r.Head.Vars(nil) {
+			bound.add(v)
+		}
+		checkGoal(r.Body, bound, &issues, i, r.Head.Pred)
+	}
+	return issues
+}
+
+// CheckGoalSafety analyzes a standalone goal, assuming the variables in
+// pre are already bound.
+func CheckGoalSafety(g Goal, pre []term.Term) []SafetyIssue {
+	bound := varSet{}
+	for _, v := range pre {
+		bound.add(v)
+	}
+	var issues []SafetyIssue
+	checkGoal(g, bound, &issues, -1, "")
+	return issues
+}
+
+type varSet map[int64]bool
+
+func (s varSet) add(t term.Term) {
+	if t.IsVar() {
+		s[t.VarID()] = true
+	}
+}
+
+func (s varSet) has(t term.Term) bool {
+	return !t.IsVar() || s[t.VarID()]
+}
+
+func (s varSet) clone() varSet {
+	out := make(varSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// checkGoal scans g with the set of bound variables, extending it as
+// binding literals are passed, and records issues for updates/builtins that
+// may see unbound variables. It mutates bound to reflect bindings g
+// guarantees on success.
+func checkGoal(g Goal, bound varSet, issues *[]SafetyIssue, rule int, pred string) {
+	switch g := g.(type) {
+	case True:
+	case *Lit:
+		switch g.Op {
+		case OpQuery, OpCall:
+			// Queries bind their variables by matching tuples; calls are
+			// assumed to bind (conservatively optimistic — runtime checks
+			// remain authoritative for updates reached through calls).
+			for _, t := range g.Atom.Args {
+				bound.add(t)
+			}
+		case OpIns, OpDel:
+			for _, t := range g.Atom.Args {
+				if !bound.has(t) {
+					*issues = append(*issues, SafetyIssue{
+						Rule: rule, Pred: pred,
+						Problem: fmt.Sprintf("variable %s may be unbound at %s", t, g),
+					})
+				}
+			}
+		}
+	case *Empty:
+	case *Builtin:
+		n := len(g.Args)
+		inputs := g.Args
+		var output *term.Term
+		if isArith(g.Name) && n == 3 {
+			inputs = g.Args[:2]
+			output = &g.Args[2]
+		}
+		if g.Name == "eq" {
+			// eq can bind either side; require at least one side bound.
+			if !bound.has(g.Args[0]) && !bound.has(g.Args[1]) {
+				*issues = append(*issues, SafetyIssue{
+					Rule: rule, Pred: pred,
+					Problem: fmt.Sprintf("both sides of %s may be unbound", g),
+				})
+			}
+			bound.add(g.Args[0])
+			bound.add(g.Args[1])
+			return
+		}
+		for _, t := range inputs {
+			if !bound.has(t) {
+				*issues = append(*issues, SafetyIssue{
+					Rule: rule, Pred: pred,
+					Problem: fmt.Sprintf("variable %s may be unbound at builtin %s", t, g),
+				})
+			}
+		}
+		if output != nil {
+			bound.add(*output)
+		}
+	case *Seq:
+		for _, sub := range g.Goals {
+			checkGoal(sub, bound, issues, rule, pred)
+		}
+	case *Conc:
+		// Each branch sees only the bindings from before the composition;
+		// after it, all branches' bindings hold (all must succeed).
+		after := bound.clone()
+		for _, sub := range g.Goals {
+			branch := bound.clone()
+			checkGoal(sub, branch, issues, rule, pred)
+			for k := range branch {
+				after[k] = true
+			}
+		}
+		for k := range after {
+			bound[k] = true
+		}
+	case *Iso:
+		checkGoal(g.Body, bound, issues, rule, pred)
+	}
+}
+
+func isArith(name string) bool {
+	switch name {
+	case "add", "sub", "mul", "div", "mod":
+		return true
+	}
+	return false
+}

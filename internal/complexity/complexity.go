@@ -1,0 +1,282 @@
+// Package complexity is the experiment harness for the paper's Section 4–5
+// results: it sweeps a workload over a size parameter, records work
+// measures (engine steps, wall time), fits growth curves, and renders the
+// tables and series reported in EXPERIMENTS.md.
+//
+// Because the theorems are about asymptotic data complexity, the harness
+// judges *shape*, not absolute numbers: a fitted log–log slope ≈ k
+// indicates Θ(n^k); a fitted log-linear slope ≈ c indicates Θ(2^(cn)).
+package complexity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one measurement of a sweep.
+type Point struct {
+	N     int           // workload size parameter
+	Work  float64       // primary work measure (e.g. engine steps)
+	Time  time.Duration // wall-clock time
+	Extra map[string]float64
+}
+
+// Series is a named sweep result.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a measurement.
+func (s *Series) Add(p Point) { s.Points = append(s.Points, p) }
+
+// Sweep runs measure for each n in sizes and collects the series.
+// measure returns the work figure (steps or another count) and may return
+// extra named metrics.
+func Sweep(name string, sizes []int, measure func(n int) (work float64, extra map[string]float64)) *Series {
+	s := &Series{Name: name}
+	for _, n := range sizes {
+		start := time.Now()
+		work, extra := measure(n)
+		s.Add(Point{N: n, Work: work, Time: time.Since(start), Extra: extra})
+	}
+	return s
+}
+
+// Fit reports the quality of two growth models for the series.
+type Fit struct {
+	// PolyDegree is the slope of log(work) against log(n): for polynomial
+	// growth Θ(n^k) it converges to k.
+	PolyDegree float64
+	// PolyR2 is the coefficient of determination of the polynomial fit.
+	PolyR2 float64
+	// ExpRate is the slope of log2(work) against n: for exponential growth
+	// Θ(2^(cn)) it converges to c.
+	ExpRate float64
+	// ExpR2 is the coefficient of determination of the exponential fit.
+	ExpR2 float64
+}
+
+// Classify names the better-fitting model: "polynomial(k≈X)" or
+// "exponential(2^(X·n))".
+func (f Fit) Classify() string {
+	if f.ExpR2 > f.PolyR2 && f.ExpRate > 0.15 {
+		return fmt.Sprintf("exponential(≈2^(%.2f·n))", f.ExpRate)
+	}
+	return fmt.Sprintf("polynomial(≈n^%.2f)", f.PolyDegree)
+}
+
+// LooksPolynomial reports whether the polynomial model fits at least as
+// well as the exponential one, or the exponential rate is negligible.
+func (f Fit) LooksPolynomial() bool {
+	return f.PolyR2 >= f.ExpR2 || f.ExpRate <= 0.15
+}
+
+// LooksExponential is the complement on clearly-growing data.
+func (f Fit) LooksExponential() bool {
+	return f.ExpR2 > f.PolyR2 && f.ExpRate > 0.15
+}
+
+// FitGrowth fits both growth models to the series' Work column.
+// Points with non-positive N or Work are skipped.
+func FitGrowth(s *Series) Fit {
+	var xs, logxs, logys []float64
+	for _, p := range s.Points {
+		if p.N <= 0 || p.Work <= 0 {
+			continue
+		}
+		xs = append(xs, float64(p.N))
+		logxs = append(logxs, math.Log2(float64(p.N)))
+		logys = append(logys, math.Log2(p.Work))
+	}
+	var f Fit
+	if len(xs) < 2 {
+		return f
+	}
+	f.PolyDegree, _, f.PolyR2 = linreg(logxs, logys)
+	f.ExpRate, _, f.ExpR2 = linreg(xs, logys)
+	return f
+}
+
+// linreg computes least-squares slope, intercept, and R² of y against x.
+func linreg(x, y []float64) (slope, intercept, r2 float64) {
+	n := float64(len(x))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// Table renders rows of labelled values as an aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch v := v.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 { // no trailing padding on the last column
+				for pad := len(cell); pad < widths[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("**")
+		b.WriteString(t.Title)
+		b.WriteString("**\n\n")
+	}
+	b.WriteString("| ")
+	b.WriteString(strings.Join(t.Columns, " | "))
+	b.WriteString(" |\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// SeriesTable renders a series as a table of N, work, and time, with any
+// extra metrics as additional columns (sorted by name).
+func SeriesTable(s *Series) *Table {
+	extraCols := map[string]bool{}
+	for _, p := range s.Points {
+		for k := range p.Extra {
+			extraCols[k] = true
+		}
+	}
+	extras := make([]string, 0, len(extraCols))
+	for k := range extraCols {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+	cols := append([]string{"n", "work", "time"}, extras...)
+	t := NewTable(s.Name, cols...)
+	for _, p := range s.Points {
+		vals := []any{p.N, p.Work, p.Time}
+		for _, k := range extras {
+			vals = append(vals, p.Extra[k])
+		}
+		t.AddRow(vals...)
+	}
+	return t
+}
+
+// Ratio returns work(n_last)/work(n_first) — a quick blow-up indicator.
+func Ratio(s *Series) float64 {
+	var first, last float64
+	for _, p := range s.Points {
+		if p.Work > 0 {
+			if first == 0 {
+				first = p.Work
+			}
+			last = p.Work
+		}
+	}
+	if first == 0 {
+		return 0
+	}
+	return last / first
+}

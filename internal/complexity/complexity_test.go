@@ -1,0 +1,181 @@
+package complexity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkSeries(name string, f func(n int) float64, sizes ...int) *Series {
+	s := &Series{Name: name}
+	for _, n := range sizes {
+		s.Add(Point{N: n, Work: f(n)})
+	}
+	return s
+}
+
+func TestFitRecognizesQuadratic(t *testing.T) {
+	s := mkSeries("quad", func(n int) float64 { return 3 * float64(n) * float64(n) }, 2, 4, 8, 16, 32, 64)
+	f := FitGrowth(s)
+	if math.Abs(f.PolyDegree-2) > 0.05 {
+		t.Fatalf("poly degree = %.3f, want ≈2", f.PolyDegree)
+	}
+	if !f.LooksPolynomial() || f.LooksExponential() {
+		t.Fatalf("quadratic misclassified: %+v", f)
+	}
+	if !strings.Contains(f.Classify(), "polynomial") {
+		t.Fatalf("Classify = %s", f.Classify())
+	}
+}
+
+func TestFitRecognizesLinear(t *testing.T) {
+	s := mkSeries("lin", func(n int) float64 { return 7 * float64(n) }, 1, 2, 4, 8, 16, 32)
+	f := FitGrowth(s)
+	if math.Abs(f.PolyDegree-1) > 0.05 {
+		t.Fatalf("poly degree = %.3f, want ≈1", f.PolyDegree)
+	}
+}
+
+func TestFitRecognizesExponential(t *testing.T) {
+	s := mkSeries("expo", func(n int) float64 { return math.Pow(2, float64(n)) }, 2, 4, 6, 8, 10, 12)
+	f := FitGrowth(s)
+	if math.Abs(f.ExpRate-1) > 0.05 {
+		t.Fatalf("exp rate = %.3f, want ≈1", f.ExpRate)
+	}
+	if !f.LooksExponential() || f.LooksPolynomial() {
+		t.Fatalf("exponential misclassified: %+v", f)
+	}
+	if !strings.Contains(f.Classify(), "exponential") {
+		t.Fatalf("Classify = %s", f.Classify())
+	}
+}
+
+func TestFitDegenerateCases(t *testing.T) {
+	empty := &Series{Name: "empty"}
+	f := FitGrowth(empty)
+	if f.PolyDegree != 0 || f.ExpRate != 0 {
+		t.Fatalf("empty fit = %+v", f)
+	}
+	one := mkSeries("one", func(n int) float64 { return 5 }, 3)
+	if f := FitGrowth(one); f.PolyR2 != 0 {
+		t.Fatalf("single-point fit = %+v", f)
+	}
+	flat := mkSeries("flat", func(n int) float64 { return 5 }, 1, 2, 4, 8)
+	ff := FitGrowth(flat)
+	if math.Abs(ff.PolyDegree) > 1e-9 {
+		t.Fatalf("flat series degree = %.3f", ff.PolyDegree)
+	}
+	// Zero/negative work points are skipped, not crashed on.
+	weird := &Series{Name: "weird", Points: []Point{{N: 0, Work: 10}, {N: 2, Work: 0}, {N: 4, Work: 16}, {N: 8, Work: 64}}}
+	FitGrowth(weird)
+}
+
+// Property: linreg recovers the slope of exact lines.
+func TestLinregExactLines(t *testing.T) {
+	f := func(a, b int8) bool {
+		slope := float64(a) / 4
+		intercept := float64(b)
+		var xs, ys []float64
+		for i := 1; i <= 6; i++ {
+			xs = append(xs, float64(i))
+			ys = append(ys, slope*float64(i)+intercept)
+		}
+		got, gotIcept, r2 := linreg(xs, ys)
+		if math.Abs(got-slope) > 1e-9 || math.Abs(gotIcept-intercept) > 1e-9 {
+			return false
+		}
+		// R² is 1 for non-flat exact lines, and defined as 1 when flat.
+		return r2 > 0.999 || slope == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRunsMeasurements(t *testing.T) {
+	calls := []int{}
+	s := Sweep("demo", []int{1, 2, 3}, func(n int) (float64, map[string]float64) {
+		calls = append(calls, n)
+		return float64(n * n), map[string]float64{"aux": float64(n)}
+	})
+	if len(calls) != 3 || len(s.Points) != 3 {
+		t.Fatalf("sweep ran %v", calls)
+	}
+	if s.Points[2].Work != 9 || s.Points[2].Extra["aux"] != 3 {
+		t.Fatalf("point = %+v", s.Points[2])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "n", "work", "note")
+	tab.AddRow(1, 1000.0, "x")
+	tab.AddRow(100, 2.5, "yy")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "2.50") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	// Columns must be aligned: "1000" and "2.50" start at the same offset.
+	if strings.Index(lines[3], "1000") != strings.Index(lines[4], "2.50") {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestSeriesTableIncludesExtras(t *testing.T) {
+	s := &Series{Name: "with extras"}
+	s.Add(Point{N: 1, Work: 10, Extra: map[string]float64{"steps": 100, "db": 5}})
+	s.Add(Point{N: 2, Work: 20, Extra: map[string]float64{"steps": 200, "db": 6}})
+	tab := SeriesTable(s)
+	if len(tab.Columns) != 5 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	// Extras sorted: db before steps.
+	if tab.Columns[3] != "db" || tab.Columns[4] != "steps" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := mkSeries("r", func(n int) float64 { return float64(n) }, 2, 4, 20)
+	if got := Ratio(s); got != 10 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := Ratio(&Series{}); got != 0 {
+		t.Fatalf("empty Ratio = %v", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.14159, "3.14"},
+		{123456, "123456"},
+		{1234.5, "1.23e+03"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow(1, "x")
+	md := tab.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| 1 | x |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

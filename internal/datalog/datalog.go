@@ -1,0 +1,369 @@
+// Package datalog implements a classical Datalog engine: bottom-up
+// evaluation of function-free Horn rules to a least fixpoint, with both
+// naive and semi-naive strategies.
+//
+// It serves two roles in the reproduction:
+//
+//   - the baseline comparator — "plain Datalog abounds" — against which the
+//     ins-only fragment of Transaction Datalog is compared (experiment E11:
+//     the paper notes that with tuple testing and insertion but no deletion,
+//     "well-known optimization techniques (such as magic sets or tabling)
+//     can be applied", i.e. the fragment computes Datalog-style fixpoints);
+//   - a ground-truth oracle for query answering in tests.
+//
+// Rules here are pure: bodies are conjunctions of positive atoms and
+// builtins, with no updates and no composition operators. Use FromTD to
+// extract the queries-only part of a TD program.
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Rule is a pure Datalog rule: Head ⟵ Body₁ ∧ … ∧ Bodyₙ.
+// Builtins may appear in the body and are evaluated left to right.
+type Rule struct {
+	Head     term.Atom
+	Body     []term.Atom // positive atoms (base or derived)
+	Builtins []Builtin   // evaluated after all Body atoms are matched? No: see Positions
+	// Order interleaves body atoms and builtins: each entry indexes either
+	// Body (>=0) or Builtins (encoded as -1-i). Evaluation follows Order.
+	Order []int
+}
+
+// Builtin mirrors ast.Builtin for pure evaluation.
+type Builtin struct {
+	Name string
+	Args []term.Term
+}
+
+// Program is a set of rules plus base facts.
+type Program struct {
+	Rules []Rule
+	Facts []term.Atom
+}
+
+// FromTD converts a TD program whose rule bodies are pure sequential
+// conjunctions of queries, calls, and builtins into a Datalog program.
+// It returns an error if any rule uses updates, concurrency, isolation, or
+// emptiness tests — those have no classical reading.
+func FromTD(p *ast.Program) (*Program, error) {
+	out := &Program{Facts: append([]term.Atom(nil), p.Facts...)}
+	for i, r := range p.Rules {
+		dr := Rule{Head: r.Head}
+		var flatten func(g ast.Goal) error
+		flatten = func(g ast.Goal) error {
+			switch g := g.(type) {
+			case ast.True:
+				return nil
+			case *ast.Seq:
+				for _, sub := range g.Goals {
+					if err := flatten(sub); err != nil {
+						return err
+					}
+				}
+				return nil
+			case *ast.Lit:
+				if g.Op == ast.OpQuery || g.Op == ast.OpCall {
+					dr.Order = append(dr.Order, len(dr.Body))
+					dr.Body = append(dr.Body, g.Atom)
+					return nil
+				}
+				return fmt.Errorf("rule %d: update %s is not Datalog", i, g)
+			case *ast.Builtin:
+				dr.Order = append(dr.Order, -1-len(dr.Builtins))
+				dr.Builtins = append(dr.Builtins, Builtin{Name: g.Name, Args: g.Args})
+				return nil
+			default:
+				return fmt.Errorf("rule %d: %T is not Datalog", i, g)
+			}
+		}
+		if err := flatten(r.Body); err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, dr)
+	}
+	return out, nil
+}
+
+// Strategy selects an evaluation algorithm.
+type Strategy uint8
+
+// Evaluation strategies.
+const (
+	SemiNaive Strategy = iota // differential fixpoint (default)
+	Naive                     // re-derive everything each round
+)
+
+// Stats reports evaluation effort.
+type Stats struct {
+	Rounds     int // fixpoint iterations
+	Derived    int // tuples in the final model beyond the base facts
+	RuleFires  int // rule body matches that produced a (possibly known) head
+	JoinProbes int // unification attempts against stored tuples
+}
+
+// Model is a computed least fixpoint.
+type Model struct {
+	atoms map[string]term.Atom // canonical key -> atom
+	Stats Stats
+}
+
+func atomKey(a term.Atom) string {
+	return fmt.Sprintf("%s/%d|%s", a.Pred, len(a.Args), a.Key())
+}
+
+// Contains reports whether the ground atom a is in the model.
+func (m *Model) Contains(a term.Atom) bool {
+	_, ok := m.atoms[atomKey(a)]
+	return ok
+}
+
+// Size returns the number of atoms in the model.
+func (m *Model) Size() int { return len(m.atoms) }
+
+// Atoms returns the model's atoms (unsorted).
+func (m *Model) Atoms() []term.Atom {
+	out := make([]term.Atom, 0, len(m.atoms))
+	for _, a := range m.atoms {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Query returns all ground instances of pattern in the model.
+func (m *Model) Query(pattern term.Atom) []term.Atom {
+	var out []term.Atom
+	env := term.NewEnv()
+	for _, a := range m.atoms {
+		if a.Pred != pattern.Pred || len(a.Args) != len(pattern.Args) {
+			continue
+		}
+		mark := env.Mark()
+		if env.UnifyAtoms(pattern, a) {
+			out = append(out, a)
+		}
+		env.Undo(mark)
+	}
+	return out
+}
+
+// index stores atoms grouped by pred/arity for joins, with a secondary
+// hash index on the first argument for selective probes (the same
+// optimization the TD database uses; ablation A3).
+type index struct {
+	byPred  map[string][]term.Atom
+	byFirst map[string][]term.Atom
+	seen    map[string]bool
+}
+
+func newIndex() *index {
+	return &index{
+		byPred:  make(map[string][]term.Atom),
+		byFirst: make(map[string][]term.Atom),
+		seen:    make(map[string]bool),
+	}
+}
+
+func predArity(a term.Atom) string { return fmt.Sprintf("%s/%d", a.Pred, len(a.Args)) }
+
+func firstKey(a term.Atom) string {
+	return predArity(a) + "|" + term.KeyOf(a.Args[:1])
+}
+
+// add inserts a ground atom; reports whether it was new.
+func (ix *index) add(a term.Atom) bool {
+	k := atomKey(a)
+	if ix.seen[k] {
+		return false
+	}
+	ix.seen[k] = true
+	pa := predArity(a)
+	ix.byPred[pa] = append(ix.byPred[pa], a)
+	if len(a.Args) > 0 {
+		fk := firstKey(a)
+		ix.byFirst[fk] = append(ix.byFirst[fk], a)
+	}
+	return true
+}
+
+// match returns candidate atoms for pattern under env: when the pattern's
+// first argument is bound, only the matching first-argument bucket.
+func (ix *index) match(pattern term.Atom, env *term.Env) []term.Atom {
+	if len(pattern.Args) > 0 {
+		if w := env.Walk(pattern.Args[0]); !w.IsVar() {
+			return ix.byFirst[predArity(pattern)+"|"+term.KeyOf([]term.Term{w})]
+		}
+	}
+	return ix.byPred[predArity(pattern)]
+}
+
+// Eval computes the least fixpoint of p with the given strategy.
+func Eval(p *Program, strategy Strategy) (*Model, error) {
+	switch strategy {
+	case Naive:
+		return evalNaive(p)
+	case SemiNaive:
+		return evalSemiNaive(p)
+	default:
+		return nil, fmt.Errorf("datalog: unknown strategy %d", strategy)
+	}
+}
+
+// matchBody enumerates all substitutions satisfying the rule body against
+// total, requiring (for semi-naive) that at least one body atom beyond
+// requireDeltaAt matches in delta. When delta is nil the requirement is off.
+// For each complete match, emitHead is called with the env holding bindings.
+func matchBody(r *Rule, total, delta *index, env *term.Env, stats *Stats, emit func(*term.Env)) error {
+	var rec func(pos int, usedDelta bool) error
+	rec = func(pos int, usedDelta bool) error {
+		if pos == len(r.Order) {
+			if delta == nil || usedDelta {
+				emit(env)
+			}
+			return nil
+		}
+		o := r.Order[pos]
+		if o < 0 {
+			b := r.Builtins[-1-o]
+			mark := env.Mark()
+			ok, err := ast.EvalBuiltin(&ast.Builtin{Name: b.Name, Args: b.Args}, env)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := rec(pos+1, usedDelta); err != nil {
+					return err
+				}
+			}
+			env.Undo(mark)
+			return nil
+		}
+		atom := r.Body[o]
+		// Try total matches; when semi-naive, also track delta membership.
+		for _, cand := range total.match(atom, env) {
+			stats.JoinProbes++
+			mark := env.Mark()
+			if env.UnifyAtoms(atom, cand) {
+				inDelta := delta != nil && delta.seen[atomKey(cand)]
+				if err := rec(pos+1, usedDelta || inDelta); err != nil {
+					env.Undo(mark)
+					return err
+				}
+			}
+			env.Undo(mark)
+		}
+		return nil
+	}
+	return rec(0, false)
+}
+
+func groundHead(head term.Atom, env *term.Env) (term.Atom, error) {
+	g := env.ResolveAtom(head)
+	if !g.IsGround() {
+		return g, fmt.Errorf("datalog: unsafe rule: head %s not ground after body match", g)
+	}
+	return g, nil
+}
+
+func evalNaive(p *Program) (*Model, error) {
+	total := newIndex()
+	for _, f := range p.Facts {
+		total.add(f)
+	}
+	stats := Stats{}
+	env := term.NewEnv()
+	for {
+		stats.Rounds++
+		changed := false
+		var evalErr error
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			err := matchBody(r, total, nil, env, &stats, func(env *term.Env) {
+				stats.RuleFires++
+				g, err := groundHead(r.Head, env)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				if total.add(g) {
+					changed = true
+					stats.Derived++
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if evalErr != nil {
+				return nil, evalErr
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return finish(total, stats), nil
+}
+
+func evalSemiNaive(p *Program) (*Model, error) {
+	total := newIndex()
+	for _, f := range p.Facts {
+		total.add(f)
+	}
+	stats := Stats{}
+	env := term.NewEnv()
+	// delta == nil on the first round: a full naive pass seeds the
+	// differential iteration (this also fires rules with empty bodies,
+	// which can never match a delta atom).
+	var delta *index
+	for {
+		stats.Rounds++
+		next := newIndex()
+		var evalErr error
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			err := matchBody(r, total, delta, env, &stats, func(env *term.Env) {
+				stats.RuleFires++
+				g, err := groundHead(r.Head, env)
+				if err != nil {
+					evalErr = err
+					return
+				}
+				if !total.seen[atomKey(g)] {
+					next.add(g)
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if evalErr != nil {
+				return nil, evalErr
+			}
+		}
+		if len(next.seen) == 0 {
+			break
+		}
+		for _, atoms := range next.byPred {
+			for _, a := range atoms {
+				if total.add(a) {
+					stats.Derived++
+				}
+			}
+		}
+		delta = next
+	}
+	return finish(total, stats), nil
+}
+
+func finish(total *index, stats Stats) *Model {
+	m := &Model{atoms: make(map[string]term.Atom, len(total.seen)), Stats: stats}
+	for _, atoms := range total.byPred {
+		for _, a := range atoms {
+			m.atoms[atomKey(a)] = a
+		}
+	}
+	return m
+}

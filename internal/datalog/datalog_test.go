@@ -1,0 +1,204 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func mustFromTD(t *testing.T, src string) *Program {
+	t.Helper()
+	tdProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromTD(tdProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const tcSrc = `
+	edge(a, b). edge(b, c). edge(c, d).
+	path(X, Y) :- edge(X, Y).
+	path(X, Y) :- edge(X, Z), path(Z, Y).
+`
+
+func TestTransitiveClosure(t *testing.T) {
+	p := mustFromTD(t, tcSrc)
+	for _, strat := range []Strategy{Naive, SemiNaive} {
+		m, err := Eval(p, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 3 base edges + 6 path facts.
+		if m.Size() != 9 {
+			t.Fatalf("strategy %d: model size %d, want 9\n%v", strat, m.Size(), m.Atoms())
+		}
+		if !m.Contains(term.NewAtom("path", term.NewSym("a"), term.NewSym("d"))) {
+			t.Fatalf("strategy %d: path(a,d) missing", strat)
+		}
+		if m.Contains(term.NewAtom("path", term.NewSym("d"), term.NewSym("a"))) {
+			t.Fatalf("strategy %d: path(d,a) wrongly derived", strat)
+		}
+	}
+}
+
+func TestCyclicGraphTerminates(t *testing.T) {
+	p := mustFromTD(t, `
+		edge(a, b). edge(b, a).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`)
+	m, err := Eval(p, SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paths: ab, ba, aa, bb.
+	if got := len(m.Query(term.NewAtom("path", term.NewVar("X", 0), term.NewVar("Y", 1)))); got != 4 {
+		t.Fatalf("path count = %d, want 4", got)
+	}
+}
+
+func TestNaiveAndSemiNaiveAgreeRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		src := "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n"
+		for i := 0; i < n+3; i++ {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", r.Intn(n), r.Intn(n))
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return false
+		}
+		p, err := FromTD(prog)
+		if err != nil {
+			return false
+		}
+		m1, err1 := Eval(p, Naive)
+		m2, err2 := Eval(p, SemiNaive)
+		if err1 != nil || err2 != nil || m1.Size() != m2.Size() {
+			return false
+		}
+		for _, a := range m1.Atoms() {
+			if !m2.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiNaiveFewerRuleFires(t *testing.T) {
+	// Long chain: naive evaluation re-derives every known fact on every
+	// round (Θ(n) rounds × Θ(n²) derivations), while semi-naive fires each
+	// derivation approximately once.
+	src := "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n"
+	for i := 0; i < 40; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	p := mustFromTD(t, src)
+	mn, _ := Eval(p, Naive)
+	ms, _ := Eval(p, SemiNaive)
+	if ms.Stats.RuleFires*4 >= mn.Stats.RuleFires {
+		t.Fatalf("semi-naive fires %d, naive %d: expected ≥4x reduction", ms.Stats.RuleFires, mn.Stats.RuleFires)
+	}
+	if ms.Size() != mn.Size() {
+		t.Fatalf("models differ: %d vs %d", ms.Size(), mn.Size())
+	}
+}
+
+func TestBuiltinsInBodies(t *testing.T) {
+	p := mustFromTD(t, `
+		n(1). n(2). n(3). n(4).
+		big(X) :- n(X), X > 2.
+		sumpair(X, Y, Z) :- n(X), n(Y), X < Y, add(X, Y, Z).
+	`)
+	m, err := Eval(p, SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains(term.NewAtom("big", term.NewInt(3))) || m.Contains(term.NewAtom("big", term.NewInt(2))) {
+		t.Fatal("comparison builtin wrong")
+	}
+	if !m.Contains(term.NewAtom("sumpair", term.NewInt(1), term.NewInt(2), term.NewInt(3))) {
+		t.Fatal("arithmetic builtin wrong")
+	}
+}
+
+func TestEmptyBodyRule(t *testing.T) {
+	// A rule with an all-builtin body must fire in both strategies.
+	p := mustFromTD(t, `seeded(X) :- eq(X, 7).`)
+	for _, strat := range []Strategy{Naive, SemiNaive} {
+		m, err := Eval(p, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Contains(term.NewAtom("seeded", term.NewInt(7))) {
+			t.Fatalf("strategy %d: seeded(7) missing", strat)
+		}
+	}
+}
+
+func TestFromTDRejectsUpdates(t *testing.T) {
+	prog, err := parser.Parse(`r(X) :- p(X), ins.q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTD(prog); err == nil {
+		t.Fatal("FromTD accepted an update")
+	}
+	prog2, err := parser.Parse(`r :- a | b.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTD(prog2); err == nil {
+		t.Fatal("FromTD accepted concurrency")
+	}
+}
+
+func TestUnsafeHeadDetected(t *testing.T) {
+	prog, err := parser.Parse(`r(X, Y) :- p(X).
+		p(a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromTD(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval(p, SemiNaive); err == nil {
+		t.Fatal("unsafe head not detected")
+	}
+}
+
+func TestModelQuery(t *testing.T) {
+	p := mustFromTD(t, tcSrc)
+	m, _ := Eval(p, SemiNaive)
+	x := term.NewVar("X", 100)
+	got := m.Query(term.NewAtom("path", term.NewSym("a"), x))
+	if len(got) != 3 { // a->b, a->c, a->d
+		t.Fatalf("Query(path(a,X)) = %d rows, want 3", len(got))
+	}
+}
+
+func TestStatsRounds(t *testing.T) {
+	p := mustFromTD(t, tcSrc)
+	m, _ := Eval(p, SemiNaive)
+	// Chain of 3 edges: path lengths up to 3, plus a final empty round.
+	if m.Stats.Rounds < 3 {
+		t.Fatalf("rounds = %d, suspiciously few", m.Stats.Rounds)
+	}
+	if m.Stats.Derived != 6 {
+		t.Fatalf("derived = %d, want 6", m.Stats.Derived)
+	}
+}

@@ -1,0 +1,59 @@
+package datalog_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// Magic sets focus bottom-up evaluation on a query: only facts relevant to
+// reach(b, Y) are derived.
+func ExampleMagicEval() {
+	prog := parser.MustParse(`
+		edge(a, b). edge(b, c). edge(c, d). edge(x, y).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+	`)
+	p, err := datalog.FromTD(prog)
+	if err != nil {
+		panic(err)
+	}
+	q := term.NewAtom("reach", term.NewSym("b"), term.NewVar("Y", 1000))
+	answers, _, err := datalog.MagicEval(p, q)
+	if err != nil {
+		panic(err)
+	}
+	var ys []string
+	for _, a := range answers {
+		ys = append(ys, a.Args[1].String())
+	}
+	sort.Strings(ys)
+	fmt.Println(ys)
+	// Output:
+	// [c d]
+}
+
+// Semi-naive evaluation computes the least fixpoint of a Datalog program.
+func ExampleEval() {
+	prog := parser.MustParse(`
+		parent(ann, bob). parent(bob, cid).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+	`)
+	p, err := datalog.FromTD(prog)
+	if err != nil {
+		panic(err)
+	}
+	m, err := datalog.Eval(p, datalog.SemiNaive)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Contains(term.NewAtom("anc", term.NewSym("ann"), term.NewSym("cid"))))
+	fmt.Println(m.Contains(term.NewAtom("anc", term.NewSym("cid"), term.NewSym("ann"))))
+	// Output:
+	// true
+	// false
+}

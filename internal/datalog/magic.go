@@ -1,0 +1,231 @@
+package datalog
+
+// Magic sets: the query-directed rewriting the paper names alongside
+// tabling as the classical optimization applicable to the ins-only
+// fragment. Given a program and a query with some arguments bound, the
+// transformation produces an adorned program whose bottom-up evaluation
+// only derives facts relevant to the query — matching the focus a
+// top-down evaluator gets for free, while keeping semi-naive's
+// termination and sharing.
+//
+// The implementation is the standard textbook construction with
+// left-to-right sideways information passing:
+//
+//  1. adorn reachable IDB predicates with b/f annotations, starting from
+//     the query's binding pattern;
+//  2. for each adorned rule p^a ← B₁ … Bₙ, emit one magic rule per IDB
+//     body atom (its bound arguments become derivable from the magic
+//     predicate of the head plus the preceding body atoms), and guard the
+//     original rule with the head's magic predicate;
+//  3. seed the magic predicate of the query with its bound constants.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// adornment is a string over {'b','f'}, one per argument.
+type adornment string
+
+func adornmentOf(a term.Atom, bound map[int64]bool) adornment {
+	var sb strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.VarID()] {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return adornment(sb.String())
+}
+
+// adornedName mangles p with adornment a (p__bf). Predicates without
+// bound arguments keep distinct names too (p__ff), which keeps the
+// transformation uniform.
+func adornedName(pred string, a adornment) string { return pred + "__" + string(a) }
+
+// magicName names the magic predicate of an adorned predicate.
+func magicName(pred string, a adornment) string { return "m_" + adornedName(pred, a) }
+
+// boundArgs selects the arguments of a in bound positions.
+func boundArgs(a term.Atom, ad adornment) []term.Term {
+	var out []term.Term
+	for i, c := range ad {
+		if c == 'b' {
+			out = append(out, a.Args[i])
+		}
+	}
+	return out
+}
+
+// MagicResult is the transformed program plus bookkeeping to interpret
+// its model.
+type MagicResult struct {
+	Program *Program
+	// QueryPred is the adorned name answering the original query.
+	QueryPred string
+}
+
+// MagicTransform rewrites p for the given query atom. Arguments of the
+// query that are constants are treated as bound. Returns an error when the
+// query predicate is not an IDB predicate of p.
+func MagicTransform(p *Program, query term.Atom) (*MagicResult, error) {
+	idb := map[string]bool{}
+	rulesFor := map[string][]Rule{}
+	for _, r := range p.Rules {
+		k := predArity(r.Head)
+		idb[k] = true
+		rulesFor[k] = append(rulesFor[k], r)
+	}
+	qk := predArity(query)
+	if !idb[qk] {
+		return nil, fmt.Errorf("datalog: magic transform: %s is not an IDB predicate", qk)
+	}
+
+	out := &Program{Facts: append([]term.Atom(nil), p.Facts...)}
+	qAd := adornmentOf(query, nil)
+	type job struct {
+		key string // pred/arity
+		ad  adornment
+	}
+	seen := map[string]bool{}
+	var queue []job
+	enqueue := func(k string, ad adornment) {
+		id := k + "^" + string(ad)
+		if !seen[id] {
+			seen[id] = true
+			queue = append(queue, job{key: k, ad: ad})
+		}
+	}
+	enqueue(qk, qAd)
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for _, r := range rulesFor[j.key] {
+			adornRule(r, j.ad, idb, out, enqueue)
+		}
+	}
+
+	// Seed: the magic fact for the query's bound constants.
+	seed := term.Atom{Pred: magicName(query.Pred, qAd), Args: boundArgs(query, qAd)}
+	if len(seed.Args) == 0 {
+		seed.Args = nil
+	}
+	out.Facts = append(out.Facts, seed)
+	return &MagicResult{Program: out, QueryPred: adornedName(query.Pred, qAd)}, nil
+}
+
+// adornRule emits the magic and guarded rules for one source rule under
+// the head adornment ad.
+func adornRule(r Rule, ad adornment, idb map[string]bool, out *Program, enqueue func(string, adornment)) {
+	head := r.Head
+	bound := map[int64]bool{}
+	for i, c := range ad {
+		if c == 'b' {
+			for _, v := range head.Args[i : i+1] {
+				if v.IsVar() {
+					bound[v.VarID()] = true
+				}
+			}
+		}
+	}
+	magicHead := term.Atom{Pred: magicName(head.Pred, ad), Args: boundArgs(head, ad)}
+
+	// Walk the body in evaluation order, rewriting IDB atoms and emitting
+	// magic rules; maintain the bound-variable set.
+	var newOrder []int
+	var newBody []term.Atom
+	var newBuiltins []Builtin
+	prefix := []term.Atom{magicHead} // accumulated guards for magic rules
+
+	bindAtomVars := func(a term.Atom) {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.VarID()] = true
+			}
+		}
+	}
+
+	for _, o := range r.Order {
+		if o < 0 {
+			b := r.Builtins[-1-o]
+			newOrder = append(newOrder, -1-len(newBuiltins))
+			newBuiltins = append(newBuiltins, b)
+			// eq and arithmetic outputs bind.
+			switch b.Name {
+			case "eq":
+				for _, t := range b.Args {
+					if t.IsVar() {
+						bound[t.VarID()] = true
+					}
+				}
+			case "add", "sub", "mul", "div", "mod":
+				if len(b.Args) == 3 && b.Args[2].IsVar() {
+					bound[b.Args[2].VarID()] = true
+				}
+			}
+			continue
+		}
+		atom := r.Body[o]
+		k := predArity(atom)
+		if idb[k] {
+			aAd := adornmentOf(atom, bound)
+			enqueue(k, aAd)
+			// Magic rule: m_atom^aAd(boundArgs) ← magicHead, prefix...
+			mr := Rule{Head: term.Atom{Pred: magicName(atom.Pred, aAd), Args: boundArgs(atom, aAd)}}
+			for _, g := range prefix {
+				mr.Order = append(mr.Order, len(mr.Body))
+				mr.Body = append(mr.Body, g)
+			}
+			// Builtins that appeared so far are needed for safety of the
+			// magic rule only if they bind; keeping them is always sound
+			// but they may reference unbound vars. We include only body
+			// atoms (prefix), which suffices for range restriction of the
+			// bound arguments under left-to-right sips.
+			out.Rules = append(out.Rules, mr)
+			// Rewrite the atom to its adorned version.
+			atom = term.Atom{Pred: adornedName(atom.Pred, aAd), Args: atom.Args}
+		}
+		newOrder = append(newOrder, len(newBody))
+		newBody = append(newBody, atom)
+		prefix = append(prefix, atom)
+		bindAtomVars(atom)
+	}
+
+	// Guarded, adorned version of the original rule.
+	guarded := Rule{Head: term.Atom{Pred: adornedName(head.Pred, ad), Args: head.Args}}
+	guarded.Order = append(guarded.Order, 0)
+	guarded.Body = append(guarded.Body, magicHead)
+	for _, o := range newOrder {
+		if o < 0 {
+			guarded.Order = append(guarded.Order, o)
+		} else {
+			guarded.Order = append(guarded.Order, len(guarded.Body))
+			guarded.Body = append(guarded.Body, newBody[o])
+		}
+	}
+	guarded.Builtins = newBuiltins
+	out.Rules = append(out.Rules, guarded)
+}
+
+// MagicEval transforms p for query, evaluates semi-naively, and returns
+// the query's answers (as atoms with the ORIGINAL predicate name).
+func MagicEval(p *Program, query term.Atom) ([]term.Atom, *Model, error) {
+	mr, err := MagicTransform(p, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := Eval(mr.Program, SemiNaive)
+	if err != nil {
+		return nil, nil, err
+	}
+	pattern := term.Atom{Pred: mr.QueryPred, Args: query.Args}
+	var answers []term.Atom
+	for _, a := range model.Query(pattern) {
+		answers = append(answers, term.Atom{Pred: query.Pred, Args: a.Args})
+	}
+	return answers, model, nil
+}

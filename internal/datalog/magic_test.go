@@ -1,0 +1,205 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func chainProgram(t *testing.T, n int) *Program {
+	t.Helper()
+	src := "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)
+	}
+	return mustFromTD(t, src)
+}
+
+func TestMagicBoundFirstArg(t *testing.T) {
+	p := chainProgram(t, 10)
+	// Query path(n7, Y): only the suffix from n7 is relevant.
+	q := term.NewAtom("path", term.NewSym("n7"), term.NewVar("Y", 900))
+	answers, model, err := MagicEval(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 { // n8, n9, n10
+		t.Fatalf("answers = %v", answers)
+	}
+	// Compare with full evaluation.
+	full, err := Eval(p, SemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range answers {
+		if !full.Contains(a) {
+			t.Fatalf("magic answer %v not in full model", a)
+		}
+	}
+	// The magic model must be much smaller than the full one: full has
+	// all 55 path facts; magic only those from n7.
+	fullPaths := len(full.Query(term.NewAtom("path", term.NewVar("X", 901), term.NewVar("Y", 902))))
+	magicPaths := len(model.Query(term.NewAtom("path__bf", term.NewVar("X", 901), term.NewVar("Y", 902))))
+	if magicPaths >= fullPaths {
+		t.Fatalf("magic derived %d path facts, full %d — no focusing", magicPaths, fullPaths)
+	}
+	// The focused set: paths from every start the magic set reaches
+	// (n7, n8, n9 — the recursive rule seeds magic for each suffix start):
+	// 3 + 2 + 1 = 6, against the full model's 55.
+	if magicPaths != 6 {
+		t.Fatalf("magic path facts = %d, want 6", magicPaths)
+	}
+}
+
+func TestMagicFullyBoundQuery(t *testing.T) {
+	p := chainProgram(t, 8)
+	yes := term.NewAtom("path", term.NewSym("n2"), term.NewSym("n6"))
+	answers, _, err := MagicEval(p, yes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("bb query answers = %v", answers)
+	}
+	no := term.NewAtom("path", term.NewSym("n6"), term.NewSym("n2"))
+	answers, _, err = MagicEval(p, no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Fatalf("false bb query answered %v", answers)
+	}
+}
+
+func TestMagicFreeQueryMatchesFull(t *testing.T) {
+	p := chainProgram(t, 6)
+	q := term.NewAtom("path", term.NewVar("X", 900), term.NewVar("Y", 901))
+	answers, _, err := MagicEval(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Eval(p, SemiNaive)
+	fullAnswers := full.Query(term.NewAtom("path", term.NewVar("X", 902), term.NewVar("Y", 903)))
+	if len(answers) != len(fullAnswers) {
+		t.Fatalf("ff magic answers %d, full %d", len(answers), len(fullAnswers))
+	}
+}
+
+func TestMagicAgreesWithFullOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		src := "reach(X, Y) :- edge(X, Y).\nreach(X, Y) :- edge(X, Z), reach(Z, Y).\n"
+		for i := 0; i < n+4; i++ {
+			src += fmt.Sprintf("edge(n%d, n%d).\n", r.Intn(n), r.Intn(n))
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return false
+		}
+		p, err := FromTD(prog)
+		if err != nil {
+			return false
+		}
+		full, err := Eval(p, SemiNaive)
+		if err != nil {
+			return false
+		}
+		start := term.NewSym(fmt.Sprintf("n%d", r.Intn(n)))
+		q := term.NewAtom("reach", start, term.NewVar("Y", 990))
+		answers, _, err := MagicEval(p, q)
+		if err != nil {
+			return false
+		}
+		fullAnswers := full.Query(term.NewAtom("reach", start, term.NewVar("Y", 991)))
+		if len(answers) != len(fullAnswers) {
+			return false
+		}
+		for _, a := range answers {
+			if !full.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagicFocusReducesWork(t *testing.T) {
+	// Two disjoint chains; query one of them. Magic must not derive facts
+	// about the other.
+	src := "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n"
+	for i := 0; i < 30; i++ {
+		src += fmt.Sprintf("edge(a%d, a%d).\n", i, i+1)
+		src += fmt.Sprintf("edge(b%d, b%d).\n", i, i+1)
+	}
+	p := mustFromTD(t, src)
+	q := term.NewAtom("path", term.NewSym("a25"), term.NewVar("Y", 900))
+	answers, model, err := MagicEval(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 5 {
+		t.Fatalf("answers = %d, want 5", len(answers))
+	}
+	// No b-chain path fact may appear.
+	for _, a := range model.Query(term.NewAtom("path__bf", term.NewVar("X", 901), term.NewVar("Y", 902))) {
+		if a.Args[0].SymName()[0] == 'b' {
+			t.Fatalf("magic derived irrelevant fact %v", a)
+		}
+	}
+	full, _ := Eval(p, SemiNaive)
+	if model.Stats.RuleFires >= full.Stats.RuleFires {
+		t.Fatalf("magic fires %d >= full fires %d", model.Stats.RuleFires, full.Stats.RuleFires)
+	}
+}
+
+func TestMagicMutualRecursion(t *testing.T) {
+	src := `
+		e(a, b). e(b, c). e(c, d).
+		even(X, X2) :- e(X, Y), odd(Y, X2).
+		odd(X, X) :- stop(X).
+		odd(X, X2) :- e(X, Y), even(Y, X2).
+		stop(d).
+	`
+	p := mustFromTD(t, src)
+	q := term.NewAtom("even", term.NewSym("a"), term.NewVar("Z", 900))
+	answers, _, err := MagicEval(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a -e-> b (odd from b): b -e-> c, even from c: c -e-> d, odd(d,d) via
+	// stop. So even(a, d) holds.
+	if len(answers) != 1 || !answers[0].Args[1].Equal(term.NewSym("d")) {
+		t.Fatalf("answers = %v", answers)
+	}
+}
+
+func TestMagicWithBuiltins(t *testing.T) {
+	src := `
+		n(1). n(2). n(3). n(4). n(5).
+		upto(X, Y) :- n(Y), Y =< X.
+	`
+	p := mustFromTD(t, src)
+	q := term.NewAtom("upto", term.NewInt(3), term.NewVar("Y", 900))
+	answers, _, err := MagicEval(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("answers = %v, want Y in {1,2,3}", answers)
+	}
+}
+
+func TestMagicErrorsOnEDBQuery(t *testing.T) {
+	p := chainProgram(t, 3)
+	if _, _, err := MagicEval(p, term.NewAtom("edge", term.NewSym("n0"), term.NewVar("Y", 1))); err == nil {
+		t.Fatal("EDB query accepted")
+	}
+}

@@ -1,0 +1,489 @@
+// Package db implements the database substrate of the Transaction Datalog
+// engine: sets of ground tuples grouped into relations, with
+//
+//   - set semantics for insertion and deletion, as in the paper (inserting a
+//     present tuple and deleting an absent one succeed without effect);
+//   - an undo log giving O(1) marking and O(changes) rollback, which the
+//     proof-search engine uses to explore alternative execution paths and to
+//     implement transactional abort;
+//   - optional first-argument hash indexes for selective queries; and
+//   - an incrementally maintained 128-bit fingerprint used by tabling to
+//     recognize previously seen database states.
+package db
+
+import (
+	"fmt"
+	"hash/fnv"
+	"iter"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// DB is a mutable database: a finite set of ground atoms. The zero value is
+// not usable; call New.
+type DB struct {
+	rels     map[string]*relation
+	trail    []change
+	size     int
+	hashLo   uint64
+	hashHi   uint64
+	useIndex bool
+	detScan  bool
+}
+
+// relation stores the tuples of one predicate/arity pair.
+type relation struct {
+	pred  string
+	arity int
+	rows  map[string][]term.Term
+	// index maps the key of the first argument to the set of row keys that
+	// start with it. nil when indexing is disabled or arity is 0.
+	index map[string]map[string]bool
+}
+
+// change is one undo-log entry.
+type change struct {
+	rel    *relation
+	key    string
+	row    []term.Term
+	insert bool // true if the change was an insertion (undo deletes)
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithoutIndex disables first-argument indexes (for the A3 ablation).
+func WithoutIndex() Option {
+	return func(d *DB) { d.useIndex = false }
+}
+
+// WithoutDeterministicScan lets Scan visit candidate tuples in map order
+// instead of sorted order. Faster on large scans, but derivation order (and
+// therefore witness traces) becomes nondeterministic.
+func WithoutDeterministicScan() Option {
+	return func(d *DB) { d.detScan = false }
+}
+
+// New returns an empty database.
+func New(opts ...Option) *DB {
+	d := &DB{rels: make(map[string]*relation), useIndex: true, detScan: true}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// FromFacts returns a database holding the given ground atoms.
+func FromFacts(facts []term.Atom, opts ...Option) (*DB, error) {
+	d := New(opts...)
+	for _, f := range facts {
+		if !f.IsGround() {
+			return nil, fmt.Errorf("db: fact %s is not ground", f)
+		}
+		d.Insert(f.Pred, f.Args)
+	}
+	d.ResetTrail()
+	return d, nil
+}
+
+func relKey(pred string, arity int) string {
+	return fmt.Sprintf("%s/%d", pred, arity)
+}
+
+func (d *DB) rel(pred string, arity int, create bool) *relation {
+	k := relKey(pred, arity)
+	r := d.rels[k]
+	if r == nil && create {
+		r = &relation{pred: pred, arity: arity, rows: make(map[string][]term.Term)}
+		if d.useIndex && arity > 0 {
+			r.index = make(map[string]map[string]bool)
+		}
+		d.rels[k] = r
+	}
+	return r
+}
+
+// tupleHash returns the two fingerprint contributions of one tuple.
+func tupleHash(pred string, arity int, rowKey string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(relKey(pred, arity)))
+	h1.Write([]byte{0})
+	h1.Write([]byte(rowKey))
+	lo := h1.Sum64()
+	h2 := fnv.New64a()
+	h2.Write([]byte(rowKey))
+	h2.Write([]byte{1})
+	h2.Write([]byte(relKey(pred, arity)))
+	return lo, h2.Sum64()
+}
+
+// Size returns the total number of tuples.
+func (d *DB) Size() int { return d.size }
+
+// Count returns the number of tuples in pred/arity.
+func (d *DB) Count(pred string, arity int) int {
+	r := d.rel(pred, arity, false)
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
+}
+
+// IsEmpty reports whether the relation named pred is empty at every arity.
+// This implements the elementary test empty.p.
+func (d *DB) IsEmpty(pred string) bool {
+	for _, r := range d.rels {
+		if r.pred == pred && len(r.rows) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the ground tuple pred(row) is present.
+func (d *DB) Contains(pred string, row []term.Term) bool {
+	r := d.rel(pred, len(row), false)
+	if r == nil {
+		return false
+	}
+	_, ok := r.rows[term.KeyOf(row)]
+	return ok
+}
+
+// Insert adds pred(row); row must be ground. It reports whether the database
+// changed (false when the tuple was already present).
+func (d *DB) Insert(pred string, row []term.Term) bool {
+	r := d.rel(pred, len(row), true)
+	key := term.KeyOf(row)
+	if _, ok := r.rows[key]; ok {
+		return false
+	}
+	stored := make([]term.Term, len(row))
+	copy(stored, row)
+	r.rows[key] = stored
+	if r.index != nil {
+		fk := term.KeyOf(stored[:1])
+		bucket := r.index[fk]
+		if bucket == nil {
+			bucket = make(map[string]bool)
+			r.index[fk] = bucket
+		}
+		bucket[key] = true
+	}
+	d.size++
+	lo, hi := tupleHash(pred, len(row), key)
+	d.hashLo ^= lo
+	d.hashHi ^= hi
+	d.trail = append(d.trail, change{rel: r, key: key, row: stored, insert: true})
+	return true
+}
+
+// Delete removes pred(row); row must be ground. It reports whether the
+// database changed (false when the tuple was absent).
+func (d *DB) Delete(pred string, row []term.Term) bool {
+	r := d.rel(pred, len(row), false)
+	if r == nil {
+		return false
+	}
+	key := term.KeyOf(row)
+	stored, ok := r.rows[key]
+	if !ok {
+		return false
+	}
+	d.removeRow(r, key, stored)
+	d.trail = append(d.trail, change{rel: r, key: key, row: stored, insert: false})
+	return true
+}
+
+func (d *DB) removeRow(r *relation, key string, stored []term.Term) {
+	delete(r.rows, key)
+	if r.index != nil {
+		fk := term.KeyOf(stored[:1])
+		if bucket := r.index[fk]; bucket != nil {
+			delete(bucket, key)
+			if len(bucket) == 0 {
+				delete(r.index, fk)
+			}
+		}
+	}
+	d.size--
+	lo, hi := tupleHash(r.pred, r.arity, key)
+	d.hashLo ^= lo
+	d.hashHi ^= hi
+}
+
+func (d *DB) addRow(r *relation, key string, stored []term.Term) {
+	r.rows[key] = stored
+	if r.index != nil {
+		fk := term.KeyOf(stored[:1])
+		bucket := r.index[fk]
+		if bucket == nil {
+			bucket = make(map[string]bool)
+			r.index[fk] = bucket
+		}
+		bucket[key] = true
+	}
+	d.size++
+	lo, hi := tupleHash(r.pred, r.arity, key)
+	d.hashLo ^= lo
+	d.hashHi ^= hi
+}
+
+// Mark returns the current undo-log position.
+func (d *DB) Mark() int { return len(d.trail) }
+
+// Undo rolls the database back to a previous Mark.
+func (d *DB) Undo(mark int) {
+	for i := len(d.trail) - 1; i >= mark; i-- {
+		c := d.trail[i]
+		if c.insert {
+			d.removeRow(c.rel, c.key, c.row)
+		} else {
+			d.addRow(c.rel, c.key, c.row)
+		}
+	}
+	d.trail = d.trail[:mark]
+}
+
+// ResetTrail discards undo history, committing all changes so far. Undo
+// marks taken earlier become invalid.
+func (d *DB) ResetTrail() { d.trail = d.trail[:0] }
+
+// TrailLen returns the number of pending undo entries (for tests/metrics).
+func (d *DB) TrailLen() int { return len(d.trail) }
+
+// Fingerprint returns a 128-bit content fingerprint of the current state,
+// independent of insertion order. Used as a tabling key.
+func (d *DB) Fingerprint() [2]uint64 { return [2]uint64{d.hashLo, d.hashHi} }
+
+// Scan calls yield for every tuple of pred/arity that unifies with args
+// under env, with the unifying bindings in effect during the call; bindings
+// are undone after each yield that returns true. Iteration stops early when
+// yield returns false, in which case the current bindings are kept (the
+// engine uses this to preserve witness state on a cut). Scan reports whether
+// iteration ran to completion.
+//
+// The set of candidate tuples is fixed when Scan is called: updates
+// performed inside yield do not affect which tuples are visited. This gives
+// queries snapshot behaviour within a single elementary step.
+func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() bool) bool {
+	r := d.rel(pred, len(args), false)
+	if r == nil {
+		return true
+	}
+	resolved := env.ResolveArgs(args)
+
+	// Fully ground: single lookup.
+	ground := true
+	for _, t := range resolved {
+		if t.IsVar() {
+			ground = false
+			break
+		}
+	}
+	if ground {
+		if _, ok := r.rows[term.KeyOf(resolved)]; ok {
+			return yield()
+		}
+		return true
+	}
+
+	// Choose candidates: first-arg index when available and selective.
+	var keys []string
+	if r.index != nil && len(resolved) > 0 && !resolved[0].IsVar() {
+		bucket := r.index[term.KeyOf(resolved[:1])]
+		keys = make([]string, 0, len(bucket))
+		for key := range bucket {
+			keys = append(keys, key)
+		}
+	} else {
+		keys = make([]string, 0, len(r.rows))
+		for key := range r.rows {
+			keys = append(keys, key)
+		}
+	}
+	if d.detScan {
+		sort.Strings(keys)
+	}
+	candidates := make([][]term.Term, len(keys))
+	for i, key := range keys {
+		candidates[i] = r.rows[key]
+	}
+	for _, row := range candidates {
+		mark := env.Mark()
+		if env.UnifyArgs(resolved, row) {
+			if !yield() {
+				// Early stop: bindings are deliberately left in effect so
+				// callers can cut a search while keeping the witness state.
+				return false
+			}
+			env.Undo(mark)
+		} else {
+			env.Undo(mark)
+		}
+	}
+	return true
+}
+
+// Tuples returns all tuples of pred/arity in deterministic order (sorted
+// by term comparison, argument by argument).
+func (d *DB) Tuples(pred string, arity int) [][]term.Term {
+	r := d.rel(pred, arity, false)
+	if r == nil {
+		return nil
+	}
+	out := make([][]term.Term, 0, len(r.rows))
+	for _, row := range r.rows {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if c := out[i][k].Compare(out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Relations returns the pred/arity pairs present (possibly with zero rows),
+// sorted by name then arity.
+func (d *DB) Relations() []struct {
+	Pred  string
+	Arity int
+} {
+	out := make([]struct {
+		Pred  string
+		Arity int
+	}, 0, len(d.rels))
+	for _, r := range d.rels {
+		out = append(out, struct {
+			Pred  string
+			Arity int
+		}{r.pred, r.arity})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// Clone returns a deep copy with an empty undo log. Used by the simulator
+// (each run gets its own state) and by the copy-based forking ablation.
+func (d *DB) Clone() *DB {
+	out := New()
+	out.useIndex = d.useIndex
+	out.detScan = d.detScan
+	for k, r := range d.rels {
+		nr := &relation{pred: r.pred, arity: r.arity, rows: make(map[string][]term.Term, len(r.rows))}
+		if d.useIndex && r.arity > 0 {
+			nr.index = make(map[string]map[string]bool, len(r.index))
+		}
+		for key, row := range r.rows {
+			nr.rows[key] = row // rows are immutable once stored
+			if nr.index != nil {
+				fk := term.KeyOf(row[:1])
+				bucket := nr.index[fk]
+				if bucket == nil {
+					bucket = make(map[string]bool)
+					nr.index[fk] = bucket
+				}
+				bucket[key] = true
+			}
+		}
+		out.rels[k] = nr
+	}
+	out.size = d.size
+	out.hashLo = d.hashLo
+	out.hashHi = d.hashHi
+	return out
+}
+
+// Equal reports whether two databases hold exactly the same tuples.
+func (d *DB) Equal(o *DB) bool {
+	if d.size != o.size {
+		return false
+	}
+	for k, r := range d.rels {
+		or := o.rels[k]
+		if or == nil {
+			if len(r.rows) != 0 {
+				return false
+			}
+			continue
+		}
+		if len(r.rows) != len(or.rows) {
+			return false
+		}
+		for key := range r.rows {
+			if _, ok := or.rows[key]; !ok {
+				return false
+			}
+		}
+	}
+	for k, or := range o.rels {
+		if d.rels[k] == nil && len(or.rows) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the database as sorted facts, one per line.
+func (d *DB) String() string {
+	var b strings.Builder
+	for _, ra := range d.Relations() {
+		for _, row := range d.Tuples(ra.Pred, ra.Arity) {
+			b.WriteString(term.Atom{Pred: ra.Pred, Args: row}.String())
+			b.WriteString(".\n")
+		}
+	}
+	return b.String()
+}
+
+// All ranges over the tuples of pred/arity in deterministic (sorted)
+// order:
+//
+//	for row := range d.All("account", 2) { ... }
+//
+// The yielded slices are the stored rows; callers must not mutate them.
+func (d *DB) All(pred string, arity int) iter.Seq[[]term.Term] {
+	return func(yield func([]term.Term) bool) {
+		for _, row := range d.Tuples(pred, arity) {
+			if !yield(row) {
+				return
+			}
+		}
+	}
+}
+
+// AllAtoms ranges over every stored tuple as a ground atom, sorted by
+// relation then tuple.
+func (d *DB) AllAtoms() iter.Seq[term.Atom] {
+	return func(yield func(term.Atom) bool) {
+		for _, ra := range d.Relations() {
+			for _, row := range d.Tuples(ra.Pred, ra.Arity) {
+				if !yield(term.Atom{Pred: ra.Pred, Args: row}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Atoms returns every tuple as a ground atom, sorted.
+func (d *DB) Atoms() []term.Atom {
+	var out []term.Atom
+	for _, ra := range d.Relations() {
+		for _, row := range d.Tuples(ra.Pred, ra.Arity) {
+			out = append(out, term.Atom{Pred: ra.Pred, Args: row})
+		}
+	}
+	return out
+}

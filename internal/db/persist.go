@@ -1,0 +1,398 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/term"
+)
+
+// Durability: a write-ahead log plus snapshot checkpoints, giving the
+// database the persistence story a laboratory information system needs
+// (the genome center's experimental history must survive restarts).
+//
+// Record format (both WAL and snapshot files share it, after their magic
+// headers):
+//
+//	op byte ('I' insert, 'D' delete)
+//	uvarint len(pred), pred bytes
+//	uvarint arity
+//	uvarint len(key), key bytes        (canonical tuple key; see term.KeyOf)
+//	crc32 (IEEE) of everything above, little-endian
+//
+// Replay stops cleanly at the first torn or corrupt record, so a crash
+// mid-append loses at most the unsynced tail — never previously synced
+// state.
+
+// File magics.
+const (
+	walMagic  = "TDWAL1\n"
+	snapMagic = "TDSNAP1\n"
+)
+
+// ErrCorrupt reports an unreadable persistent file (bad magic).
+var ErrCorrupt = errors.New("db: corrupt persistent file")
+
+// WAL is an append-only operation log.
+type WAL struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+// OpenWAL opens (creating if needed) the log at path and positions for
+// appending. The file must be empty or start with the WAL magic.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		hdr := make([]byte, len(walMagic))
+		if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != walMagic {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s is not a TD WAL", ErrCorrupt, path)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	size, _ := f.Seek(0, io.SeekCurrent)
+	return &WAL{f: f, w: bufio.NewWriter(f), len: size}, nil
+}
+
+// Append writes one operation record. insert=false means delete.
+func (w *WAL) Append(insert bool, pred string, arity int, key string) error {
+	rec := encodeRecord(insert, pred, arity, key)
+	n, err := w.w.Write(rec)
+	w.len += int64(n)
+	return err
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (w *WAL) Sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Size returns the current log length in bytes (including buffered data).
+func (w *WAL) Size() int64 { return w.len }
+
+func encodeRecord(insert bool, pred string, arity int, key string) []byte {
+	var buf []byte
+	if insert {
+		buf = append(buf, 'I')
+	} else {
+		buf = append(buf, 'D')
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(pred)))
+	buf = append(buf, pred...)
+	buf = binary.AppendUvarint(buf, uint64(arity))
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	sum := crc32.ChecksumIEEE(buf)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// record is a decoded log entry.
+type record struct {
+	insert bool
+	pred   string
+	arity  int
+	key    string
+}
+
+// readRecords decodes records until EOF or the first torn/corrupt record
+// (which is silently treated as the end of the usable log).
+func readRecords(r *bufio.Reader) []record {
+	var out []record
+	for {
+		rec, ok := readOne(r)
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+func readOne(r *bufio.Reader) (record, bool) {
+	var raw []byte
+	op, err := r.ReadByte()
+	if err != nil {
+		return record{}, false
+	}
+	if op != 'I' && op != 'D' {
+		return record{}, false
+	}
+	raw = append(raw, op)
+	readU := func() (uint64, bool) {
+		v, err := binary.ReadUvarint(&teeReader{r: r, buf: &raw})
+		return v, err == nil
+	}
+	readN := func(n uint64) (string, bool) {
+		if n > 1<<30 {
+			return "", false
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", false
+		}
+		raw = append(raw, b...)
+		return string(b), true
+	}
+	predLen, ok := readU()
+	if !ok {
+		return record{}, false
+	}
+	pred, ok := readN(predLen)
+	if !ok {
+		return record{}, false
+	}
+	arity, ok := readU()
+	if !ok {
+		return record{}, false
+	}
+	keyLen, ok := readU()
+	if !ok {
+		return record{}, false
+	}
+	key, ok := readN(keyLen)
+	if !ok {
+		return record{}, false
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return record{}, false
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(raw) {
+		return record{}, false
+	}
+	return record{insert: op == 'I', pred: pred, arity: int(arity), key: key}, true
+}
+
+// teeReader lets ReadUvarint consume bytes while recording them for the CRC.
+type teeReader struct {
+	r   *bufio.Reader
+	buf *[]byte
+}
+
+func (t *teeReader) ReadByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		*t.buf = append(*t.buf, b)
+	}
+	return b, err
+}
+
+// WriteSnapshot writes the database's full contents to path atomically
+// (write to a temp file, fsync, rename).
+func WriteSnapshot(d *DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(snapMagic); err != nil {
+		f.Close()
+		return err
+	}
+	for _, ra := range d.Relations() {
+		for _, row := range d.Tuples(ra.Pred, ra.Arity) {
+			if _, err := w.Write(encodeRecord(true, ra.Pred, ra.Arity, term.KeyOf(row))); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot loads a snapshot file into a fresh database.
+func ReadSnapshot(path string, opts ...Option) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	hdr := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != snapMagic {
+		return nil, fmt.Errorf("%w: %s is not a TD snapshot", ErrCorrupt, path)
+	}
+	d := New(opts...)
+	if err := applyRecords(d, readRecords(r)); err != nil {
+		return nil, err
+	}
+	d.ResetTrail()
+	return d, nil
+}
+
+// ReplayWAL applies the operations logged at path on top of d. It returns
+// the number of records applied; a torn tail is ignored.
+func ReplayWAL(d *DB, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	hdr := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil // empty/truncated log: nothing to replay
+		}
+		return 0, err
+	}
+	if string(hdr) != walMagic {
+		return 0, fmt.Errorf("%w: %s is not a TD WAL", ErrCorrupt, path)
+	}
+	recs := readRecords(r)
+	if err := applyRecords(d, recs); err != nil {
+		return 0, err
+	}
+	d.ResetTrail()
+	return len(recs), nil
+}
+
+func applyRecords(d *DB, recs []record) error {
+	for _, rec := range recs {
+		row, err := term.DecodeKey(rec.key)
+		if err != nil {
+			return fmt.Errorf("db: undecodable tuple for %s/%d: %w", rec.pred, rec.arity, err)
+		}
+		if len(row) != rec.arity {
+			return fmt.Errorf("db: arity mismatch for %s: record says %d, key has %d", rec.pred, rec.arity, len(row))
+		}
+		if rec.insert {
+			d.Insert(rec.pred, row)
+		} else {
+			d.Delete(rec.pred, row)
+		}
+	}
+	return nil
+}
+
+// Store couples a database with a WAL and snapshot file, providing
+// open-or-recover semantics and checkpointing.
+type Store struct {
+	DB       *DB
+	snapPath string
+	walPath  string
+	wal      *WAL
+}
+
+// OpenStore recovers (or initializes) a persistent database: load the
+// snapshot if present, replay the WAL on top, and reopen the WAL for
+// appending.
+func OpenStore(snapPath, walPath string, opts ...Option) (*Store, error) {
+	var d *DB
+	if _, err := os.Stat(snapPath); err == nil {
+		d, err = ReadSnapshot(snapPath, opts...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d = New(opts...)
+	}
+	if _, err := os.Stat(walPath); err == nil {
+		if _, err := ReplayWAL(d, walPath); err != nil {
+			return nil, err
+		}
+	}
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{DB: d, snapPath: snapPath, walPath: walPath, wal: wal}, nil
+}
+
+// Insert inserts and logs a tuple; no-ops (set semantics) are not logged.
+func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
+	if !s.DB.Insert(pred, row) {
+		return false, nil
+	}
+	s.DB.ResetTrail()
+	return true, s.wal.Append(true, pred, len(row), term.KeyOf(row))
+}
+
+// Delete deletes and logs a tuple; no-ops are not logged.
+func (s *Store) Delete(pred string, row []term.Term) (bool, error) {
+	if !s.DB.Delete(pred, row) {
+		return false, nil
+	}
+	s.DB.ResetTrail()
+	return true, s.wal.Append(false, pred, len(row), term.KeyOf(row))
+}
+
+// Commit makes all logged operations durable (flush + fsync).
+func (s *Store) Commit() error { return s.wal.Sync() }
+
+// Checkpoint writes a fresh snapshot and truncates the WAL.
+func (s *Store) Checkpoint() error {
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	if err := WriteSnapshot(s.DB, s.snapPath); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.walPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	wal, err := OpenWAL(s.walPath)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	return nil
+}
+
+// Close syncs and closes the store.
+func (s *Store) Close() error {
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}

@@ -1,0 +1,355 @@
+package db
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func tmpPaths(t *testing.T) (snap, wal string) {
+	t.Helper()
+	dir := t.TempDir()
+	return filepath.Join(dir, "db.snap"), filepath.Join(dir, "db.wal")
+}
+
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	cases := [][]term.Term{
+		{},
+		{term.NewSym("alice")},
+		{term.NewInt(-42), term.NewInt(0), term.NewInt(12345)},
+		{term.NewStr("hello world"), term.NewSym("x")},
+		{term.NewStr("with\nnewline and : colon"), term.NewStr("")},
+		{term.NewSym("s5"), term.NewSym("i"), term.NewStr("q3:x")},
+	}
+	for _, row := range cases {
+		key := term.KeyOf(row)
+		got, err := term.DecodeKey(key)
+		if err != nil {
+			t.Fatalf("DecodeKey(%q): %v", key, err)
+		}
+		if len(got) != len(row) {
+			t.Fatalf("round trip length: %v vs %v", got, row)
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				t.Fatalf("round trip: %v vs %v", got, row)
+			}
+		}
+	}
+}
+
+func TestDecodeKeyRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		row := make([]term.Term, int(n)%6)
+		for i := range row {
+			switch r.Intn(3) {
+			case 0:
+				b := make([]byte, r.Intn(8))
+				for j := range b {
+					b[j] = byte('a' + r.Intn(26))
+				}
+				row[i] = term.NewSym(string(b))
+			case 1:
+				row[i] = term.NewInt(r.Int63() - r.Int63())
+			default:
+				b := make([]byte, r.Intn(12))
+				r.Read(b)
+				row[i] = term.NewStr(string(b))
+			}
+		}
+		got, err := term.DecodeKey(term.KeyOf(row))
+		if err != nil || len(got) != len(row) {
+			return false
+		}
+		for i := range row {
+			if !got[i].Equal(row[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	for _, bad := range []string{"x", "s", "s5", "s5:ab", "sx:abc", "i", "i-", "q2:a"} {
+		if _, err := term.DecodeKey(bad); err == nil {
+			t.Errorf("DecodeKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap, _ := tmpPaths(t)
+	d := New()
+	d.Insert("p", row("a"))
+	d.Insert("p", row("b"))
+	d.Insert("q", []term.Term{term.NewInt(3), term.NewStr("x y")})
+	d.Insert("flag", nil)
+	if err := WriteSnapshot(d, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatalf("snapshot round trip differs:\n%s\nvs\n%s", got, d)
+	}
+	if got.Fingerprint() != d.Fingerprint() {
+		t.Fatal("fingerprints differ after reload")
+	}
+}
+
+func TestReadSnapshotBadMagic(t *testing.T) {
+	snap, _ := tmpPaths(t)
+	if err := os.WriteFile(snap, []byte("NOTASNAP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(snap); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	_, wal := tmpPaths(t)
+	w, err := OpenWAL(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []struct {
+		insert bool
+		pred   string
+		row    []term.Term
+	}{
+		{true, "p", row("a")},
+		{true, "p", row("b")},
+		{false, "p", row("a")},
+		{true, "q", []term.Term{term.NewInt(1), term.NewInt(2)}},
+	}
+	for _, op := range ops {
+		if err := w.Append(op.insert, op.pred, len(op.row), term.KeyOf(op.row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	n, err := ReplayWAL(d, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d records, want 4", n)
+	}
+	if d.Contains("p", row("a")) || !d.Contains("p", row("b")) || !d.Contains("q", []term.Term{term.NewInt(1), term.NewInt(2)}) {
+		t.Fatalf("replayed state wrong:\n%s", d)
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	_, wal := tmpPaths(t)
+	w, err := OpenWAL(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(true, "p", 1, term.KeyOf([]term.Term{term.NewInt(int64(i))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at every possible length: replay must never error and must
+	// apply a prefix of the records.
+	prev := -1
+	for cut := len(full); cut >= len("TDWAL1\n"); cut-- {
+		if err := os.WriteFile(wal, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := New()
+		n, err := ReplayWAL(d, wal)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if n > 5 || (prev >= 0 && n > prev) {
+			t.Fatalf("cut=%d: applied %d records (prev %d)", cut, n, prev)
+		}
+		prev = n
+		// Applied records must be exactly the first n inserts.
+		for i := 0; i < 5; i++ {
+			want := i < n
+			if d.Contains("p", []term.Term{term.NewInt(int64(i))}) != want {
+				t.Fatalf("cut=%d: tuple %d presence != %v", cut, i, want)
+			}
+		}
+	}
+}
+
+func TestWALCorruptMiddleStopsReplay(t *testing.T) {
+	_, wal := tmpPaths(t)
+	w, _ := OpenWAL(wal)
+	for i := 0; i < 3; i++ {
+		w.Append(true, "p", 1, term.KeyOf([]term.Term{term.NewInt(int64(i))}))
+	}
+	w.Close()
+	data, _ := os.ReadFile(wal)
+	// Flip a byte in the middle record's payload.
+	data[len("TDWAL1\n")+15] ^= 0xFF
+	os.WriteFile(wal, data, 0o644)
+	d := New()
+	n, err := ReplayWAL(d, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 3 {
+		t.Fatalf("replay did not stop at corruption: %d records", n)
+	}
+}
+
+func TestStoreRecovery(t *testing.T) {
+	snap, wal := tmpPaths(t)
+
+	// Session 1: build some state, checkpoint, add more, close.
+	s, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert("acct", []term.Term{term.NewSym("alice"), term.NewInt(100)})
+	s.Insert("acct", []term.Term{term.NewSym("bob"), term.NewInt(50)})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("acct", []term.Term{term.NewSym("alice"), term.NewInt(100)})
+	s.Insert("acct", []term.Term{term.NewSym("alice"), term.NewInt(70)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.DB.Clone()
+
+	// Session 2: recover = snapshot + WAL replay.
+	s2, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.DB.Equal(want) {
+		t.Fatalf("recovered state differs:\n%s\nwant:\n%s", s2.DB, want)
+	}
+}
+
+func TestStoreNoOpsNotLogged(t *testing.T) {
+	snap, wal := tmpPaths(t)
+	s, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	changed, err := s.Insert("p", row("a"))
+	if err != nil || !changed {
+		t.Fatal(err)
+	}
+	size1 := s.wal.Size()
+	changed, err = s.Insert("p", row("a")) // duplicate
+	if err != nil || changed {
+		t.Fatal("duplicate insert reported change")
+	}
+	if s.wal.Size() != size1 {
+		t.Fatal("no-op insert was logged")
+	}
+	changed, err = s.Delete("q", row("zzz")) // absent
+	if err != nil || changed {
+		t.Fatal("absent delete reported change")
+	}
+	if s.wal.Size() != size1 {
+		t.Fatal("no-op delete was logged")
+	}
+}
+
+func TestStoreCheckpointTruncatesWAL(t *testing.T) {
+	snap, wal := tmpPaths(t)
+	s, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.wal.Size() != int64(len("TDWAL1\n")) {
+		t.Fatalf("WAL size after checkpoint = %d", s.wal.Size())
+	}
+	s.Close()
+	s2, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.DB.Size() != 100 {
+		t.Fatalf("recovered %d tuples, want 100", s2.DB.Size())
+	}
+}
+
+// Property: random operation sequences with a checkpoint at a random point
+// always recover to the reference state.
+func TestStoreRandomRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "tdstore")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		snap := filepath.Join(dir, "s")
+		wal := filepath.Join(dir, "w")
+		s, err := OpenStore(snap, wal)
+		if err != nil {
+			return false
+		}
+		ref := New()
+		nOps := 30 + r.Intn(40)
+		ckAt := r.Intn(nOps)
+		for i := 0; i < nOps; i++ {
+			v := []term.Term{term.NewInt(int64(r.Intn(10)))}
+			if r.Intn(2) == 0 {
+				s.Insert("p", v)
+				ref.Insert("p", v)
+			} else {
+				s.Delete("p", v)
+				ref.Delete("p", v)
+			}
+			if i == ckAt {
+				if err := s.Checkpoint(); err != nil {
+					return false
+				}
+			}
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		s2, err := OpenStore(snap, wal)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		return s2.DB.Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

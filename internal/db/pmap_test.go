@@ -1,0 +1,183 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func TestFrozenBasics(t *testing.T) {
+	var f FrozenDB // zero value: empty
+	if f.Size() != 0 || f.Contains("p", row("a")) {
+		t.Fatal("zero FrozenDB not empty")
+	}
+	f1 := f.Insert("p", row("a"))
+	if f1.Size() != 1 || !f1.Contains("p", row("a")) {
+		t.Fatal("insert missing")
+	}
+	if f.Size() != 0 || f.Contains("p", row("a")) {
+		t.Fatal("parent version mutated")
+	}
+	f2 := f1.Insert("p", row("a")) // set semantics
+	if f2.Size() != 1 {
+		t.Fatal("duplicate insert changed size")
+	}
+	f3 := f1.Delete("p", row("a"))
+	if f3.Size() != 0 || f3.Contains("p", row("a")) {
+		t.Fatal("delete failed")
+	}
+	if !f1.Contains("p", row("a")) {
+		t.Fatal("delete mutated parent version")
+	}
+	f4 := f3.Delete("p", row("a"))
+	if f4.Size() != 0 {
+		t.Fatal("absent delete changed size")
+	}
+}
+
+func TestFrozenVersionsDiverge(t *testing.T) {
+	base := FrozenDB{}
+	for i := 0; i < 100; i++ {
+		base = base.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	// Two children diverge from the same parent; the parent and each
+	// sibling stay intact.
+	a := base.Insert("p", []term.Term{term.NewInt(1000)})
+	b := base.Delete("p", []term.Term{term.NewInt(50)})
+	if base.Size() != 100 || a.Size() != 101 || b.Size() != 99 {
+		t.Fatalf("sizes: base=%d a=%d b=%d", base.Size(), a.Size(), b.Size())
+	}
+	if !a.Contains("p", []term.Term{term.NewInt(50)}) {
+		t.Fatal("sibling a affected by b's delete")
+	}
+	if b.Contains("p", []term.Term{term.NewInt(1000)}) {
+		t.Fatal("sibling b affected by a's insert")
+	}
+}
+
+func TestFrozenAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fz := FrozenDB{}
+		ref := map[string]bool{}
+		for i := 0; i < 300; i++ {
+			v := []term.Term{term.NewInt(int64(r.Intn(40))), term.NewSym(fmt.Sprintf("s%d", r.Intn(3)))}
+			key := term.KeyOf(v)
+			if r.Intn(2) == 0 {
+				fz = fz.Insert("p", v)
+				ref[key] = true
+			} else {
+				fz = fz.Delete("p", v)
+				delete(ref, key)
+			}
+			if fz.Size() != len(ref) {
+				return false
+			}
+		}
+		// Final membership agreement.
+		for i := 0; i < 40; i++ {
+			for j := 0; j < 3; j++ {
+				v := []term.Term{term.NewInt(int64(i)), term.NewSym(fmt.Sprintf("s%d", j))}
+				if fz.Contains("p", v) != ref[term.KeyOf(v)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreezeThawRoundTrip(t *testing.T) {
+	d := New()
+	d.Insert("p", row("a"))
+	d.Insert("p", row("b", "c"))
+	d.Insert("q", []term.Term{term.NewInt(7)})
+	fz := FreezeDB(d)
+	if fz.Size() != 3 || fz.Fingerprint() != d.Fingerprint() {
+		t.Fatalf("freeze mismatch: size=%d", fz.Size())
+	}
+	back := fz.Thaw()
+	if !back.Equal(d) {
+		t.Fatalf("thaw differs:\n%s\nvs\n%s", back, d)
+	}
+}
+
+func TestFrozenFingerprintMatchesMutable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fz := FrozenDB{}
+		d := New()
+		for i := 0; i < 150; i++ {
+			v := []term.Term{term.NewInt(int64(r.Intn(25)))}
+			if r.Intn(2) == 0 {
+				fz = fz.Insert("p", v)
+				d.Insert("p", v)
+			} else {
+				fz = fz.Delete("p", v)
+				d.Delete("p", v)
+			}
+		}
+		return fz.Fingerprint() == d.Fingerprint() && fz.Size() == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrozenCount(t *testing.T) {
+	fz := FrozenDB{}
+	for i := 0; i < 10; i++ {
+		fz = fz.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	fz = fz.Insert("q", row("x"))
+	if fz.Count("p", 1) != 10 || fz.Count("q", 1) != 1 || fz.Count("zz", 1) != 0 {
+		t.Fatalf("counts: p=%d q=%d", fz.Count("p", 1), fz.Count("q", 1))
+	}
+}
+
+func TestFrozenManyKeysDeepTrie(t *testing.T) {
+	// Enough keys to force several trie levels; verify all present and
+	// deletable.
+	fz := FrozenDB{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		fz = fz.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	if fz.Size() != n {
+		t.Fatalf("size = %d", fz.Size())
+	}
+	for i := 0; i < n; i += 97 {
+		if !fz.Contains("p", []term.Term{term.NewInt(int64(i))}) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fz = fz.Delete("p", []term.Term{term.NewInt(int64(i))})
+	}
+	if fz.Size() != 0 {
+		t.Fatalf("size after full delete = %d", fz.Size())
+	}
+}
+
+func BenchmarkFrozenForkUpdate(b *testing.B) {
+	fz := FrozenDB{}
+	for i := 0; i < 10000; i++ {
+		fz = fz.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	tmp := []term.Term{term.NewSym("x")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fork + 3 updates + drop: the A2 branching pattern.
+		child := fz.Insert("tmp", tmp)
+		child = child.Insert("tmp2", tmp)
+		child = child.Delete("tmp", tmp)
+		_ = child
+	}
+}

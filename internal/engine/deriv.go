@@ -1,0 +1,495 @@
+package engine
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/term"
+)
+
+// deriv holds the mutable state of one search.
+type deriv struct {
+	e   *Engine
+	d   *db.DB
+	env *term.Env
+	ren *term.Renamer
+	err error
+
+	steps    int64
+	maxDepth int
+
+	// depthLimit, when > 0, prunes paths longer than the limit instead of
+	// aborting (iterative deepening); cutoffs counts prunings, so callers
+	// (and the tabling guard) can tell whether a deeper iteration could
+	// find more.
+	depthLimit int
+	cutoffs    int64
+
+	// path holds canonical configuration keys along the current derivation
+	// path (for the cycle check); failed memoizes exhaustively explored
+	// configurations with no reachable success (tabling).
+	path   map[string]bool
+	failed map[string]bool
+
+	tableHits int64
+	loopHits  int64
+
+	trace []TraceEntry
+
+	// keyBuf and keyVars are scratch space for configKey, reused across
+	// calls (the canonicalization is the search's hottest allocation site).
+	keyBuf  []byte
+	keyVars map[int64]int
+
+	// shared, when non-nil, is an aggregate step counter for parallel
+	// search: the budget is enforced against it rather than local steps.
+	shared *atomic.Int64
+	// frontier, when non-nil, receives each configuration pruned by the
+	// iterative-deepening cutoff — ProvePar's successor collector.
+	frontier func(ast.Goal)
+}
+
+func newDeriv(e *Engine, d *db.DB) *deriv {
+	dv := &deriv{e: e, d: d, env: term.NewEnv(), ren: term.NewRenamer(e.prog.VarHigh + 1_000_000)}
+	if e.opts.LoopCheck {
+		dv.path = make(map[string]bool)
+	}
+	if e.opts.Table {
+		dv.failed = make(map[string]bool)
+	}
+	return dv
+}
+
+func (dv *deriv) stats() Stats {
+	return Stats{
+		Steps:     dv.steps,
+		MaxDepth:  dv.maxDepth,
+		TableHits: dv.tableHits,
+		LoopHits:  dv.loopHits,
+		TableSize: len(dv.failed),
+	}
+}
+
+// explore runs the whole process tree g to completion, invoking emit at
+// every distinct successful execution with the database and environment
+// reflecting that execution. It returns false iff emit stopped the search
+// (in which case the current state is preserved); otherwise the state is
+// fully rolled back and true is returned.
+func (dv *deriv) explore(g ast.Goal, depth int, emit func() bool) bool {
+	if dv.err != nil {
+		return false
+	}
+	if depth > dv.maxDepth {
+		dv.maxDepth = depth
+	}
+	if dv.depthLimit > 0 && depth > dv.depthLimit {
+		// Iterative-deepening cutoff: prune this path; a deeper iteration
+		// will revisit it. Not a failure for tabling purposes.
+		dv.cutoffs++
+		if dv.frontier != nil {
+			dv.frontier(g)
+		}
+		return true
+	}
+	if depth > dv.e.opts.MaxDepth {
+		dv.err = ErrDepth
+		return false
+	}
+	if _, done := g.(ast.True); done {
+		return emit()
+	}
+
+	var key string
+	usingKey := dv.path != nil || dv.failed != nil
+	if usingKey {
+		key = dv.configKey(g)
+		if dv.failed != nil && dv.failed[key] {
+			dv.tableHits++
+			return true
+		}
+		if dv.path != nil {
+			if dv.path[key] {
+				dv.loopHits++
+				return true
+			}
+			dv.path[key] = true
+			defer delete(dv.path, key)
+		}
+	}
+
+	emitted := false
+	wrapped := func() bool {
+		emitted = true
+		// This configuration's completion subproblem is RESOLVED at the
+		// moment the continuation runs: remove its key from the path so a
+		// later, independent occurrence of the same configuration (e.g.
+		// the body of a second identical iso block) is not mistaken for a
+		// cycle. Re-add it afterwards — backtracking resumes underneath.
+		if dv.path != nil {
+			delete(dv.path, key)
+		}
+		r := emit()
+		if dv.path != nil {
+			dv.path[key] = true
+		}
+		return r
+	}
+	cutBefore := dv.cutoffs
+	cont := dv.step(g, func(res ast.Goal) ast.Goal { return res }, depth, wrapped)
+	// Memoize failure only for subtrees explored exhaustively: no success
+	// below, no error, and no iterative-deepening cutoff (a deeper
+	// iteration could still succeed from this configuration).
+	if cont && !emitted && dv.failed != nil && dv.err == nil && dv.cutoffs == cutBefore {
+		dv.failed[key] = true
+	}
+	return cont
+}
+
+// step enumerates the single-step successors of subgoal g. rebuild maps the
+// residual of g to the whole-tree residual; k explores each successor.
+// Like explore, step returns false iff the search was cut, preserving state.
+func (dv *deriv) step(g ast.Goal, rebuild func(ast.Goal) ast.Goal, depth int, emit func() bool) bool {
+	if dv.err != nil {
+		return false
+	}
+	switch g := g.(type) {
+	case ast.True:
+		return true // no transitions out of a finished component
+
+	case *ast.Lit:
+		return dv.stepLit(g, rebuild, depth, emit)
+
+	case *ast.Empty:
+		if !dv.budget() {
+			return false
+		}
+		if !dv.d.IsEmpty(g.Pred) {
+			return true
+		}
+		dv.pushTrace(TraceEntry{Op: TraceEmpty, Atom: term.Atom{Pred: g.Pred}})
+		cont := dv.explore(rebuild(ast.True{}), depth+1, emit)
+		dv.popTrace(cont)
+		return cont
+
+	case *ast.Builtin:
+		if !dv.budget() {
+			return false
+		}
+		envMark := dv.env.Mark()
+		ok, err := ast.EvalBuiltin(g, dv.env)
+		if err != nil {
+			dv.err = &RuntimeError{Goal: g.String(), Msg: err.Error()}
+			return false
+		}
+		if !ok {
+			dv.env.Undo(envMark)
+			return true
+		}
+		dv.pushTrace(TraceEntry{Op: TraceBuiltin, Atom: dv.env.ResolveAtom(term.Atom{Pred: g.Name, Args: g.Args})})
+		cont := dv.explore(rebuild(ast.True{}), depth+1, emit)
+		dv.popTrace(cont)
+		if cont {
+			dv.env.Undo(envMark)
+		}
+		return cont
+
+	case *ast.Seq:
+		rest := g.Goals[1:]
+		return dv.step(g.Goals[0], func(res ast.Goal) ast.Goal {
+			goals := make([]ast.Goal, 0, len(rest)+1)
+			goals = append(goals, res)
+			goals = append(goals, rest...)
+			return rebuild(ast.NewSeq(goals...))
+		}, depth, emit)
+
+	case *ast.Conc:
+		for i := range g.Goals {
+			i := i
+			cont := dv.step(g.Goals[i], func(res ast.Goal) ast.Goal {
+				goals := make([]ast.Goal, len(g.Goals))
+				copy(goals, g.Goals)
+				goals[i] = res
+				return rebuild(ast.NewConc(goals...))
+			}, depth, emit)
+			if !cont {
+				return false
+			}
+		}
+		return true
+
+	case *ast.Iso:
+		// Isolation: run the body to completion as one macro-step. Every
+		// complete execution of the body is one alternative for the step.
+		if !dv.budget() {
+			return false
+		}
+		if dv.frontier != nil {
+			// Successor-collector mode (ProvePar): the body is ONE step, so
+			// it runs without the depth limit; only the post-iso residual is
+			// a frontier configuration.
+			savedLimit := dv.depthLimit
+			dv.depthLimit = 0
+			cont := dv.explore(g.Body, depth+1, func() bool {
+				dv.depthLimit = savedLimit
+				r := dv.explore(rebuild(ast.True{}), depth+1, emit)
+				dv.depthLimit = 0
+				return r
+			})
+			dv.depthLimit = savedLimit
+			return cont
+		}
+		return dv.explore(g.Body, depth+1, func() bool {
+			return dv.explore(rebuild(ast.True{}), depth+1, emit)
+		})
+
+	default:
+		dv.err = &RuntimeError{Goal: g.String(), Msg: "unknown goal node"}
+		return false
+	}
+}
+
+// stepLit handles the atom-bearing goals: queries, updates, and calls.
+func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int, emit func() bool) bool {
+	switch g.Op {
+	case ast.OpQuery:
+		if !dv.budget() {
+			return false
+		}
+		return dv.d.Scan(g.Atom.Pred, g.Atom.Args, dv.env, func() bool {
+			dv.pushTrace(TraceEntry{Op: TraceQuery, Atom: dv.env.ResolveAtom(g.Atom)})
+			cont := dv.explore(rebuild(ast.True{}), depth+1, emit)
+			dv.popTrace(cont)
+			return cont
+		})
+
+	case ast.OpIns, ast.OpDel:
+		if !dv.budget() {
+			return false
+		}
+		atom := dv.env.ResolveAtom(g.Atom)
+		if !atom.IsGround() {
+			dv.err = &RuntimeError{Goal: g.String(), Msg: "update with unbound variable (unsafe program)"}
+			return false
+		}
+		dbMark := dv.d.Mark()
+		var op TraceOp
+		if g.Op == ast.OpIns {
+			dv.d.Insert(atom.Pred, atom.Args)
+			op = TraceIns
+		} else {
+			dv.d.Delete(atom.Pred, atom.Args)
+			op = TraceDel
+		}
+		dv.pushTrace(TraceEntry{Op: op, Atom: atom})
+		if w := dv.e.opts.Watch; w != nil {
+			if werr := w(dv.d); werr != nil {
+				dv.err = &WatchViolation{Cause: werr, Trace: append([]TraceEntry(nil), dv.trace...)}
+				return false
+			}
+		}
+		cont := dv.explore(rebuild(ast.True{}), depth+1, emit)
+		dv.popTrace(cont)
+		if cont {
+			dv.d.Undo(dbMark)
+		}
+		return cont
+
+	case ast.OpCall:
+		rules := dv.e.prog.RulesFor(g.Atom.Pred, len(g.Atom.Args))
+		if len(rules) == 0 {
+			// Unknown predicate: no rules and not a base relation — treat as
+			// a query against an empty relation (fails), matching Datalog
+			// convention.
+			return true
+		}
+		for _, r := range rules {
+			if !dv.budget() {
+				return false
+			}
+			rn := dv.ren.NewRenaming()
+			head := rn.Atom(r.Head)
+			envMark := dv.env.Mark()
+			if !dv.env.UnifyAtoms(head, g.Atom) {
+				dv.env.Undo(envMark)
+				continue
+			}
+			body := ast.Rename(r.Body, rn)
+			dv.pushTrace(TraceEntry{Op: TraceCall, Atom: dv.env.ResolveAtom(g.Atom)})
+			cont := dv.explore(rebuild(body), depth+1, emit)
+			dv.popTrace(cont)
+			if !cont {
+				return false
+			}
+			dv.env.Undo(envMark)
+		}
+		return true
+	}
+	dv.err = &RuntimeError{Goal: g.String(), Msg: "unexpected literal op"}
+	return false
+}
+
+// budget consumes one step from the budget; false means the search must
+// abort (dv.err set). Under parallel search the budget is the shared
+// aggregate across workers.
+func (dv *deriv) budget() bool {
+	dv.steps++
+	if dv.shared != nil {
+		if dv.shared.Add(1) > dv.e.opts.MaxSteps {
+			dv.err = ErrBudget
+			return false
+		}
+		return true
+	}
+	if dv.steps > dv.e.opts.MaxSteps {
+		dv.err = ErrBudget
+		return false
+	}
+	return true
+}
+
+func (dv *deriv) pushTrace(t TraceEntry) {
+	if dv.e.opts.Trace {
+		dv.trace = append(dv.trace, t)
+	}
+}
+
+// popTrace removes the last trace entry when the branch is being undone
+// (cont == true means we are backtracking past it).
+func (dv *deriv) popTrace(cont bool) {
+	if dv.e.opts.Trace && cont {
+		dv.trace = dv.trace[:len(dv.trace)-1]
+	}
+}
+
+// configKey serializes the configuration (g under the current env, plus the
+// database fingerprint) into a canonical string. Free variables are numbered
+// by first occurrence, so α-equivalent configurations share keys; branches
+// of a concurrent composition are sorted, exploiting commutativity of | to
+// merge symmetric states. The scratch buffer and numbering map are reused
+// across calls — this is the search's hottest allocation site.
+func (dv *deriv) configKey(g ast.Goal) string {
+	buf := dv.keyBuf[:0]
+	if dv.keyVars == nil {
+		dv.keyVars = make(map[int64]int, 16)
+	} else {
+		clear(dv.keyVars)
+	}
+	buf = dv.writeCanon(buf, g, dv.keyVars)
+	fp := dv.d.Fingerprint()
+	buf = append(buf, '#')
+	buf = strconv.AppendUint(buf, fp[0], 16)
+	buf = append(buf, ':')
+	buf = strconv.AppendUint(buf, fp[1], 16)
+	dv.keyBuf = buf
+	return string(buf)
+}
+
+func (dv *deriv) writeCanon(buf []byte, g ast.Goal, vars map[int64]int) []byte {
+	switch g := g.(type) {
+	case ast.True:
+		buf = append(buf, 'T')
+	case *ast.Lit:
+		switch g.Op {
+		case ast.OpQuery:
+			buf = append(buf, 'q', ':')
+		case ast.OpIns:
+			buf = append(buf, 'i', ':')
+		case ast.OpDel:
+			buf = append(buf, 'd', ':')
+		default:
+			buf = append(buf, 'c', ':')
+		}
+		buf = dv.writeCanonAtom(buf, g.Atom, vars)
+	case *ast.Empty:
+		buf = append(buf, 'e', ':')
+		buf = append(buf, g.Pred...)
+	case *ast.Builtin:
+		buf = append(buf, 'b', ':')
+		buf = dv.writeCanonAtom(buf, term.Atom{Pred: g.Name, Args: g.Args}, vars)
+	case *ast.Seq:
+		buf = append(buf, 'S', '(')
+		for i, sub := range g.Goals {
+			if i > 0 {
+				buf = append(buf, ';')
+			}
+			buf = dv.writeCanon(buf, sub, vars)
+		}
+		buf = append(buf, ')')
+	case *ast.Conc:
+		// Sort branch serializations: | is commutative. Branch-local
+		// variable numbering would break cross-branch sharing, so branches
+		// are serialized with the shared numbering first, then sorted.
+		parts := make([]string, len(g.Goals))
+		for i, sub := range g.Goals {
+			parts[i] = string(dv.writeCanon(nil, sub, vars))
+		}
+		sortStrings(parts)
+		buf = append(buf, 'C', '(')
+		for i, p := range parts {
+			if i > 0 {
+				buf = append(buf, '&')
+			}
+			buf = append(buf, p...)
+		}
+		buf = append(buf, ')')
+	case *ast.Iso:
+		buf = append(buf, 'I', '(')
+		buf = dv.writeCanon(buf, g.Body, vars)
+		buf = append(buf, ')')
+	}
+	return buf
+}
+
+func (dv *deriv) writeCanonAtom(buf []byte, a term.Atom, vars map[int64]int) []byte {
+	buf = append(buf, a.Pred...)
+	buf = append(buf, '(')
+	for i, t := range a.Args {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		w := dv.env.Walk(t)
+		if w.IsVar() {
+			n, ok := vars[w.VarID()]
+			if !ok {
+				n = len(vars)
+				vars[w.VarID()] = n
+			}
+			buf = append(buf, '_')
+			buf = strconv.AppendInt(buf, int64(n), 10)
+		} else {
+			switch w.Kind() {
+			case term.Sym:
+				// Length-prefixed: API-constructed symbol names may contain
+				// arbitrary bytes, and must never collide with key
+				// structure characters.
+				name := w.SymName()
+				buf = append(buf, 's')
+				buf = strconv.AppendInt(buf, int64(len(name)), 10)
+				buf = append(buf, ':')
+				buf = append(buf, name...)
+			case term.Int:
+				buf = append(buf, 'n')
+				buf = strconv.AppendInt(buf, w.IntVal(), 10)
+			case term.Str:
+				buf = append(buf, 'x')
+				buf = strconv.AppendQuote(buf, w.StrVal())
+			default:
+				buf = append(buf, w.String()...)
+			}
+		}
+	}
+	buf = append(buf, ')')
+	return buf
+}
+
+func sortStrings(ss []string) {
+	// Insertion sort: branch counts are small, avoids pulling in sort for a
+	// hot path with tiny inputs.
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

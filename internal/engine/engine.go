@@ -1,0 +1,356 @@
+// Package engine implements the proof-theoretic interpreter of Transaction
+// Datalog: executional entailment P, D0 ⇒ Dn ⊨ φ, decided by depth-first
+// search over the small-step transition system of the paper's Appendix C.
+//
+// A configuration is a pair (G, D): a residual process tree G and a current
+// database D. Transitions:
+//
+//   - a query literal p(t̄) steps by unifying with a stored tuple (one branch
+//     per tuple);
+//   - ins.p(c̄) / del.p(c̄) step by updating D (they must be ground when they
+//     execute — the run-time face of the paper's safety condition);
+//   - empty.p steps iff relation p is empty;
+//   - a call of a derived predicate steps by replacing itself with a freshly
+//     renamed rule body whose head unifies (one branch per rule);
+//   - in a sequential composition only the leftmost component may step;
+//   - in a concurrent composition any component may step — this interleaving
+//     is what lets concurrent processes communicate through the database;
+//   - an isolated goal iso(G) executes G to completion as one macro-step, so
+//     siblings never observe its intermediate states (the ⊙ modality).
+//
+// φ succeeds when the process tree is fully consumed. The engine explores
+// branches depth-first with O(1) snapshot / O(changes) rollback on both the
+// database and the binding environment, and optionally prunes the search
+// with a path-cycle check and a failed-configuration table (tabling). Both
+// prunings are sound and preserve the answer set; see the package's tests.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/term"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// MaxSteps bounds the total number of transition attempts across the
+	// whole search (0 means DefaultMaxSteps). Exceeding it aborts with
+	// ErrBudget.
+	MaxSteps int64
+	// MaxDepth bounds the length of a single derivation path (0 means
+	// DefaultMaxDepth). Exceeding it aborts with ErrDepth.
+	MaxDepth int
+	// LoopCheck prunes branches that revisit a configuration already on the
+	// current derivation path. Sound and answer-preserving; required for
+	// termination on programs whose recursion does not change the database.
+	LoopCheck bool
+	// Table memoizes configurations from which exhaustive search found no
+	// success, pruning re-exploration across branches. Sound; this is the
+	// "tabling" the paper points to for restricted fragments (ablation A1).
+	Table bool
+	// Trace records the witness execution path (elementary operations in
+	// order) for a successful proof.
+	Trace bool
+	// Watch, when non-nil, is invoked after every database-changing step,
+	// on every explored execution path. Returning a non-nil error aborts
+	// the search with a *WatchViolation that carries the trace of the
+	// offending path (enable Trace to populate it). The verification
+	// package uses this to check invariants over ALL reachable states.
+	Watch func(d *db.DB) error
+}
+
+// Default limits.
+const (
+	DefaultMaxSteps = int64(50_000_000)
+	DefaultMaxDepth = 400_000
+)
+
+// Sentinel errors. Budget and depth exhaustion are errors, not failures:
+// the search was truncated, so "no" cannot be trusted.
+var (
+	ErrBudget = errors.New("engine: step budget exhausted")
+	ErrDepth  = errors.New("engine: derivation depth limit exceeded")
+)
+
+// RuntimeError reports an execution fault (unbound update, bad builtin
+// call). These abort the search: they indicate program bugs that the static
+// safety check (ast.CheckSafety) approximates.
+type RuntimeError struct {
+	Goal string
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("engine: runtime error at %s: %s", e.Goal, e.Msg)
+}
+
+// WatchViolation is returned when Options.Watch rejected a reachable
+// database state. Trace holds the execution prefix that produced the state
+// (populated when Options.Trace is on).
+type WatchViolation struct {
+	Cause error
+	Trace []TraceEntry
+}
+
+func (w *WatchViolation) Error() string {
+	return fmt.Sprintf("engine: watch violation: %v", w.Cause)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (w *WatchViolation) Unwrap() error { return w.Cause }
+
+// TraceOp is the kind of an executed elementary operation.
+type TraceOp uint8
+
+// Trace operation kinds.
+const (
+	TraceQuery TraceOp = iota
+	TraceIns
+	TraceDel
+	TraceEmpty
+	TraceCall
+	TraceBuiltin
+)
+
+func (op TraceOp) String() string {
+	switch op {
+	case TraceQuery:
+		return "query"
+	case TraceIns:
+		return "ins"
+	case TraceDel:
+		return "del"
+	case TraceEmpty:
+		return "empty"
+	case TraceCall:
+		return "call"
+	case TraceBuiltin:
+		return "builtin"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// TraceEntry is one executed operation on the witness path.
+type TraceEntry struct {
+	Op   TraceOp
+	Atom term.Atom // resolved at execution time
+}
+
+func (t TraceEntry) String() string {
+	switch t.Op {
+	case TraceIns:
+		return "ins." + t.Atom.String()
+	case TraceDel:
+		return "del." + t.Atom.String()
+	case TraceEmpty:
+		return "empty." + t.Atom.Pred
+	default:
+		return t.Atom.String()
+	}
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Steps     int64 // transition attempts
+	MaxDepth  int   // deepest derivation path reached
+	TableHits int64 // prunings due to the failure table
+	LoopHits  int64 // prunings due to the path-cycle check
+	TableSize int   // entries in the failure table at the end
+	Successes int64 // number of successful executions emitted
+	Truncated bool  // true when budget/depth aborted the search
+}
+
+// Result is the outcome of Prove.
+type Result struct {
+	// Success reports whether some execution of the goal commits.
+	Success bool
+	// Bindings maps the goal's named free variables to their witness values
+	// (only for successful proofs; variables left unbound are omitted).
+	Bindings map[string]term.Term
+	// Trace is the witness execution path (only when Options.Trace).
+	Trace []TraceEntry
+	// Stats reports search effort.
+	Stats Stats
+}
+
+// Solution is one element of an answer enumeration.
+type Solution struct {
+	Bindings map[string]term.Term
+	// Final is the database state at the end of this execution.
+	Final *db.DB
+}
+
+// Engine executes TD goals against databases under a fixed program.
+// An Engine is not safe for concurrent use; create one per goroutine.
+type Engine struct {
+	prog *ast.Program
+	opts Options
+}
+
+// New returns an engine for prog. Zero-valued fields of opts take defaults:
+// LoopCheck and Table default to ON — pass explicit false to disable them
+// via the With* helpers below or by constructing Options fully.
+func New(prog *ast.Program, opts Options) *Engine {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	return &Engine{prog: prog, opts: opts}
+}
+
+// DefaultOptions are the options used by convenience constructors: pruning
+// on, tracing off.
+func DefaultOptions() Options {
+	return Options{LoopCheck: true, Table: true}
+}
+
+// NewDefault returns an engine with DefaultOptions.
+func NewDefault(prog *ast.Program) *Engine { return New(prog, DefaultOptions()) }
+
+// Program returns the engine's program.
+func (e *Engine) Program() *ast.Program { return e.prog }
+
+// Prove searches for a successful execution of goal starting from d.
+// On success, d is left in the final state of the witness execution; on
+// failure (or error) d is rolled back to its initial state.
+func (e *Engine) Prove(goal ast.Goal, d *db.DB) (*Result, error) {
+	goal, err := e.prog.ResolveGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	dv := newDeriv(e, d)
+	res := &Result{}
+	dbMark := d.Mark()
+	found := false
+	cont := dv.explore(goal, 0, func() bool {
+		found = true
+		return false // stop at first success, keeping the state
+	})
+	res.Stats = dv.stats()
+	if dv.err != nil {
+		d.Undo(dbMark)
+		res.Stats.Truncated = errors.Is(dv.err, ErrBudget) || errors.Is(dv.err, ErrDepth)
+		return res, dv.err
+	}
+	if cont || !found {
+		// Exhausted without success.
+		d.Undo(dbMark)
+		return res, nil
+	}
+	res.Success = true
+	res.Stats.Successes = 1
+	res.Bindings = bindingsOf(goal, dv.env)
+	if e.opts.Trace {
+		res.Trace = append([]TraceEntry(nil), dv.trace...)
+	}
+	d.ResetTrail()
+	return res, nil
+}
+
+// ProveID is Prove with iterative-deepening search. Plain depth-first
+// search can dive into an infinite derivation branch (full TD is
+// RE-complete — such branches exist) even when another branch succeeds at
+// small depth. ProveID explores with growing depth limits (startDepth,
+// then doubling), so it finds a successful execution whenever one exists
+// at ANY finite depth, and reports definite failure when some iteration
+// exhausts the space without cutoffs. The step budget still bounds total
+// work across iterations.
+func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, error) {
+	goal, err := e.prog.ResolveGoal(goal)
+	if err != nil {
+		return nil, err
+	}
+	if startDepth < 1 {
+		startDepth = 16
+	}
+	res := &Result{}
+	var spent int64
+	for limit := startDepth; ; limit *= 2 {
+		dv := newDeriv(e, d)
+		dv.depthLimit = limit
+		dv.steps = spent // budget is shared across iterations
+		dbMark := d.Mark()
+		found := false
+		cont := dv.explore(goal, 0, func() bool {
+			found = true
+			return false
+		})
+		spent = dv.steps
+		res.Stats = dv.stats()
+		res.Stats.Steps = spent
+		if dv.err != nil {
+			d.Undo(dbMark)
+			res.Stats.Truncated = errors.Is(dv.err, ErrBudget) || errors.Is(dv.err, ErrDepth)
+			return res, dv.err
+		}
+		if !cont && found {
+			res.Success = true
+			res.Stats.Successes = 1
+			res.Bindings = bindingsOf(goal, dv.env)
+			if e.opts.Trace {
+				res.Trace = append([]TraceEntry(nil), dv.trace...)
+			}
+			d.ResetTrail()
+			return res, nil
+		}
+		d.Undo(dbMark)
+		if dv.cutoffs == 0 {
+			// Exhausted with no cutoff: definite failure.
+			return res, nil
+		}
+		if limit > e.opts.MaxDepth {
+			res.Stats.Truncated = true
+			return res, ErrDepth
+		}
+	}
+}
+
+// Solutions enumerates executions of goal from d, up to max of them
+// (max <= 0 means all). Each solution carries the answer bindings and a
+// clone of the final database. d itself is always rolled back.
+func (e *Engine) Solutions(goal ast.Goal, d *db.DB, max int) ([]Solution, *Result, error) {
+	goal, err := e.prog.ResolveGoal(goal)
+	if err != nil {
+		return nil, nil, err
+	}
+	dv := newDeriv(e, d)
+	var sols []Solution
+	dbMark := d.Mark()
+	dv.explore(goal, 0, func() bool {
+		sols = append(sols, Solution{
+			Bindings: bindingsOf(goal, dv.env),
+			Final:    d.Clone(),
+		})
+		return max <= 0 || len(sols) < max
+	})
+	d.Undo(dbMark)
+	res := &Result{Success: len(sols) > 0}
+	res.Stats = dv.stats()
+	res.Stats.Successes = int64(len(sols))
+	if dv.err != nil {
+		res.Stats.Truncated = errors.Is(dv.err, ErrBudget) || errors.Is(dv.err, ErrDepth)
+		return sols, res, dv.err
+	}
+	return sols, res, nil
+}
+
+// bindingsOf extracts the values of goal's named free variables from env.
+func bindingsOf(goal ast.Goal, env *term.Env) map[string]term.Term {
+	out := make(map[string]term.Term)
+	for _, v := range ast.Vars(goal, nil) {
+		if v.VarName() == "_" || v.VarName() == "" {
+			continue
+		}
+		w := env.Walk(v)
+		if !w.IsVar() {
+			out[v.VarName()] = w
+		}
+	}
+	return out
+}

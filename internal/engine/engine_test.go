@@ -1,0 +1,864 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// run parses program src, builds the initial DB from its facts, and proves
+// goal, returning the result and the final database.
+func run(t *testing.T, src, goal string, opts Options) (*Result, *db.DB) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, _, err := parser.ParseGoal(goal, prog.VarHigh)
+	if err != nil {
+		t.Fatalf("parse goal: %v", err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(prog, opts)
+	res, err := e.Prove(g, d)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	return res, d
+}
+
+func defOpts() Options { return DefaultOptions() }
+
+func TestElementaryInsert(t *testing.T) {
+	res, d := run(t, ``, `ins.p(a)`, defOpts())
+	if !res.Success {
+		t.Fatal("ins.p(a) failed")
+	}
+	if !d.Contains("p", []term.Term{term.NewSym("a")}) {
+		t.Fatal("p(a) not in final DB")
+	}
+}
+
+func TestElementaryDelete(t *testing.T) {
+	res, d := run(t, `p(a).`, `del.p(a)`, defOpts())
+	if !res.Success || d.Contains("p", []term.Term{term.NewSym("a")}) {
+		t.Fatal("del.p(a) did not remove tuple")
+	}
+}
+
+func TestQueryBindsVariable(t *testing.T) {
+	res, _ := run(t, `tel(mary, 1234).`, `tel(mary, N)`, defOpts())
+	if !res.Success {
+		t.Fatal("query failed")
+	}
+	if got := res.Bindings["N"]; !got.Equal(term.NewInt(1234)) {
+		t.Fatalf("N = %v", got)
+	}
+}
+
+func TestQueryFailsOnAbsentTuple(t *testing.T) {
+	res, _ := run(t, `tel(mary, 1234).`, `tel(bob, N)`, defOpts())
+	if res.Success {
+		t.Fatal("query of absent tuple succeeded")
+	}
+}
+
+func TestFailureRollsBackDatabase(t *testing.T) {
+	// ins.q(a) executes, then p(zzz) fails; the DB must be restored.
+	res, d := run(t, `p(a).`, `ins.q(a), p(zzz)`, defOpts())
+	if res.Success {
+		t.Fatal("should fail")
+	}
+	if d.Contains("q", []term.Term{term.NewSym("a")}) {
+		t.Fatal("failed execution left q(a) behind (no rollback)")
+	}
+	if d.Size() != 1 {
+		t.Fatalf("db size = %d, want 1", d.Size())
+	}
+}
+
+func TestSequencingThreadsState(t *testing.T) {
+	// Paper §2: del.p(b) ⊗ ins.q(b) — q sees p's deletion already applied.
+	res, d := run(t, `p(b).`, `del.p(b), empty.p, ins.q(b)`, defOpts())
+	if !res.Success {
+		t.Fatal("sequence failed")
+	}
+	if d.Contains("p", []term.Term{term.NewSym("b")}) || !d.Contains("q", []term.Term{term.NewSym("b")}) {
+		t.Fatalf("final db wrong:\n%s", d)
+	}
+}
+
+func TestPreconditionPattern(t *testing.T) {
+	// The paper's fi[p(b) ⊗ del.p(b)]: succeeds iff p(b) holds initially.
+	src := `p(b).
+	        r(X) :- p(X), del.p(X).`
+	res, d := run(t, src, `r(b)`, defOpts())
+	if !res.Success || d.Contains("p", []term.Term{term.NewSym("b")}) {
+		t.Fatal("precondition transaction misbehaved")
+	}
+	res2, _ := run(t, `r(X) :- p(X), del.p(X).`, `r(b)`, defOpts())
+	if res2.Success {
+		t.Fatal("r(b) succeeded with empty p")
+	}
+}
+
+func TestRuleNondeterminism(t *testing.T) {
+	// Two rules: the first fails, the second succeeds; backtracking between
+	// rule choices must work.
+	src := `
+		t :- p(x), ins.r(first).
+		t :- q(y), ins.r(second).
+		q(y).
+	`
+	res, d := run(t, src, `t`, defOpts())
+	if !res.Success {
+		t.Fatal("t failed")
+	}
+	if !d.Contains("r", []term.Term{term.NewSym("second")}) {
+		t.Fatalf("wrong rule chosen:\n%s", d)
+	}
+}
+
+func TestTupleNondeterminism(t *testing.T) {
+	// Choosing the right tuple requires backtracking over bindings.
+	src := `
+		item(a). item(b). item(c).
+		ok(b).
+		pick :- item(X), ok(X), ins.chosen(X).
+	`
+	res, d := run(t, src, `pick`, defOpts())
+	if !res.Success || !d.Contains("chosen", []term.Term{term.NewSym("b")}) {
+		t.Fatalf("pick failed or chose wrong item:\n%s", d)
+	}
+}
+
+// --- Example 2.1 / 2.2: banking -------------------------------------------
+
+const bankSrc = `
+	account(alice, 100).
+	account(bob, 50).
+	balance(A, B) :- account(A, B).
+	change_balance(A, B1, B2) :- del.account(A, B1), ins.account(A, B2).
+	withdraw(Amt, A) :- balance(A, B), B >= Amt, sub(B, Amt, C), change_balance(A, B, C).
+	deposit(Amt, A) :- balance(A, B), add(B, Amt, C), change_balance(A, B, C).
+	transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+`
+
+func accountBal(t *testing.T, d *db.DB, who string) int64 {
+	t.Helper()
+	rows := d.Tuples("account", 2)
+	for _, r := range rows {
+		if r[0].SymName() == who {
+			return r[1].IntVal()
+		}
+	}
+	t.Fatalf("no account row for %s", who)
+	return 0
+}
+
+func TestBankTransfer(t *testing.T) {
+	res, d := run(t, bankSrc, `transfer(30, alice, bob)`, defOpts())
+	if !res.Success {
+		t.Fatal("transfer failed")
+	}
+	if a, b := accountBal(t, d, "alice"), accountBal(t, d, "bob"); a != 70 || b != 80 {
+		t.Fatalf("balances alice=%d bob=%d, want 70/80", a, b)
+	}
+}
+
+func TestBankOverdraftAborts(t *testing.T) {
+	// Example 2.2: withdraw fails (balance too small) ⇒ the whole transfer
+	// aborts and the database is unchanged (relative commit / rollback).
+	res, d := run(t, bankSrc, `transfer(200, alice, bob)`, defOpts())
+	if res.Success {
+		t.Fatal("overdraft transfer succeeded")
+	}
+	if a, b := accountBal(t, d, "alice"), accountBal(t, d, "bob"); a != 100 || b != 50 {
+		t.Fatalf("balances alice=%d bob=%d changed after aborted transfer", a, b)
+	}
+}
+
+func TestBankTransferChain(t *testing.T) {
+	res, d := run(t, bankSrc, `transfer(30, alice, bob), transfer(80, bob, alice)`, defOpts())
+	if !res.Success {
+		t.Fatal("chained transfers failed")
+	}
+	if a, b := accountBal(t, d, "alice"), accountBal(t, d, "bob"); a != 150 || b != 0 {
+		t.Fatalf("balances alice=%d bob=%d, want 150/0", a, b)
+	}
+}
+
+// --- Concurrency -----------------------------------------------------------
+
+func TestConcurrentComposition(t *testing.T) {
+	res, d := run(t, ``, `ins.a | ins.b`, defOpts())
+	if !res.Success || !d.Contains("a", nil) || !d.Contains("b", nil) {
+		t.Fatal("concurrent insertions failed")
+	}
+}
+
+func TestCommunicationThroughDatabase(t *testing.T) {
+	// One process waits for a tuple the other writes: producer ins.m(x);
+	// consumer m(X) ⊗ ins.got(X). Only interleavings where the insert
+	// precedes the read succeed.
+	src := `
+		producer :- ins.m(x).
+		consumer :- m(X), ins.got(X).
+	`
+	res, d := run(t, src, `producer | consumer`, defOpts())
+	if !res.Success {
+		t.Fatal("producer|consumer failed")
+	}
+	if !d.Contains("got", []term.Term{term.NewSym("x")}) {
+		t.Fatalf("consumer did not read producer's message:\n%s", d)
+	}
+}
+
+func TestConsumerAloneFails(t *testing.T) {
+	res, _ := run(t, `consumer :- m(X), ins.got(X).`, `consumer`, defOpts())
+	if res.Success {
+		t.Fatal("consumer succeeded without producer")
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	// Two-way synchronization: ping waits for the pong reply.
+	src := `
+		ping :- ins.req, ack, ins.done_ping.
+		pong :- req, ins.ack, ins.done_pong.
+	`
+	res, d := run(t, src, `ping | pong`, defOpts())
+	if !res.Success || !d.Contains("done_ping", nil) || !d.Contains("done_pong", nil) {
+		t.Fatalf("handshake failed:\n%s", d)
+	}
+}
+
+func TestInterleavingRequiredBothOrders(t *testing.T) {
+	// a must run before b's test, and b before a's test: only a genuinely
+	// interleaved execution (not a serial one) can succeed.
+	src := `
+		pa :- ins.sa, sb, ins.oka.
+		pb :- ins.sb, sa, ins.okb.
+	`
+	res, d := run(t, src, `pa | pb`, defOpts())
+	if !res.Success || !d.Contains("oka", nil) || !d.Contains("okb", nil) {
+		t.Fatalf("interleaved handshake failed:\n%s", d)
+	}
+	// Serial composition in either order must fail.
+	res2, _ := run(t, src, `pa, pb`, defOpts())
+	if res2.Success {
+		t.Fatal("serial pa,pb should fail")
+	}
+	res3, _ := run(t, src, `pb, pa`, defOpts())
+	if res3.Success {
+		t.Fatal("serial pb,pa should fail")
+	}
+}
+
+func TestConcurrencyAllMustSucceed(t *testing.T) {
+	res, d := run(t, ``, `ins.a | nosuch`, defOpts())
+	if res.Success {
+		t.Fatal("conjunction with failing branch succeeded")
+	}
+	if d.Contains("a", nil) {
+		t.Fatal("rollback missed after concurrent failure")
+	}
+}
+
+// --- Isolation --------------------------------------------------------------
+
+func TestIsolationBlocksInterleaving(t *testing.T) {
+	// Without iso, the flag trick succeeds (sibling sees intermediate state);
+	// with iso it must fail.
+	src := `
+		flagger :- ins.flag, del.flag.
+		spy :- flag, ins.saw.
+	`
+	res, _ := run(t, src, `flagger | spy`, defOpts())
+	if !res.Success {
+		t.Fatal("unisolated interleaving should succeed")
+	}
+	res2, _ := run(t, src, `iso(flagger) | spy`, defOpts())
+	if res2.Success {
+		t.Fatal("spy observed the inside of an isolated transaction")
+	}
+}
+
+func TestIsolationSerializesSiblings(t *testing.T) {
+	// iso(t1) | iso(t2) behaves like some serial order (paper §2).
+	src := `
+		counter(0).
+		bump :- counter(N), del.counter(N), add(N, 1, M), ins.counter(M).
+	`
+	res, d := run(t, src, `iso(bump) | iso(bump) | iso(bump)`, defOpts())
+	if !res.Success {
+		t.Fatal("isolated bumps failed")
+	}
+	if !d.Contains("counter", []term.Term{term.NewInt(3)}) {
+		t.Fatalf("lost update under isolation:\n%s", d)
+	}
+	if d.Count("counter", 1) != 1 {
+		t.Fatalf("counter relation corrupted:\n%s", d)
+	}
+}
+
+func TestUnisolatedLostUpdatePossible(t *testing.T) {
+	// Without isolation some interleaving loses an update: there exists an
+	// execution ending with counter(1) after two bumps. Use Solutions to
+	// check the reachable final states.
+	src := `
+		counter(0).
+		bump :- counter(N), del.counter(N), add(N, 1, M), ins.counter(M).
+	`
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(`bump | bump`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	e := New(prog, defOpts())
+	sols, _, err := e.Solutions(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := map[int64]bool{}
+	for _, s := range sols {
+		for _, row := range s.Final.Tuples("counter", 1) {
+			finals[row[0].IntVal()] = true
+		}
+	}
+	if !finals[2] {
+		t.Error("serializable outcome counter(2) not reachable")
+	}
+	if !finals[1] {
+		t.Error("lost-update outcome counter(1) not reachable without isolation")
+	}
+}
+
+func TestIsoBindingsEscape(t *testing.T) {
+	// Variable bindings made inside iso must be visible outside it.
+	res, _ := run(t, `p(v).`, `iso(p(X)), q(X)`, defOpts())
+	if res.Success {
+		t.Fatal("q(v) should fail (no q facts)")
+	}
+	res2, d := run(t, `p(v).`, `iso(p(X)), ins.q(X)`, defOpts())
+	if !res2.Success || !d.Contains("q", []term.Term{term.NewSym("v")}) {
+		t.Fatal("binding from inside iso not visible outside")
+	}
+}
+
+func TestNestedIsolation(t *testing.T) {
+	src := `
+		inner :- ins.x, del.x.
+		outer :- iso(inner), ins.y.
+	`
+	res, d := run(t, src, `iso(outer) | iso(outer)`, defOpts())
+	if !res.Success || !d.Contains("y", nil) {
+		t.Fatal("nested isolation failed")
+	}
+}
+
+// --- Recursion and loop check -----------------------------------------------
+
+func TestRecursionTransitiveClosure(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c). edge(c, d).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`
+	res, _ := run(t, src, `path(a, d)`, defOpts())
+	if !res.Success {
+		t.Fatal("path(a,d) failed")
+	}
+	res2, _ := run(t, src, `path(d, a)`, defOpts())
+	if res2.Success {
+		t.Fatal("path(d,a) succeeded")
+	}
+}
+
+func TestLoopCheckTerminatesOnCycles(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, a).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`
+	res, _ := run(t, src, `path(a, zzz)`, defOpts())
+	if res.Success {
+		t.Fatal("path into nowhere succeeded")
+	}
+}
+
+func TestLeftRecursionTerminates(t *testing.T) {
+	src := `
+		p :- p.
+		p :- ins.done.
+	`
+	res, d := run(t, src, `p`, defOpts())
+	if !res.Success || !d.Contains("done", nil) {
+		t.Fatal("left recursion with escape failed")
+	}
+}
+
+func TestPureLoopFails(t *testing.T) {
+	res, _ := run(t, `p :- p.`, `p`, defOpts())
+	if res.Success {
+		t.Fatal("p :- p proved p")
+	}
+}
+
+func TestRecursionWithUpdatesIteration(t *testing.T) {
+	// Sequential tail recursion as iteration: consume all work items.
+	src := `
+		todo(a). todo(b). todo(c).
+		drain :- todo(X), del.todo(X), ins.done(X), drain.
+		drain :- empty.todo.
+	`
+	res, d := run(t, src, `drain`, defOpts())
+	if !res.Success {
+		t.Fatal("drain failed")
+	}
+	if d.Count("todo", 1) != 0 || d.Count("done", 1) != 3 {
+		t.Fatalf("drain incomplete:\n%s", d)
+	}
+}
+
+func TestWithoutLoopCheckBudgetCatchesLoop(t *testing.T) {
+	prog := parser.MustParse(`p :- p.`)
+	g := parser.MustParseGoal(`p`, prog.VarHigh)
+	d := db.New()
+	e := New(prog, Options{MaxSteps: 10_000, MaxDepth: 1_000})
+	_, err := e.Prove(g, d)
+	if err == nil {
+		t.Fatal("expected budget/depth error without loop check")
+	}
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrDepth) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// --- Tabling soundness -------------------------------------------------------
+
+func TestTablingAgreesWithUntabled(t *testing.T) {
+	// A search with many shared failing subproblems must give the same
+	// answer with and without tabling.
+	src := `
+		edge(a, b). edge(b, c). edge(c, a). edge(b, d).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+	`
+	for _, goal := range []string{`reach(a, d)`, `reach(d, a)`, `reach(a, zzz)`} {
+		r1, _ := run(t, src, goal, Options{LoopCheck: true, Table: true})
+		r2, _ := run(t, src, goal, Options{LoopCheck: true, Table: false})
+		if r1.Success != r2.Success {
+			t.Fatalf("%s: tabled=%v untabled=%v", goal, r1.Success, r2.Success)
+		}
+	}
+}
+
+func TestTablingPrunesWork(t *testing.T) {
+	// Diamond-shaped failing search: tabling must reduce steps.
+	src := `
+		edge(a, b1). edge(a, b2). edge(b1, c). edge(b2, c).
+		edge(c, d1). edge(d1, c2). edge(c2, d2).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+	`
+	rt, _ := run(t, src, `reach(a, nowhere)`, Options{LoopCheck: true, Table: true})
+	ru, _ := run(t, src, `reach(a, nowhere)`, Options{LoopCheck: true, Table: false})
+	if rt.Stats.Steps >= ru.Stats.Steps {
+		t.Errorf("tabling did not prune: tabled %d steps, untabled %d", rt.Stats.Steps, ru.Stats.Steps)
+	}
+	if rt.Stats.TableHits == 0 {
+		t.Error("no table hits recorded")
+	}
+}
+
+// --- Budgets and errors -------------------------------------------------------
+
+func TestUnsafeUpdateIsRuntimeError(t *testing.T) {
+	prog := parser.MustParse(`bad :- ins.p(X).`)
+	g := parser.MustParseGoal(`bad`, prog.VarHigh)
+	e := NewDefault(prog)
+	_, err := e.Prove(g, db.New())
+	var rerr *RuntimeError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("expected RuntimeError, got %v", err)
+	}
+}
+
+func TestBuiltinErrorSurfaces(t *testing.T) {
+	prog := parser.MustParse(`bad :- X > 3.`)
+	g := parser.MustParseGoal(`bad`, prog.VarHigh)
+	e := NewDefault(prog)
+	_, err := e.Prove(g, db.New())
+	var rerr *RuntimeError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("expected RuntimeError, got %v", err)
+	}
+}
+
+func TestDBRestoredAfterError(t *testing.T) {
+	prog := parser.MustParse(`bad :- ins.q(a), ins.p(X).`)
+	g := parser.MustParseGoal(`bad`, prog.VarHigh)
+	d := db.New()
+	d.Insert("seed", []term.Term{term.NewSym("s")})
+	d.ResetTrail()
+	e := NewDefault(prog)
+	if _, err := e.Prove(g, d); err == nil {
+		t.Fatal("expected error")
+	}
+	if d.Size() != 1 || !d.Contains("seed", []term.Term{term.NewSym("s")}) {
+		t.Fatalf("db not restored after error:\n%s", d)
+	}
+}
+
+// --- Solutions ----------------------------------------------------------------
+
+func TestSolutionsEnumeratesBindings(t *testing.T) {
+	prog := parser.MustParse(`p(a). p(b). p(c).`)
+	g := parser.MustParseGoal(`p(X)`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	e := NewDefault(prog)
+	sols, res, err := e.Solutions(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 || !res.Success {
+		t.Fatalf("got %d solutions", len(sols))
+	}
+	seen := map[string]bool{}
+	for _, s := range sols {
+		seen[s.Bindings["X"].String()] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !seen[want] {
+			t.Errorf("missing binding %s", want)
+		}
+	}
+	// The source DB must be untouched.
+	if d.Size() != 3 {
+		t.Fatal("Solutions mutated input db")
+	}
+}
+
+func TestSolutionsMaxCap(t *testing.T) {
+	prog := parser.MustParse(`p(a). p(b). p(c).`)
+	g := parser.MustParseGoal(`p(X)`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	sols, _, err := NewDefault(prog).Solutions(g, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("cap ignored: %d solutions", len(sols))
+	}
+}
+
+func TestSolutionsFinalStates(t *testing.T) {
+	prog := parser.MustParse(`
+		p(a). p(b).
+		take :- p(X), del.p(X), ins.got(X).
+	`)
+	g := parser.MustParseGoal(`take`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	sols, _, err := NewDefault(prog).Solutions(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("got %d solutions, want 2", len(sols))
+	}
+	for _, s := range sols {
+		if s.Final.Count("got", 1) != 1 || s.Final.Count("p", 1) != 1 {
+			t.Fatalf("final state wrong:\n%s", s.Final)
+		}
+	}
+}
+
+// --- Traces --------------------------------------------------------------------
+
+func TestTraceRecordsWitnessPath(t *testing.T) {
+	src := `
+		t :- p(x), ins.r(first).
+		t :- q(y), ins.r(second).
+		q(y).
+	`
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(`t`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	opts := DefaultOptions()
+	opts.Trace = true
+	res, err := New(prog, opts).Prove(g, d)
+	if err != nil || !res.Success {
+		t.Fatalf("prove: %v %v", err, res)
+	}
+	// Witness path: call t, query q(y), ins r(second). The failed first
+	// rule must have been popped from the trace.
+	var ops []string
+	for _, e := range res.Trace {
+		ops = append(ops, e.String())
+	}
+	want := []string{"t", "q(y)", "ins.r(second)"}
+	if len(ops) != len(want) {
+		t.Fatalf("trace = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestNoTraceWhenDisabled(t *testing.T) {
+	res, _ := run(t, `p(a).`, `p(a)`, defOpts())
+	if res.Trace != nil {
+		t.Fatal("trace recorded with Trace=false")
+	}
+}
+
+// --- Free-variable answers through concurrency ---------------------------------
+
+func TestConcurrentBindingSharing(t *testing.T) {
+	// X is shared between concurrent branches: both must agree.
+	src := `
+		p(a). p(b).
+		q(b). q(c).
+	`
+	res, _ := run(t, src, `p(X) | q(X)`, defOpts())
+	if !res.Success {
+		t.Fatal("p(X)|q(X) failed")
+	}
+	if got := res.Bindings["X"]; !got.Equal(term.NewSym("b")) {
+		t.Fatalf("X = %v, want b", got)
+	}
+}
+
+func TestProveLeavesFailedDBUnchangedUnderConcurrency(t *testing.T) {
+	src := `
+		w1 :- ins.a, nosuch.
+		w2 :- ins.b.
+	`
+	res, d := run(t, src, `w1 | w2`, defOpts())
+	if res.Success || d.Size() != 0 {
+		t.Fatalf("failed concurrent goal left changes:\n%s", d)
+	}
+}
+
+// --- Example 3.1: workflow specification ----------------------------------------
+
+const workflowSrc = `
+	% A simple workflow over one work item W: task1, then (task2 | subflow),
+	% then task4. The subflow runs task5 then task6.
+	workflow(W) :- task1(W), (task2(W) | subflow(W)), task4(W).
+	subflow(W) :- task5(W), task6(W).
+	task1(W) :- ins.done1(W).
+	task2(W) :- done1(W), ins.done2(W).
+	task4(W) :- done2(W), done6(W), ins.done4(W).
+	task5(W) :- ins.done5(W).
+	task6(W) :- done5(W), ins.done6(W).
+`
+
+func TestExample31WorkflowSpecification(t *testing.T) {
+	res, d := run(t, workflowSrc, `workflow(item1)`, defOpts())
+	if !res.Success {
+		t.Fatal("workflow(item1) failed")
+	}
+	for _, p := range []string{"done1", "done2", "done4", "done5", "done6"} {
+		if d.Count(p, 1) != 1 {
+			t.Errorf("%s missing from history:\n%s", p, d)
+		}
+	}
+}
+
+func TestExample31OrderingEnforced(t *testing.T) {
+	// task4 requires both task2 and task6 to have completed.
+	src := workflowSrc
+	res, _ := run(t, src, `task4(w)`, defOpts())
+	if res.Success {
+		t.Fatal("task4 ran before its predecessors")
+	}
+}
+
+// --- Example 3.3: shared resources (agents) --------------------------------------
+
+const agentsSrc = `
+	agent(ann). agent(bob).
+	qualified(ann, taskA). qualified(bob, taskA). qualified(bob, taskB).
+	available(ann). available(bob).
+
+	taskA(W) :- qualified(A, taskA), available(A), del.available(A),
+	            ins.doing(A, W), del.doing(A, W), ins.didA(A, W), ins.available(A).
+	taskB(W) :- qualified(A, taskB), available(A), del.available(A),
+	            ins.doing(A, W), del.doing(A, W), ins.didB(A, W), ins.available(A).
+	job(W) :- taskA(W), taskB(W).
+`
+
+func TestExample33AgentsAssigned(t *testing.T) {
+	res, d := run(t, agentsSrc, `job(w1) | job(w2)`, defOpts())
+	if !res.Success {
+		t.Fatal("concurrent jobs failed")
+	}
+	if d.Count("didA", 2) != 2 || d.Count("didB", 2) != 2 {
+		t.Fatalf("work history wrong:\n%s", d)
+	}
+	// All agents returned to the pool.
+	if d.Count("available", 1) != 2 {
+		t.Fatalf("agents not released:\n%s", d)
+	}
+}
+
+func TestExample33OnlyQualifiedAgents(t *testing.T) {
+	res, d := run(t, agentsSrc, `job(w1)`, defOpts())
+	if !res.Success {
+		t.Fatal("job failed")
+	}
+	// taskB can only have been done by bob.
+	rows := d.Tuples("didB", 2)
+	if len(rows) != 1 || rows[0][0].SymName() != "bob" {
+		t.Fatalf("taskB done by unqualified agent:\n%s", d)
+	}
+}
+
+// --- Example 3.4: cooperating workflows -------------------------------------------
+
+func TestExample34CooperatingWorkflows(t *testing.T) {
+	// Two workflows over related parts; wf2 waits for wf1's result.
+	src := `
+		wf1(P) :- ins.measured(P, 42).
+		wf2(P) :- measured(P, V), ins.verified(P, V).
+	`
+	res, d := run(t, src, `wf1(part7) | wf2(part7)`, defOpts())
+	if !res.Success {
+		t.Fatal("cooperating workflows failed")
+	}
+	if !d.Contains("verified", []term.Term{term.NewSym("part7"), term.NewInt(42)}) {
+		t.Fatalf("verification missing:\n%s", d)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res, _ := run(t, bankSrc, `transfer(30, alice, bob)`, defOpts())
+	if res.Stats.Steps == 0 || res.Stats.MaxDepth == 0 {
+		t.Fatalf("stats empty: %+v", res.Stats)
+	}
+}
+
+func TestConcInsideIsoIsAtomic(t *testing.T) {
+	// The concurrent pair inside iso interleaves internally, but a sibling
+	// must never observe its intermediate states: spy needs flag while
+	// only (ins.flag | del.flag) inside iso could provide it.
+	src := `
+		pair :- ins.flag | del.flag.
+		spy :- flag, ins.saw.
+	`
+	// Unisolated: some interleaving lets spy observe flag.
+	res, _ := run(t, src, `pair | spy`, defOpts())
+	if !res.Success {
+		t.Fatal("unisolated pair|spy should succeed")
+	}
+	// Isolated: the pair runs atomically; spy can never see flag...
+	// unless the pair's internal interleaving ENDS with flag present.
+	// ins.flag | del.flag can end with flag present (del before ins), so
+	// spy CAN succeed after the block. Force the invisible case with a
+	// pair that always nets out to no flag:
+	src2 := `
+		pair :- ins.flag, del.flag.
+		spy :- flag, ins.saw.
+	`
+	res2, _ := run(t, src2, `iso(pair) | spy`, defOpts())
+	if res2.Success {
+		t.Fatal("spy observed inside iso(sequential pair)")
+	}
+	// And iso of the concurrent pair, choosing the order ending with flag
+	// present, lets spy succeed AFTER the block — isolation is atomicity,
+	// not invisibility of final states.
+	res3, _ := run(t, src, `iso(pair) | spy`, defOpts())
+	if !res3.Success {
+		t.Fatal("iso(concurrent pair) should still allow spy via the del-then-ins order")
+	}
+}
+
+func TestIsoUnderSolutionsEnumeratesAlternatives(t *testing.T) {
+	// The iso body has two distinct executions with different final
+	// states; Solutions must surface both.
+	src := `
+		t :- p(X), del.p(X), ins.chosen(X).
+		p(a). p(b).
+	`
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal("iso(t)", prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	sols, _, err := NewDefault(prog).Solutions(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("iso alternatives = %d, want 2", len(sols))
+	}
+}
+
+func TestThreeConcurrentSequentialProcesses(t *testing.T) {
+	// Corollary 4.6's shape in miniature: three sequential processes,
+	// concurrent only at the top, implementing a 2-phase token pass.
+	src := `
+		p1 :- ins.tok(1), tok(3), del.tok(3), ins.done1.
+		p2 :- tok(1), del.tok(1), ins.tok(2), ins.done2.
+		p3 :- tok(2), del.tok(2), ins.tok(3), ins.done3.
+	`
+	res, d := run(t, src, `p1 | p2 | p3`, defOpts())
+	if !res.Success {
+		t.Fatal("token ring failed")
+	}
+	for _, p := range []string{"done1", "done2", "done3"} {
+		if !d.Contains(p, nil) {
+			t.Fatalf("%s missing:\n%s", p, d)
+		}
+	}
+}
+
+func TestEmptyTestFailsWhenNonEmptyProver(t *testing.T) {
+	res, _ := run(t, `busy(x).`, `empty.busy`, defOpts())
+	if res.Success {
+		t.Fatal("empty test passed on non-empty relation")
+	}
+	// And considers all arities.
+	res2, _ := run(t, `busy(x, y).`, `empty.busy`, defOpts())
+	if res2.Success {
+		t.Fatal("empty test ignored other arity")
+	}
+}
+
+func TestRepeatedIsoOnUnchangedDB(t *testing.T) {
+	// Regression (found by the differential reference test): two identical
+	// iso blocks whose bodies are no-ops on the current database must both
+	// complete. The path-cycle check used to leave the first body's
+	// configuration on the path while its continuation ran, so the second
+	// body was wrongly pruned as a cycle.
+	src := `
+		r0 :- iso(ins.a), iso(ins.a).
+	`
+	res, d := run(t, src+"a.\n", `r0`, defOpts())
+	if !res.Success {
+		t.Fatal("iso(ins.a), iso(ins.a) from {a} failed")
+	}
+	if !d.Contains("a", nil) {
+		t.Fatal("final db wrong")
+	}
+	// Same shape without iso: the no-op insert twice in a row.
+	res2, _ := run(t, ``, `ins.a, ins.a, ins.a`, defOpts())
+	if !res2.Success {
+		t.Fatal("repeated no-op inserts failed")
+	}
+	// And a sequential repeat of an identical call on an unchanged db.
+	src3 := `
+		noop :- ins.a.
+		r :- noop, noop, noop.
+	`
+	res3, _ := run(t, src3+"a.\n", `r`, defOpts())
+	if !res3.Success {
+		t.Fatal("repeated no-op calls failed")
+	}
+}

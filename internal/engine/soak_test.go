@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/db"
+	"repro/internal/parser"
+)
+
+// genProgram emits a random but well-formed TD program from a small
+// grammar: base facts over a tiny domain, and rules whose bodies mix
+// queries, updates, emptiness tests, sequencing, concurrency, isolation,
+// and (possibly recursive) calls. Used to soak-test the engine for
+// crashes, rollback discipline, and pruning soundness.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	consts := []string{"a", "b", "c"}
+	basePreds := []string{"p", "q", "s"}
+	rulePreds := []string{"r0", "r1", "r2"}
+
+	// Facts.
+	for i := 0; i < 1+r.Intn(4); i++ {
+		fmt.Fprintf(&b, "%s(%s).\n", basePreds[r.Intn(len(basePreds))], consts[r.Intn(len(consts))])
+	}
+
+	var goal func(depth int, boundVar string) string
+	goal = func(depth int, boundVar string) string {
+		if depth <= 0 {
+			return fmt.Sprintf("%s(%s)", basePreds[r.Intn(len(basePreds))], consts[r.Intn(len(consts))])
+		}
+		switch r.Intn(8) {
+		case 0: // query binding X
+			return fmt.Sprintf("%s(%s)", basePreds[r.Intn(len(basePreds))], boundVar)
+		case 1:
+			return fmt.Sprintf("ins.%s(%s)", basePreds[r.Intn(len(basePreds))], consts[r.Intn(len(consts))])
+		case 2:
+			return fmt.Sprintf("del.%s(%s)", basePreds[r.Intn(len(basePreds))], consts[r.Intn(len(consts))])
+		case 3:
+			return "empty." + basePreds[r.Intn(len(basePreds))]
+		case 4:
+			return fmt.Sprintf("(%s, %s)", goal(depth-1, boundVar), goal(depth-1, boundVar))
+		case 5:
+			return fmt.Sprintf("(%s | %s)", goal(depth-1, boundVar), goal(depth-1, boundVar))
+		case 6:
+			return fmt.Sprintf("iso(%s)", goal(depth-1, boundVar))
+		default:
+			return rulePreds[r.Intn(len(rulePreds))]
+		}
+	}
+
+	// Rules: each rule predicate gets 1–2 rules. Bodies that call rule
+	// predicates may recurse; the engine's loop check and budgets must
+	// cope.
+	for _, rp := range rulePreds {
+		for i := 0; i < 1+r.Intn(2); i++ {
+			fmt.Fprintf(&b, "%s :- %s.\n", rp, goal(2, "X"))
+		}
+	}
+	return b.String()
+}
+
+// TestEngineSoakRandomPrograms: for random programs and goals, Prove must
+// never panic or corrupt state: on failure the database is bit-identical
+// to the initial one; on success rerunning the same goal from the initial
+// state is deterministic.
+func TestEngineSoakRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Logf("generator produced unparsable program: %v\n%s", err, src)
+			return false
+		}
+		goalSrc := []string{"r0", "r1", "r2", "r0 | r1", "iso(r0), r2"}[r.Intn(5)]
+		g, _, err := parser.ParseGoal(goalSrc, prog.VarHigh)
+		if err != nil {
+			return false
+		}
+		d, err := db.FromFacts(prog.Facts)
+		if err != nil {
+			return false
+		}
+		before := d.Clone()
+		opts := Options{MaxSteps: 40_000, MaxDepth: 5_000, LoopCheck: true, Table: true}
+		res, err := New(prog, opts).Prove(g, d)
+		if err != nil {
+			if errors.Is(err, ErrBudget) || errors.Is(err, ErrDepth) {
+				// Truncated searches must still restore the database.
+				return d.Equal(before)
+			}
+			var rerr *RuntimeError
+			if errors.As(err, &rerr) {
+				return d.Equal(before) // unsafe generated update: fine, but clean
+			}
+			t.Logf("seed %d: unexpected error %v\n%s", seed, err, src)
+			return false
+		}
+		if !res.Success && !d.Equal(before) {
+			t.Logf("seed %d: failed proof left changes\n%s", seed, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruningSoundnessRandom: with and without pruning (loop check +
+// tabling), bounded searches that complete must agree on success.
+func TestPruningSoundnessRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return false
+		}
+		g, _, err := parser.ParseGoal("r0", prog.VarHigh)
+		if err != nil {
+			return false
+		}
+		run := func(opts Options) (bool, bool) { // (success, completed)
+			d, _ := db.FromFacts(prog.Facts)
+			res, err := New(prog, opts).Prove(g, d)
+			if err != nil {
+				return false, false
+			}
+			return res.Success, true
+		}
+		sPruned, okP := run(Options{MaxSteps: 80_000, MaxDepth: 8_000, LoopCheck: true, Table: true})
+		sRaw, okR := run(Options{MaxSteps: 80_000, MaxDepth: 8_000})
+		if !okP || !okR {
+			// One side was truncated (the raw side can diverge where the
+			// pruned side terminates) — no verdict.
+			return true
+		}
+		if sPruned != sRaw {
+			t.Logf("seed %d: pruned=%v raw=%v\n%s", seed, sPruned, sRaw, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolutionsMatchRepeatedProve: the set of Solutions' success count is
+// stable across runs (determinism with deterministic scans).
+func TestSolutionsDeterministic(t *testing.T) {
+	src := `
+		p(a). p(b).
+		t :- p(X), del.p(X), ins.got(X).
+	`
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal("t | t", prog.VarHigh)
+	var first []string
+	for trial := 0; trial < 3; trial++ {
+		d, _ := db.FromFacts(prog.Facts)
+		sols, _, err := NewDefault(prog).Solutions(g, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, s := range sols {
+			got = append(got, s.Final.String())
+		}
+		if trial == 0 {
+			first = got
+			continue
+		}
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: %d solutions vs %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: solution %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestMaxDepthError(t *testing.T) {
+	prog := parser.MustParse(`
+		deep :- ins.x(1), deep.
+	`)
+	g := parser.MustParseGoal("deep", prog.VarHigh)
+	d := db.New()
+	_, err := New(prog, Options{MaxSteps: 1_000_000, MaxDepth: 50}).Prove(g, d)
+	if !errors.Is(err, ErrDepth) {
+		t.Fatalf("err = %v, want ErrDepth", err)
+	}
+	if d.Size() != 0 {
+		t.Fatal("db not restored after depth error")
+	}
+}
+
+func TestTruncatedFlagOnBudget(t *testing.T) {
+	prog := parser.MustParse(`spin :- ins.a, del.a, spin.`)
+	g := parser.MustParseGoal("spin", prog.VarHigh)
+	d := db.New()
+	res, err := New(prog, Options{MaxSteps: 100, MaxDepth: 100000}).Prove(g, d)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("Truncated flag not set")
+	}
+}
+
+// --- Iterative deepening --------------------------------------------------
+
+func TestProveIDFindsSuccessPastDivergingBranch(t *testing.T) {
+	// The first rule of t diverges (grows the database forever); the
+	// second succeeds at depth 2. Plain DFS commits to rule order and
+	// burns the whole budget inside the diverging branch; iterative
+	// deepening finds the success.
+	src := `
+		t :- diverge(0).
+		t :- ins.done.
+		diverge(N) :- ins.mark(N), add(N, 1, M), diverge(M).
+	`
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal("t", prog.VarHigh)
+
+	// Plain DFS: exhausts the budget.
+	d1 := db.New()
+	_, err := New(prog, Options{MaxSteps: 30_000, MaxDepth: 1_000_000}).Prove(g, d1)
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrDepth) {
+		t.Fatalf("plain DFS: err = %v, want budget/depth exhaustion", err)
+	}
+
+	// IDDFS: finds the shallow success.
+	d2 := db.New()
+	res, err := New(prog, Options{MaxSteps: 30_000, MaxDepth: 1_000_000}).ProveID(g, d2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("IDDFS missed the shallow success")
+	}
+	if !d2.Contains("done", nil) {
+		t.Fatal("final state wrong")
+	}
+}
+
+func TestProveIDDefiniteFailure(t *testing.T) {
+	// Finite space, no success: IDDFS must report failure (no error) once
+	// an iteration completes without cutoffs.
+	prog := parser.MustParse(`
+		t :- p(zzz), ins.done.
+		p(a).
+	`)
+	g := parser.MustParseGoal("t", prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	res, err := NewDefault(prog).ProveID(g, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("false success")
+	}
+}
+
+func TestProveIDAgreesWithProve(t *testing.T) {
+	src := `
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`
+	prog := parser.MustParse(src)
+	for _, goal := range []string{"path(a, c)", "path(c, a)"} {
+		g := parser.MustParseGoal(goal, prog.VarHigh)
+		d1, _ := db.FromFacts(prog.Facts)
+		r1, err := NewDefault(prog).Prove(g, d1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _ := db.FromFacts(prog.Facts)
+		r2, err := NewDefault(prog).ProveID(g, d2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Success != r2.Success {
+			t.Fatalf("%s: DFS=%v IDDFS=%v", goal, r1.Success, r2.Success)
+		}
+	}
+}
+
+func TestProveIDBindingsAndBudget(t *testing.T) {
+	prog := parser.MustParse(`p(a). p(b).`)
+	g := parser.MustParseGoal("p(X)", prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	res, err := NewDefault(prog).ProveID(g, d, 1)
+	if err != nil || !res.Success {
+		t.Fatal(err, res)
+	}
+	if res.Bindings["X"].String() == "" {
+		t.Fatal("no binding")
+	}
+	// A diverging program with no success must hit the step budget.
+	prog2 := parser.MustParse(`t :- diverge(0).
+		diverge(N) :- ins.mark(N), add(N, 1, M), diverge(M).`)
+	g2 := parser.MustParseGoal("t", prog2.VarHigh)
+	_, err = New(prog2, Options{MaxSteps: 5_000, MaxDepth: 1_000_000}).ProveID(g2, db.New(), 4)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/complexity"
+	"repro/internal/machine"
+)
+
+// E13TuringChain — the full constructive chain behind Theorem 4.4: a
+// Turing machine is translated to a two-stack machine (tape split at the
+// head), the two-stack machine is compiled to TD, and the TD program is
+// executed by proof search. All three levels must agree, and TD cost per
+// TM step must stay polynomially bounded.
+func E13TuringChain(cfg Config) Report {
+	r := Report{ID: "E13", Title: "Thm 4.4 chain: Turing machine → two-stack → TD → proof search", Pass: true}
+
+	tm := machine.TMAnBn()
+	two, err := tm.ToTwoStack()
+	if err != nil {
+		return failed(r, err)
+	}
+
+	tab := complexity.NewTable("three-level agreement on a^n b^m", "input", "TM", "two-stack", "TD", "TM steps", "TD steps")
+	type testCase struct {
+		label string
+		word  []string
+	}
+	var cases []testCase
+	limit := 3
+	if cfg.Quick {
+		limit = 2
+	}
+	for n := 0; n <= limit; n++ {
+		cases = append(cases, testCase{fmt.Sprintf("a^%d b^%d", n, n), machine.ABnWord(n, n)})
+	}
+	cases = append(cases,
+		testCase{"a^2 b^1", machine.ABnWord(2, 1)},
+		testCase{"a^1 b^2", machine.ABnWord(1, 2)},
+		testCase{"b a", []string{"b", "a"}},
+	)
+	for _, c := range cases {
+		tmRes, err := tm.Run(c.word, 1_000_000)
+		if err != nil {
+			return failed(r, err)
+		}
+		twoRes, err := two.Run(c.word, 10_000_000)
+		if err != nil {
+			return failed(r, err)
+		}
+		src, goalSrc, err := machine.Source(two, c.word)
+		if err != nil {
+			return failed(r, err)
+		}
+		res, _, err := prove(src, goalSrc, defaultOpts())
+		if err != nil {
+			return failed(r, err)
+		}
+		tab.AddRow(c.label, tmRes.Accepted, twoRes.Accepted, res.Success, tmRes.Steps, res.Stats.Steps)
+		if tmRes.Accepted != twoRes.Accepted || twoRes.Accepted != res.Success {
+			r.Pass = false
+			r.Notes = append(r.Notes, c.label+": levels disagree")
+		}
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Scaling: TD steps per TM step on accepting runs.
+	sizes := pick(cfg.Quick, []int{1, 2}, []int{1, 2, 3, 4})
+	series := complexity.Sweep("a^n b^n through the full chain", sizes, func(n int) (float64, map[string]float64) {
+		word := machine.ABnWord(n, n)
+		tmRes, err := tm.Run(word, 1_000_000)
+		if err != nil || !tmRes.Accepted {
+			r.Pass = false
+			return 0, nil
+		}
+		src, goalSrc, err := machine.Source(two, word)
+		if err != nil {
+			r.Pass = false
+			return 0, nil
+		}
+		steps := mustSteps(src, goalSrc, defaultOpts(), true, &r.Pass)
+		ratio := float64(0)
+		if tmRes.Steps > 0 {
+			ratio = steps / float64(tmRes.Steps)
+		}
+		return steps, map[string]float64{"tm_steps": float64(tmRes.Steps), "td_per_tm": ratio}
+	})
+	fit := complexity.FitGrowth(series)
+	r.Tables = append(r.Tables, complexity.SeriesTable(series))
+	r.Notes = append(r.Notes, "fit: "+fit.Classify())
+	if fit.LooksExponential() && fit.ExpRate > 1.5 {
+		r.Pass = false
+		r.Notes = append(r.Notes, "TD overhead blew up beyond the TM's own quadratic behaviour")
+	}
+	return r
+}

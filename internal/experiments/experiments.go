@@ -1,0 +1,126 @@
+// Package experiments implements the reproduction suite: one experiment
+// per table/figure-equivalent artifact of the paper (the worked examples of
+// Sections 2–3 and the complexity landscape of Sections 4–5), plus the
+// ablations called out in DESIGN.md. cmd/tdbench prints them; the root
+// bench_test.go wraps them as Go benchmarks; EXPERIMENTS.md records their
+// output against the paper's claims.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/complexity"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/sim"
+	"repro/internal/term"
+)
+
+// Report is one experiment's rendered result.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*complexity.Table
+	Notes  []string
+	// Pass is false when a correctness assertion inside the experiment
+	// failed (the reproduction did not behave as the paper describes).
+	Pass bool
+}
+
+// Config sizes the suite.
+type Config struct {
+	// Quick shrinks workload sizes for smoke runs.
+	Quick bool
+}
+
+// All runs every experiment.
+func All(cfg Config) []Report {
+	return []Report{
+		E1Transfer(cfg),
+		E2NestedAbort(cfg),
+		E3WorkflowSpec(cfg),
+		E4Simulation(cfg),
+		E5SharedAgents(cfg),
+		E6Cooperation(cfg),
+		E7TwoStack(cfg),
+		E8SequentialQBF(cfg),
+		E9NonRecursive(cfg),
+		E10FullyBounded(cfg),
+		E11InsOnlyDatalog(cfg),
+		E12Isolation(cfg),
+		E13TuringChain(cfg),
+		E14Verification(cfg),
+		A1Tabling(cfg),
+		A2DBFork(cfg),
+		A3Index(cfg),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// prove runs goal over src and returns the result, final DB, and error.
+func prove(src, goal string, opts engine.Options) (*engine.Result, *db.DB, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, _, err := parser.ParseGoal(goal, prog.VarHigh)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := engine.New(prog, opts).Prove(g, d)
+	return res, d, err
+}
+
+// mustSteps proves and returns engine steps, flagging failure into ok.
+func mustSteps(src, goal string, opts engine.Options, wantSuccess bool, ok *bool) float64 {
+	res, _, err := prove(src, goal, opts)
+	if err != nil || res.Success != wantSuccess {
+		*ok = false
+		return 0
+	}
+	return float64(res.Stats.Steps)
+}
+
+func defaultOpts() engine.Options {
+	o := engine.DefaultOptions()
+	o.MaxSteps = 200_000_000
+	return o
+}
+
+func simulate(src, goal string, opts sim.Options) (*sim.Result, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := parser.ParseGoal(goal, prog.VarHigh)
+	if err != nil {
+		return nil, err
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(prog, opts).Run(g, d), nil
+}
+
+func simOpts() sim.Options {
+	return sim.Options{Timeout: 60 * time.Second, MaxOps: 100_000_000}
+}
+
+func sym(s string) term.Term { return term.NewSym(s) }
+
+func intT(v int64) term.Term { return term.NewInt(v) }
+
+func pick(quick bool, q, full []int) []int {
+	if quick {
+		return q
+	}
+	return full
+}

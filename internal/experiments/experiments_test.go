@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassQuick runs the whole reproduction suite at quick
+// sizes: every experiment must reproduce the paper's claimed behaviour
+// (Pass == true). This is the repository's meta-test.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite takes a few seconds")
+	}
+	for _, rep := range All(Config{Quick: true}) {
+		rep := rep
+		t.Run(rep.ID, func(t *testing.T) {
+			if !rep.Pass {
+				t.Errorf("%s (%s) FAILED:\n  notes: %s", rep.ID, rep.Title, strings.Join(rep.Notes, "\n         "))
+				for _, tab := range rep.Tables {
+					t.Logf("\n%s", tab)
+				}
+			}
+		})
+	}
+}
+
+func TestReportsHaveContent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite takes a few seconds")
+	}
+	reps := All(Config{Quick: true})
+	if len(reps) != 17 {
+		t.Fatalf("got %d experiments, want 17 (E1–E14, A1–A3)", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, rep := range reps {
+		if rep.ID == "" || rep.Title == "" {
+			t.Errorf("experiment with empty identity: %+v", rep)
+		}
+		if seen[rep.ID] {
+			t.Errorf("duplicate experiment id %s", rep.ID)
+		}
+		seen[rep.ID] = true
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s: no tables", rep.ID)
+		}
+	}
+}

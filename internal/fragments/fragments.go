@@ -1,0 +1,365 @@
+// Package fragments statically classifies Transaction Datalog programs into
+// the sublanguages whose data complexity Section 4 and Section 5 of the
+// paper map out:
+//
+//	full TD                      RE-complete            (Theorem 4.4)
+//	sequential TD (no "|")       EXPTIME-complete       (Theorem 4.5)
+//	nonrecursive TD              inside PTIME           (Theorem 4.7)
+//	ins-only TD                  Datalog-style fixpoint (Section 5 remark)
+//	fully bounded TD             practical fragment     (Section 5)
+//
+// The analysis computes the call graph of derived predicates, its strongly
+// connected components (recursion), where recursive calls sit (tail of a
+// sequential body vs. under concurrent composition), and which update
+// operations are used.
+//
+// Fully bounded TD is reconstructed from the constraints Section 5 states
+// (the full definition is in the paper's appendix, which the supplied text
+// omits): recursion is restricted to sequential *tail* recursion — iteration,
+// "executing a workflow over-and-over until some condition is satisfied" —
+// and no recursive call may occur inside a concurrent composition or an
+// isolated subgoal, so the number of concurrently active processes is
+// bounded by the goal, not by the data.
+package fragments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Fragment labels a TD sublanguage, ordered from most to least restricted.
+type Fragment uint8
+
+// Fragments. A program is labelled with the most restricted fragment it
+// falls into.
+const (
+	// NonRecursive: no recursion at all. Data complexity inside PTIME
+	// (Theorem 4.7).
+	NonRecursive Fragment = iota
+	// InsOnly: recursion allowed, tuple tests and insertions but no
+	// deletion. Execution is monotone, so Datalog-style fixpoint techniques
+	// (tabling, magic sets) apply.
+	InsOnly
+	// FullyBounded: recursion only as sequential tail recursion
+	// (iteration), never under "|" or iso; deletions allowed. The paper's
+	// practical fragment (Section 5).
+	FullyBounded
+	// Sequential: no concurrent composition anywhere, unrestricted
+	// recursion. EXPTIME-complete (Theorem 4.5).
+	Sequential
+	// Full: everything — recursion through concurrency. RE-complete
+	// (Theorem 4.4); three concurrent sequential processes suffice
+	// (Corollary 4.6).
+	Full
+)
+
+func (f Fragment) String() string {
+	switch f {
+	case NonRecursive:
+		return "nonrecursive TD"
+	case InsOnly:
+		return "ins-only TD"
+	case FullyBounded:
+		return "fully bounded TD"
+	case Sequential:
+		return "sequential TD"
+	case Full:
+		return "full TD"
+	default:
+		return fmt.Sprintf("fragment(%d)", uint8(f))
+	}
+}
+
+// Complexity returns the data-complexity class the paper assigns to the
+// fragment.
+func (f Fragment) Complexity() string {
+	switch f {
+	case NonRecursive:
+		return "inside PTIME (Theorem 4.7)"
+	case InsOnly:
+		return "Datalog-style fixpoint; tabling and magic sets apply (Section 5)"
+	case FullyBounded:
+		return "practical fragment: iteration only, bounded process count (Section 5)"
+	case Sequential:
+		return "EXPTIME-complete (Theorem 4.5)"
+	case Full:
+		return "RE-complete (Theorem 4.4; Corollary 4.6)"
+	default:
+		return "unknown"
+	}
+}
+
+// Features itemizes what the analysis found.
+type Features struct {
+	UsesConcurrency bool // "|" occurs in some rule body
+	UsesIsolation   bool // iso(...) occurs
+	UsesIns         bool
+	UsesDel         bool
+	UsesEmpty       bool
+	Recursive       bool // some derived predicate is in a call-graph cycle
+	// TailOnlyRecursion is true when every recursive call occurs as the
+	// final step of a sequential rule body (iteration).
+	TailOnlyRecursion bool
+	// RecursionUnderConc is true when a recursive call occurs inside a
+	// concurrent composition — the feature that buys RE-completeness.
+	RecursionUnderConc bool
+	// RecursionUnderIso is true when a recursive call occurs inside iso.
+	RecursionUnderIso bool
+	// RecursivePreds lists the predicates (pred/arity strings) in cycles.
+	RecursivePreds []string
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Fragment Fragment
+	Features Features
+}
+
+// Analyze classifies prog.
+func Analyze(prog *ast.Program) Report {
+	a := newAnalysis(prog)
+	feats := a.features()
+	return Report{Fragment: classify(feats), Features: feats}
+}
+
+// AnalyzeGoal classifies prog extended with a top-level goal, treating the
+// goal as the body of an extra (non-recursive) rule. This matters because a
+// goal like "p | p | p" introduces concurrency even over a purely
+// sequential rulebase — exactly the setting of Corollary 4.6, where three
+// concurrent sequential processes reach RE. Goal-level concurrency has a
+// width fixed by the goal, so it does not by itself count as "recursion
+// under concurrency" (no unbounded spawning); what pushes such a program to
+// Full is the combination of concurrency with non-tail recursion in the
+// rulebase (the stack processes of the construction).
+func AnalyzeGoal(prog *ast.Program, goal ast.Goal) Report {
+	a := newAnalysis(prog)
+	feats := a.features()
+	scanGoalFeatures(goal, &feats)
+	return Report{Fragment: classify(feats), Features: feats}
+}
+
+func classify(f Features) Fragment {
+	switch {
+	case !f.Recursive:
+		return NonRecursive
+	case !f.UsesDel && !f.RecursionUnderIso:
+		return InsOnly
+	case f.TailOnlyRecursion && !f.RecursionUnderConc && !f.RecursionUnderIso:
+		return FullyBounded
+	case !f.UsesConcurrency:
+		return Sequential
+	default:
+		return Full
+	}
+}
+
+// analysis carries the call graph machinery.
+type analysis struct {
+	prog    *ast.Program
+	nodes   []string       // pred/arity keys of derived predicates
+	nodeIdx map[string]int //
+	edges   map[int][]int  // call edges between derived predicates
+	sccID   []int          // SCC id per node
+	inCycle map[int]bool   // SCC of size > 1, or self-loop
+}
+
+func key(a term.Atom) string { return fmt.Sprintf("%s/%d", a.Pred, len(a.Args)) }
+
+func newAnalysis(prog *ast.Program) *analysis {
+	a := &analysis{prog: prog, nodeIdx: make(map[string]int), edges: make(map[int][]int)}
+	for _, r := range prog.Rules {
+		k := key(r.Head)
+		if _, ok := a.nodeIdx[k]; !ok {
+			a.nodeIdx[k] = len(a.nodes)
+			a.nodes = append(a.nodes, k)
+		}
+	}
+	for _, r := range prog.Rules {
+		from := a.nodeIdx[key(r.Head)]
+		ast.Walk(r.Body, func(g ast.Goal) bool {
+			if l, ok := g.(*ast.Lit); ok && l.Op == ast.OpCall {
+				if to, ok := a.nodeIdx[key(l.Atom)]; ok {
+					a.edges[from] = append(a.edges[from], to)
+				}
+			}
+			return true
+		})
+	}
+	a.inCycle = a.cyclicNodes()
+	return a
+}
+
+// cyclicNodes assigns SCC ids (Tarjan) and returns the nodes on some
+// call-graph cycle: an SCC of size > 1, or a self-loop.
+func (a *analysis) cyclicNodes() map[int]bool {
+	n := len(a.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	a.sccID = make([]int, n)
+	for i := range index {
+		index[i] = -1
+		a.sccID[i] = -1
+	}
+	var stack []int
+	next := 0
+	nscc := 0
+	out := make(map[int]bool)
+
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range a.edges[v] {
+			if index[w] == -1 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				a.sccID[w] = nscc
+				if w == v {
+					break
+				}
+			}
+			nscc++
+			if len(comp) > 1 {
+				for _, w := range comp {
+					out[w] = true
+				}
+			} else {
+				// Self-loop?
+				v := comp[0]
+				for _, w := range a.edges[v] {
+					if w == v {
+						out[v] = true
+					}
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// isRecursiveCall reports whether lit, occurring in a rule whose head is
+// node from, is a *recursive* call: callee on a cycle and in the same SCC
+// as the caller. Calls to a recursive predicate from outside its SCC are
+// ordinary subroutine calls — they cannot grow the process tree unboundedly.
+func (a *analysis) isRecursiveCall(from int, l *ast.Lit) bool {
+	if l.Op != ast.OpCall {
+		return false
+	}
+	idx, ok := a.nodeIdx[key(l.Atom)]
+	if !ok || !a.inCycle[idx] {
+		return false
+	}
+	return from >= 0 && a.sccID[from] == a.sccID[idx]
+}
+
+// callsRecursive reports whether g contains an intra-SCC recursive call
+// relative to caller node from (at any depth through the goal structure,
+// not through rules).
+func (a *analysis) callsRecursive(from int, g ast.Goal) bool {
+	found := false
+	ast.Walk(g, func(sub ast.Goal) bool {
+		if l, ok := sub.(*ast.Lit); ok && a.isRecursiveCall(from, l) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (a *analysis) features() Features {
+	f := Features{TailOnlyRecursion: true}
+	for idx, cyc := range a.inCycle {
+		if cyc {
+			f.RecursivePreds = append(f.RecursivePreds, a.nodes[idx])
+			f.Recursive = true
+		}
+	}
+	sort.Strings(f.RecursivePreds)
+	for _, r := range a.prog.Rules {
+		scanGoalFeatures(r.Body, &f)
+		a.scanRecursionPlacement(a.nodeIdx[key(r.Head)], r.Body, true, &f)
+	}
+	if !f.Recursive {
+		f.TailOnlyRecursion = false // vacuous; avoid claiming it
+	}
+	return f
+}
+
+// scanGoalFeatures records operator usage, ignoring recursion placement.
+func scanGoalFeatures(g ast.Goal, f *Features) {
+	ast.Walk(g, func(sub ast.Goal) bool {
+		switch sub := sub.(type) {
+		case *ast.Conc:
+			f.UsesConcurrency = true
+		case *ast.Iso:
+			f.UsesIsolation = true
+		case *ast.Empty:
+			f.UsesEmpty = true
+		case *ast.Lit:
+			switch sub.Op {
+			case ast.OpIns:
+				f.UsesIns = true
+			case ast.OpDel:
+				f.UsesDel = true
+			}
+		}
+		return true
+	})
+}
+
+// scanRecursionPlacement walks the body of the rule whose head is node
+// from, tracking whether the current position is a sequential tail
+// position, and records recursion placement facts into f.
+func (a *analysis) scanRecursionPlacement(from int, g ast.Goal, tail bool, f *Features) {
+	switch g := g.(type) {
+	case *ast.Lit:
+		if a.isRecursiveCall(from, g) && !tail {
+			f.TailOnlyRecursion = false
+		}
+	case *ast.Seq:
+		for i, sub := range g.Goals {
+			a.scanRecursionPlacement(from, sub, tail && i == len(g.Goals)-1, f)
+		}
+	case *ast.Conc:
+		for _, sub := range g.Goals {
+			if a.callsRecursive(from, sub) {
+				f.RecursionUnderConc = true
+				f.TailOnlyRecursion = false
+			}
+			a.scanRecursionPlacement(from, sub, false, f)
+		}
+	case *ast.Iso:
+		if a.callsRecursive(from, g.Body) {
+			f.RecursionUnderIso = true
+			f.TailOnlyRecursion = false
+		}
+		a.scanRecursionPlacement(from, g.Body, false, f)
+	}
+}

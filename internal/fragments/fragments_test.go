@@ -1,0 +1,245 @@
+package fragments
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func analyzeSrc(t *testing.T, src string) Report {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(prog)
+}
+
+func TestNonRecursive(t *testing.T) {
+	r := analyzeSrc(t, `
+		t :- p(X), del.p(X), ins.q(X).
+		u :- t | t.
+	`)
+	if r.Fragment != NonRecursive {
+		t.Fatalf("fragment = %v, want NonRecursive", r.Fragment)
+	}
+	if r.Features.Recursive {
+		t.Fatal("recursion wrongly detected")
+	}
+	if !r.Features.UsesConcurrency || !r.Features.UsesDel {
+		t.Fatalf("features wrong: %+v", r.Features)
+	}
+}
+
+func TestInsOnly(t *testing.T) {
+	r := analyzeSrc(t, `
+		path(X, Y) :- edge(X, Y), ins.reached(Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`)
+	if r.Fragment != InsOnly {
+		t.Fatalf("fragment = %v, want InsOnly", r.Fragment)
+	}
+	if !r.Features.Recursive || r.Features.UsesDel {
+		t.Fatalf("features wrong: %+v", r.Features)
+	}
+}
+
+func TestFullyBoundedIteration(t *testing.T) {
+	// Sequential tail recursion: the paper's iterated-protocol shape.
+	r := analyzeSrc(t, `
+		drain :- todo(X), del.todo(X), ins.done(X), drain.
+		drain :- empty.todo.
+	`)
+	if r.Fragment != FullyBounded {
+		t.Fatalf("fragment = %v, want FullyBounded", r.Fragment)
+	}
+	if !r.Features.TailOnlyRecursion {
+		t.Fatalf("tail recursion not recognized: %+v", r.Features)
+	}
+}
+
+func TestFullyBoundedAllowsConcElsewhere(t *testing.T) {
+	// Concurrency among non-recursive subgoals keeps the program bounded:
+	// process count stays goal-bounded.
+	r := analyzeSrc(t, `
+		step(W) :- t1(W) | t2(W).
+		t1(W) :- ins.a(W).
+		t2(W) :- ins.b(W).
+		loop :- todo(X), del.todo(X), step(X), loop.
+		loop :- empty.todo.
+	`)
+	if r.Fragment != FullyBounded {
+		t.Fatalf("fragment = %v, want FullyBounded (features %+v)", r.Fragment, r.Features)
+	}
+}
+
+func TestSequentialNonTailRecursion(t *testing.T) {
+	// Recursion in a non-tail position: sequential TD (EXPTIME).
+	r := analyzeSrc(t, `
+		p :- q, p, r.
+		q :- ins.a.
+		r :- del.a.
+	`)
+	if r.Fragment != Sequential {
+		t.Fatalf("fragment = %v, want Sequential", r.Fragment)
+	}
+	if r.Features.TailOnlyRecursion {
+		t.Fatal("non-tail recursion labelled tail-only")
+	}
+}
+
+func TestFullTDRecursionUnderConcurrency(t *testing.T) {
+	// Example 3.2's shape: the simulation spawns a new concurrent process
+	// per work item — recursion under |. This is what buys RE power.
+	r := analyzeSrc(t, `
+		simulate :- new_item(X), del.new_item(X), (workflow(X) | simulate).
+		workflow(X) :- ins.done(X), del.done(X).
+	`)
+	if r.Fragment != Full {
+		t.Fatalf("fragment = %v, want Full", r.Fragment)
+	}
+	if !r.Features.RecursionUnderConc {
+		t.Fatalf("recursion under conc missed: %+v", r.Features)
+	}
+}
+
+func TestMutualRecursionDetected(t *testing.T) {
+	r := analyzeSrc(t, `
+		even :- del.tick, odd.
+		odd :- ins.tick, even.
+	`)
+	if !r.Features.Recursive {
+		t.Fatal("mutual recursion missed")
+	}
+	if len(r.Features.RecursivePreds) != 2 {
+		t.Fatalf("recursive preds = %v", r.Features.RecursivePreds)
+	}
+	if r.Fragment != FullyBounded {
+		// Both recursive calls are in tail position.
+		t.Fatalf("fragment = %v, want FullyBounded", r.Fragment)
+	}
+}
+
+func TestSelfLoopDetected(t *testing.T) {
+	r := analyzeSrc(t, `p :- p, ins.x.`)
+	if !r.Features.Recursive {
+		t.Fatal("self-loop missed")
+	}
+	if r.Features.TailOnlyRecursion {
+		t.Fatal("head-position recursion is not tail recursion")
+	}
+}
+
+func TestRecursionUnderIso(t *testing.T) {
+	r := analyzeSrc(t, `
+		p :- iso(p), del.x.
+	`)
+	if !r.Features.RecursionUnderIso {
+		t.Fatalf("recursion under iso missed: %+v", r.Features)
+	}
+	if r.Fragment != Sequential {
+		t.Fatalf("fragment = %v, want Sequential", r.Fragment)
+	}
+}
+
+func TestSameNameDifferentArityNotRecursive(t *testing.T) {
+	r := analyzeSrc(t, `
+		p(X) :- p(X, X).
+		p(X, Y) :- q(X, Y).
+	`)
+	if r.Features.Recursive {
+		t.Fatal("p/1 -> p/2 is not a cycle")
+	}
+}
+
+func TestAnalyzeGoalAddsConcurrency(t *testing.T) {
+	// Corollary 4.6: a sequential rulebase (non-tail recursion — the stack
+	// processes of the construction) driven by a concurrent goal reaches
+	// full TD.
+	prog, err := parser.Parse(`
+		stack :- cmd(X), del.cmd(X), hold(X), stack.
+		stack :- empty.cmd.
+		hold(X) :- cmd(Y), del.cmd(Y), hold(Y), hold(X).
+		hold(X) :- done.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Analyze(prog)
+	if base.Fragment != Sequential {
+		t.Fatalf("rulebase fragment = %v, want Sequential", base.Fragment)
+	}
+	goal, _, err := parser.ParseGoal(`stack | stack | stack`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeGoal(prog, goal)
+	if !r.Features.UsesConcurrency {
+		t.Fatalf("goal concurrency missed: %+v", r.Features)
+	}
+	if r.Fragment != Full {
+		t.Fatalf("fragment with concurrent goal = %v, want Full", r.Fragment)
+	}
+}
+
+func TestGoalConcurrencyOverTailRecursionStaysBounded(t *testing.T) {
+	// Bounded-width concurrency over tail-recursive (iteration-only)
+	// processes keeps configurations polynomial: still fully bounded.
+	prog, err := parser.Parse(`
+		worker :- todo(X), del.todo(X), ins.done(X), worker.
+		worker :- empty.todo.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal, _, err := parser.ParseGoal(`worker | worker`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeGoal(prog, goal)
+	if r.Fragment != FullyBounded {
+		t.Fatalf("fragment = %v, want FullyBounded (features %+v)", r.Fragment, r.Features)
+	}
+}
+
+func TestNonTailCallFromOutsideSCCIsNotRecursion(t *testing.T) {
+	// sat :- guess(1), check(1): guess is tail-recursive within its own
+	// SCC; the non-tail call from sat (outside the SCC) is a plain
+	// subroutine call and must not break tail-only classification.
+	r := analyzeSrc(t, `
+		guess(I) :- nomorevars(I).
+		guess(I) :- qvar(I), ins.asg(I, t), succv(I, J), guess(J).
+		guess(I) :- qvar(I), ins.asg(I, f), succv(I, J), guess(J).
+		chk(C) :- nomoreclauses(C).
+		chk(C) :- lit(C, X, S), asg(X, S), succc(C, D), chk(D).
+		sat :- guess(1), chk(1), del.asg(1, t).
+	`)
+	if !r.Features.TailOnlyRecursion {
+		t.Fatalf("tail-only recursion broken by extra-SCC call: %+v", r.Features)
+	}
+	if r.Fragment != FullyBounded {
+		t.Fatalf("fragment = %v, want FullyBounded", r.Fragment)
+	}
+}
+
+func TestFragmentStringsAndComplexity(t *testing.T) {
+	for _, f := range []Fragment{NonRecursive, InsOnly, FullyBounded, Sequential, Full} {
+		if f.String() == "" || f.Complexity() == "" {
+			t.Errorf("fragment %d missing labels", f)
+		}
+	}
+	if Fragment(99).String() == "" || Fragment(99).Complexity() == "" {
+		t.Error("unknown fragment must still render")
+	}
+}
+
+func TestOrderingMostRestrictedWins(t *testing.T) {
+	// Ins-only AND tail-recursive: InsOnly is the label (more restricted).
+	r := analyzeSrc(t, `
+		grow :- seed(X), ins.grown(X), grow.
+		grow :- true.
+	`)
+	if r.Fragment != InsOnly {
+		t.Fatalf("fragment = %v, want InsOnly", r.Fragment)
+	}
+}

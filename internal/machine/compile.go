@@ -1,0 +1,155 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Compiled is a two-stack machine translated to Transaction Datalog.
+//
+// The translation realizes the proof of Theorem 4.4 / Corollary 4.6: the
+// rulebase is purely sequential (no "|" in any rule body); concurrency
+// enters only through the top-level goal
+//
+//	ctl_boot | stk1 | stk2
+//
+// Three processes run concurrently: the finite control and one process per
+// stack. A stack process stores the stack contents in its recursion depth —
+// each pushed symbol is held by a suspended activation of hold_i(V) — and
+// the processes communicate exclusively through single-tuple database
+// relations (push_i/1, pop_i/0, out_i/1, ack_i/0, halt/0), one process
+// reading what another writes.
+type Compiled struct {
+	// RulesSrc is the TD rulebase in concrete syntax.
+	RulesSrc string
+	// GoalSrc invokes the machine; prove it after loading input facts.
+	GoalSrc string
+}
+
+// identOK reports whether s is a valid lowercase TD identifier.
+func identOK(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile translates m into TD. Machine labels and stack symbols must be
+// valid lowercase identifiers.
+func Compile(m *Machine) (*Compiled, error) {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	stackName := func(s StackID) string {
+		if s == S1 {
+			return "1"
+		}
+		return "2"
+	}
+
+	for _, in := range m.Instrs {
+		if !identOK(in.Label) {
+			return nil, fmt.Errorf("compile %s: label %q is not a valid identifier", m.Name, in.Label)
+		}
+	}
+
+	w("%% Two-stack machine %s compiled to Transaction Datalog.\n", m.Name)
+	w("%% Construction of Theorem 4.4 / Corollary 4.6: three concurrent\n")
+	w("%% sequential processes; stacks live in recursion depth.\n\n")
+
+	// Control boot: load the input word (database facts inp/2, succ/2,
+	// lastinp/1) onto stack 1, last symbol first, so that the first input
+	// symbol ends on top. Then start the finite control.
+	w("ctl_boot :- lastinp(N), load(N).\n")
+	w("load(0) :- c_%s.\n", m.Start)
+	w("load(I) :- inp(I, S), ins.push1(S), ack1, del.ack1, succ(J, I), load(J).\n\n")
+
+	// Stack processes.
+	for _, i := range []string{"1", "2"} {
+		w("stk%[1]s :- push%[1]s(V), del.push%[1]s(V), ins.ack%[1]s, hold%[1]s(V), stk%[1]s.\n", i)
+		w("stk%[1]s :- pop%[1]s, del.pop%[1]s, ins.out%[1]s(%[2]s), stk%[1]s.\n", i, Bottom)
+		w("stk%[1]s :- halt.\n", i)
+		w("hold%[1]s(V) :- push%[1]s(W), del.push%[1]s(W), ins.ack%[1]s, hold%[1]s(W), hold%[1]s(V).\n", i)
+		w("hold%[1]s(V) :- pop%[1]s, del.pop%[1]s, ins.out%[1]s(V).\n", i)
+		w("hold%[1]s(V) :- halt.\n\n", i)
+	}
+
+	// Finite control: one predicate per instruction label.
+	for _, in := range m.Instrs {
+		switch in.Kind {
+		case IPush:
+			if !identOK(in.Sym) {
+				return nil, fmt.Errorf("compile %s: symbol %q is not a valid identifier", m.Name, in.Sym)
+			}
+			s := stackName(in.Stack)
+			w("c_%s :- ins.push%s(%s), ack%s, del.ack%s, c_%s.\n", in.Label, s, in.Sym, s, s, in.Next)
+		case IPop:
+			s := stackName(in.Stack)
+			w("c_%s :- ins.pop%s, out%s(V), del.out%s(V), br_%s(V).\n", in.Label, s, s, s, in.Label)
+			for _, kv := range sortedBranchList(in.Branch) {
+				if kv.sym != Bottom && !identOK(kv.sym) {
+					return nil, fmt.Errorf("compile %s: branch symbol %q invalid", m.Name, kv.sym)
+				}
+				w("br_%s(%s) :- c_%s.\n", in.Label, kv.sym, kv.target)
+			}
+		case IAccept:
+			w("c_%s :- ins.halt.\n", in.Label)
+		case IReject:
+			// "never" is a base predicate with no facts: the call fails,
+			// rejecting this execution path.
+			w("c_%s :- never(x).\n", in.Label)
+		}
+	}
+	w("\nrun :- ctl_boot | stk1 | stk2.\n")
+	return &Compiled{RulesSrc: b.String(), GoalSrc: "run"}, nil
+}
+
+type branchKV struct{ sym, target string }
+
+func sortedBranchList(m map[string]string) []branchKV {
+	out := make([]branchKV, 0, len(m))
+	for s, t := range m {
+		out = append(out, branchKV{s, t})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].sym < out[j-1].sym; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InputFacts renders the database encoding of an input word: inp(i, sym)
+// with 1-based positions, succ(i-1, i), and lastinp(n). The word is what a
+// data-complexity experiment varies while the program stays fixed.
+func InputFacts(input []string) (string, error) {
+	var b strings.Builder
+	for i, sym := range input {
+		if !identOK(sym) || sym == Bottom {
+			return "", fmt.Errorf("input symbol %q is not a valid identifier", sym)
+		}
+		fmt.Fprintf(&b, "inp(%d, %s).\n", i+1, sym)
+		fmt.Fprintf(&b, "succ(%d, %d).\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "lastinp(%d).\n", len(input))
+	return b.String(), nil
+}
+
+// Source returns the complete TD program text for machine m on input.
+func Source(m *Machine, input []string) (src, goal string, err error) {
+	c, err := Compile(m)
+	if err != nil {
+		return "", "", err
+	}
+	facts, err := InputFacts(input)
+	if err != nil {
+		return "", "", err
+	}
+	return c.RulesSrc + "\n" + facts, c.GoalSrc, nil
+}

@@ -1,0 +1,176 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Quant is a quantifier.
+type Quant uint8
+
+// Quantifiers.
+const (
+	Exists Quant = iota
+	Forall
+)
+
+// Lit is a literal over variable Var (1-based index into the prefix).
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// QBF is a quantified boolean formula in prenex CNF: the i-th prefix entry
+// quantifies variable i; the matrix is a conjunction of clauses.
+type QBF struct {
+	Prefix  []Quant
+	Clauses [][]Lit
+}
+
+// Validate checks variable indexes.
+func (q *QBF) Validate() error {
+	n := len(q.Prefix)
+	for ci, c := range q.Clauses {
+		for _, l := range c {
+			if l.Var < 1 || l.Var > n {
+				return fmt.Errorf("qbf: clause %d references variable %d outside 1..%d", ci, l.Var, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval decides the formula by direct recursion — the ground-truth oracle
+// for the TD encoding. Exponential in the prefix length, as expected.
+func (q *QBF) Eval() bool {
+	asg := make([]bool, len(q.Prefix)+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > len(q.Prefix) {
+			return q.matrix(asg)
+		}
+		switch q.Prefix[i-1] {
+		case Exists:
+			asg[i] = true
+			if rec(i + 1) {
+				return true
+			}
+			asg[i] = false
+			return rec(i + 1)
+		default: // Forall
+			asg[i] = true
+			if !rec(i + 1) {
+				return false
+			}
+			asg[i] = false
+			return rec(i + 1)
+		}
+	}
+	return rec(1)
+}
+
+func (q *QBF) matrix(asg []bool) bool {
+	for _, c := range q.Clauses {
+		sat := false
+		for _, l := range c {
+			if asg[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// QBFRules is the *fixed* sequential TD program that evaluates any
+// QBF supplied as database facts (see QBFFacts). This is the Theorem 4.5
+// workload: no concurrent composition anywhere, but recursion ⊗ sequential
+// composition gives alternation — the universal rule runs the remaining
+// game twice, once per truth value, against the updated database.
+//
+// Relations: qex(i)/qall(i) mark quantifiers; succv(i, i+1) and
+// nomorevars(n+1) walk the prefix; lit(c, x, s) with s ∈ {t, f} encodes the
+// matrix; succc(c, c+1) and nomoreclauses(m+1) walk the clauses; asg(x, s)
+// is the working assignment.
+const QBFRules = `
+qeval(I) :- nomorevars(I), ccheck(1).
+qeval(I) :- qex(I), ins.asg(I, t), succv(I, J), qeval(J), del.asg(I, t).
+qeval(I) :- qex(I), ins.asg(I, f), succv(I, J), qeval(J), del.asg(I, f).
+qeval(I) :- qall(I), ins.asg(I, t), succv(I, J), qeval(J), del.asg(I, t),
+            ins.asg(I, f), qeval(J), del.asg(I, f).
+ccheck(C) :- nomoreclauses(C).
+ccheck(C) :- lit(C, X, S), asg(X, S), succc(C, D), ccheck(D).
+qbf :- qeval(1).
+`
+
+// QBFGoal proves the formula encoded in the database.
+const QBFGoal = "qbf"
+
+// QBFFacts renders q as database facts for QBFRules.
+func QBFFacts(q *QBF) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, qu := range q.Prefix {
+		if qu == Exists {
+			fmt.Fprintf(&b, "qex(%d).\n", i+1)
+		} else {
+			fmt.Fprintf(&b, "qall(%d).\n", i+1)
+		}
+		fmt.Fprintf(&b, "succv(%d, %d).\n", i+1, i+2)
+	}
+	fmt.Fprintf(&b, "nomorevars(%d).\n", len(q.Prefix)+1)
+	for ci, c := range q.Clauses {
+		for _, l := range c {
+			s := "t"
+			if l.Neg {
+				s = "f"
+			}
+			fmt.Fprintf(&b, "lit(%d, %d, %s).\n", ci+1, l.Var, s)
+		}
+		fmt.Fprintf(&b, "succc(%d, %d).\n", ci+1, ci+2)
+	}
+	fmt.Fprintf(&b, "nomoreclauses(%d).\n", len(q.Clauses)+1)
+	return b.String(), nil
+}
+
+// AlternatingQBF builds the hard family ∀x₁∃y₁…∀xₖ∃yₖ ⋀ᵢ (xᵢ↔yᵢ): true
+// (choose yᵢ = xᵢ), but naive evaluation explores 2^k universal branches.
+// Variables are numbered x_i = 2i-1, y_i = 2i.
+func AlternatingQBF(k int) *QBF {
+	q := &QBF{}
+	for i := 0; i < k; i++ {
+		q.Prefix = append(q.Prefix, Forall, Exists)
+		x, y := 2*i+1, 2*i+2
+		q.Clauses = append(q.Clauses,
+			[]Lit{{Var: x, Neg: true}, {Var: y}}, // ¬x ∨ y
+			[]Lit{{Var: x}, {Var: y, Neg: true}}, // x ∨ ¬y
+		)
+	}
+	return q
+}
+
+// RandomQBF generates a random prenex-CNF formula with n variables,
+// m clauses of the given width, and each variable universally quantified
+// with probability pForall.
+func RandomQBF(rng *rand.Rand, n, m, width int, pForall float64) *QBF {
+	q := &QBF{Prefix: make([]Quant, n)}
+	for i := range q.Prefix {
+		if rng.Float64() < pForall {
+			q.Prefix[i] = Forall
+		}
+	}
+	for c := 0; c < m; c++ {
+		clause := make([]Lit, width)
+		for j := range clause {
+			clause[j] = Lit{Var: 1 + rng.Intn(n), Neg: rng.Intn(2) == 0}
+		}
+		q.Clauses = append(q.Clauses, clause)
+	}
+	return q
+}

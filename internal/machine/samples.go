@@ -1,0 +1,121 @@
+package machine
+
+// Sample machines used across tests, examples, and benchmarks. Each decides
+// a language over its input alphabet; Parity and Dyck are the benchmark
+// workloads of experiment E7.
+
+// Parity accepts words over {one} with an even number of symbols.
+// Uses only stack 1 (reading input); a two-state finite control.
+func Parity() *Machine {
+	m, err := NewMachine("parity", "even", []Instr{
+		{Label: "even", Kind: IPop, Stack: S1, Branch: map[string]string{
+			"one": "odd", Bottom: "acc",
+		}},
+		{Label: "odd", Kind: IPop, Stack: S1, Branch: map[string]string{
+			"one": "even", Bottom: "rej",
+		}},
+		{Label: "acc", Kind: IAccept},
+		{Label: "rej", Kind: IReject},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Dyck accepts balanced bracket words over {l, r} — the canonical
+// non-regular language, exercising stack 2 as a counter.
+func Dyck() *Machine {
+	m, err := NewMachine("dyck", "scan", []Instr{
+		{Label: "scan", Kind: IPop, Stack: S1, Branch: map[string]string{
+			"l": "open", "r": "close", Bottom: "checkempty",
+		}},
+		{Label: "open", Kind: IPush, Stack: S2, Sym: "m", Next: "scan"},
+		{Label: "close", Kind: IPop, Stack: S2, Branch: map[string]string{
+			"m": "scan", Bottom: "rej",
+		}},
+		{Label: "checkempty", Kind: IPop, Stack: S2, Branch: map[string]string{
+			"m": "rej", Bottom: "acc",
+		}},
+		{Label: "acc", Kind: IAccept},
+		{Label: "rej", Kind: IReject},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Copy moves the whole input from stack 1 to stack 2 (reversing it) and
+// accepts. Always accepts; exercises deep recursion on both stack
+// processes — the E7 scaling workload.
+func Copy() *Machine {
+	m, err := NewMachine("copy", "mv", []Instr{
+		{Label: "mv", Kind: IPop, Stack: S1, Branch: map[string]string{
+			"a": "pa", "b": "pb", Bottom: "acc",
+		}},
+		{Label: "pa", Kind: IPush, Stack: S2, Sym: "a", Next: "mv"},
+		{Label: "pb", Kind: IPush, Stack: S2, Sym: "b", Next: "mv"},
+		{Label: "acc", Kind: IAccept},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Diverge pushes forever: a machine with no halting run, witnessing that
+// two-stack machines (and hence full TD) are not total — simulations of it
+// must hit step budgets.
+func Diverge() *Machine {
+	m, err := NewMachine("diverge", "grow", []Instr{
+		{Label: "grow", Kind: IPush, Stack: S1, Sym: "x", Next: "grow"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Ones returns the unary word of n "one" symbols (Parity input).
+func Ones(n int) []string {
+	w := make([]string, n)
+	for i := range w {
+		w[i] = "one"
+	}
+	return w
+}
+
+// Nested returns the Dyck word l^n r^n.
+func Nested(n int) []string {
+	w := make([]string, 0, 2*n)
+	for i := 0; i < n; i++ {
+		w = append(w, "l")
+	}
+	for i := 0; i < n; i++ {
+		w = append(w, "r")
+	}
+	return w
+}
+
+// Alternating returns the Dyck word (lr)^n.
+func Alternating(n int) []string {
+	w := make([]string, 0, 2*n)
+	for i := 0; i < n; i++ {
+		w = append(w, "l", "r")
+	}
+	return w
+}
+
+// ABWord returns an alternating word a b a b … of length n (Copy input).
+func ABWord(n int) []string {
+	w := make([]string, n)
+	for i := range w {
+		if i%2 == 0 {
+			w[i] = "a"
+		} else {
+			w[i] = "b"
+		}
+	}
+	return w
+}

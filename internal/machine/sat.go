@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CNF is a propositional formula in conjunctive normal form over variables
+// 1..N.
+type CNF struct {
+	N       int
+	Clauses [][]Lit
+}
+
+// Validate checks variable indexes.
+func (c *CNF) Validate() error {
+	for ci, cl := range c.Clauses {
+		for _, l := range cl {
+			if l.Var < 1 || l.Var > c.N {
+				return fmt.Errorf("cnf: clause %d references variable %d outside 1..%d", ci, l.Var, c.N)
+			}
+		}
+	}
+	return nil
+}
+
+// BruteForce decides satisfiability by enumeration — the oracle for the TD
+// encoding. Returns a satisfying assignment (1-based) when one exists.
+func (c *CNF) BruteForce() ([]bool, bool) {
+	asg := make([]bool, c.N+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i > c.N {
+			return c.satisfied(asg)
+		}
+		asg[i] = true
+		if rec(i + 1) {
+			return true
+		}
+		asg[i] = false
+		return rec(i + 1)
+	}
+	if rec(1) {
+		return asg, true
+	}
+	return nil, false
+}
+
+func (c *CNF) satisfied(asg []bool) bool {
+	for _, cl := range c.Clauses {
+		ok := false
+		for _, l := range cl {
+			if asg[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SATRules is the fixed *fully bounded* TD program deciding satisfiability
+// of a CNF supplied as facts (see SATFacts): guess an assignment by
+// nondeterministic rule choice along a sequential tail recursion, then
+// check every clause by another tail recursion. This is Section 5's
+// guess-and-check shape: iteration only, no process growth; the search
+// tree, not the process tree, carries the exponential.
+//
+// Relations: qvar(i), succv(i, i+1), nomorevars(n+1); lit(c, x, s),
+// succc(c, c+1), nomoreclauses(m+1); working assignment asg(x, s).
+const SATRules = `
+guess(I) :- nomorevars(I).
+guess(I) :- qvar(I), ins.asg(I, t), succv(I, J), guess(J).
+guess(I) :- qvar(I), ins.asg(I, f), succv(I, J), guess(J).
+ccheck(C) :- nomoreclauses(C).
+ccheck(C) :- lit(C, X, S), asg(X, S), succc(C, D), ccheck(D).
+sat :- guess(1), ccheck(1).
+`
+
+// SATGoal proves satisfiability of the encoded CNF.
+const SATGoal = "sat"
+
+// SATFacts renders c as database facts for SATRules.
+func SATFacts(c *CNF) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i := 1; i <= c.N; i++ {
+		fmt.Fprintf(&b, "qvar(%d).\n", i)
+		fmt.Fprintf(&b, "succv(%d, %d).\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "nomorevars(%d).\n", c.N+1)
+	for ci, cl := range c.Clauses {
+		for _, l := range cl {
+			s := "t"
+			if l.Neg {
+				s = "f"
+			}
+			fmt.Fprintf(&b, "lit(%d, %d, %s).\n", ci+1, l.Var, s)
+		}
+		fmt.Fprintf(&b, "succc(%d, %d).\n", ci+1, ci+2)
+	}
+	fmt.Fprintf(&b, "nomoreclauses(%d).\n", len(c.Clauses)+1)
+	return b.String(), nil
+}
+
+// RandomCNF generates a random k-CNF with n variables and m clauses.
+func RandomCNF(rng *rand.Rand, n, m, width int) *CNF {
+	c := &CNF{N: n}
+	for i := 0; i < m; i++ {
+		clause := make([]Lit, width)
+		for j := range clause {
+			clause[j] = Lit{Var: 1 + rng.Intn(n), Neg: rng.Intn(2) == 0}
+		}
+		c.Clauses = append(c.Clauses, clause)
+	}
+	return c
+}
+
+// PigeonholeCNF encodes "n+1 pigeons into n holes": unsatisfiable, with a
+// search tree that is exponential for resolution-style methods — the
+// worst-case family for E10. Variable p(i,j) = pigeon i in hole j is
+// numbered i*n + j + 1 for i in 0..n, j in 0..n-1.
+func PigeonholeCNF(n int) *CNF {
+	v := func(i, j int) int { return i*n + j + 1 }
+	c := &CNF{N: (n + 1) * n}
+	// Every pigeon sits somewhere.
+	for i := 0; i <= n; i++ {
+		var cl []Lit
+		for j := 0; j < n; j++ {
+			cl = append(cl, Lit{Var: v(i, j)})
+		}
+		c.Clauses = append(c.Clauses, cl)
+	}
+	// No two pigeons share a hole.
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				c.Clauses = append(c.Clauses, []Lit{
+					{Var: v(i1, j), Neg: true},
+					{Var: v(i2, j), Neg: true},
+				})
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,85 @@
+package machine
+
+// Sample Turing machines for tests, examples, and benchmarks.
+
+// TMAnBn recognizes { aⁿbⁿ | n ≥ 0 }: the classic context-free-but-not-
+// regular language, decided by repeatedly crossing off one a and one b.
+// Alphabet: a, b, marker x; accepts on a fully crossed-off tape.
+func TMAnBn() *TM {
+	m, err := NewTM("anbn", "seek_a", "acc", "rej", []TMRule{
+		// seek_a: find the leftmost un-crossed a; if none, verify only x/blank remain.
+		{State: "seek_a", Read: "a", Write: "x", Move: Right, Next: "seek_b"},
+		{State: "seek_a", Read: "x", Write: "x", Move: Right, Next: "seek_a"},
+		{State: "seek_a", Read: TMBlank, Write: TMBlank, Move: Stay, Next: "acc"},
+		// b before any a ⇒ unmatched b: reject (no rule = reject).
+		// seek_b: skip a's and x's to the first b, cross it off.
+		{State: "seek_b", Read: "a", Write: "a", Move: Right, Next: "seek_b"},
+		{State: "seek_b", Read: "x", Write: "x", Move: Right, Next: "seek_b"},
+		{State: "seek_b", Read: "b", Write: "x", Move: Left, Next: "rewind"},
+		// rewind: back to the left end.
+		{State: "rewind", Read: "a", Write: "a", Move: Left, Next: "rewind"},
+		{State: "rewind", Read: "x", Write: "x", Move: Left, Next: "rewind"},
+		{State: "rewind", Read: TMBlank, Write: TMBlank, Move: Right, Next: "seek_a"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TMIncrement increments a binary number written LSB-first: flips trailing
+// 1s to 0s, the first 0 (or a fresh blank) to 1. Always accepts; the
+// result stays on the tape.
+func TMIncrement() *TM {
+	m, err := NewTM("increment", "carry", "acc", "rej", []TMRule{
+		{State: "carry", Read: "one", Write: "zero", Move: Right, Next: "carry"},
+		{State: "carry", Read: "zero", Write: "one", Move: Stay, Next: "acc"},
+		{State: "carry", Read: TMBlank, Write: "one", Move: Stay, Next: "acc"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ABnWord returns aⁿbᵐ.
+func ABnWord(nA, nB int) []string {
+	w := make([]string, 0, nA+nB)
+	for i := 0; i < nA; i++ {
+		w = append(w, "a")
+	}
+	for i := 0; i < nB; i++ {
+		w = append(w, "b")
+	}
+	return w
+}
+
+// BitsLSB renders v as an LSB-first binary word over {zero, one}.
+func BitsLSB(v uint64) []string {
+	if v == 0 {
+		return []string{"zero"}
+	}
+	var w []string
+	for ; v > 0; v >>= 1 {
+		if v&1 == 1 {
+			w = append(w, "one")
+		} else {
+			w = append(w, "zero")
+		}
+	}
+	return w
+}
+
+// BitsValue parses an LSB-first binary word (ignoring trailing blanks).
+func BitsValue(w []string) uint64 {
+	var v uint64
+	for i := len(w) - 1; i >= 0; i-- {
+		switch w[i] {
+		case "one":
+			v = v<<1 | 1
+		case "zero":
+			v <<= 1
+		}
+	}
+	return v
+}

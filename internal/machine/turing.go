@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"fmt"
+)
+
+// This file completes the paper's RE-completeness chain constructively:
+// single-tape Turing machines translate to two-stack machines (the tape is
+// split at the head — Hopcroft & Ullman [52]), and two-stack machines
+// compile to Transaction Datalog (compile.go). So every Turing machine
+// runs, end to end, as three concurrent TD processes.
+
+// Move is a head direction.
+type Move uint8
+
+// Head movements.
+const (
+	Left Move = iota
+	Right
+	Stay
+)
+
+func (m Move) String() string {
+	switch m {
+	case Left:
+		return "L"
+	case Right:
+		return "R"
+	default:
+		return "S"
+	}
+}
+
+// TMBlank is the blank tape symbol. Machines may read it but the input may
+// not contain it.
+const TMBlank = "blank"
+
+// TMRule is one Turing-machine transition: in state State reading Read,
+// write Write, move the head, and enter Next.
+type TMRule struct {
+	State string
+	Read  string
+	Write string
+	Move  Move
+	Next  string
+}
+
+// TM is a deterministic single-tape Turing machine. Halting is by entering
+// Accept or Reject; missing transitions reject.
+type TM struct {
+	Name    string
+	Start   string
+	Accept  string
+	Reject  string
+	Rules   []TMRule
+	byKey   map[string]TMRule
+	symbols map[string]bool
+}
+
+// NewTM validates and indexes a machine definition.
+func NewTM(name, start, accept, reject string, rules []TMRule) (*TM, error) {
+	if start == "" || accept == "" || reject == "" {
+		return nil, fmt.Errorf("tm %s: empty state name", name)
+	}
+	if accept == reject {
+		return nil, fmt.Errorf("tm %s: accept and reject must differ", name)
+	}
+	m := &TM{
+		Name: name, Start: start, Accept: accept, Reject: reject,
+		Rules: rules, byKey: make(map[string]TMRule), symbols: map[string]bool{TMBlank: true},
+	}
+	for _, r := range rules {
+		if r.State == accept || r.State == reject {
+			return nil, fmt.Errorf("tm %s: transition out of halting state %s", name, r.State)
+		}
+		if r.State == "" || r.Read == "" || r.Write == "" || r.Next == "" {
+			return nil, fmt.Errorf("tm %s: incomplete rule %+v", name, r)
+		}
+		k := r.State + "\x00" + r.Read
+		if _, dup := m.byKey[k]; dup {
+			return nil, fmt.Errorf("tm %s: duplicate transition for (%s, %s)", name, r.State, r.Read)
+		}
+		m.byKey[k] = r
+		m.symbols[r.Read] = true
+		m.symbols[r.Write] = true
+	}
+	return m, nil
+}
+
+// TMResult reports a Turing-machine run.
+type TMResult struct {
+	Accepted bool
+	Steps    int
+	// Tape is the final tape contents from the leftmost visited cell;
+	// Head is the final head offset into Tape.
+	Tape []string
+	Head int
+}
+
+// Run executes the machine directly (the reference semantics) for at most
+// maxSteps transitions.
+func (m *TM) Run(input []string, maxSteps int) (*TMResult, error) {
+	tape := append([]string(nil), input...)
+	if len(tape) == 0 {
+		tape = []string{TMBlank}
+	}
+	head := 0
+	state := m.Start
+	res := &TMResult{}
+	for {
+		if state == m.Accept || state == m.Reject {
+			res.Accepted = state == m.Accept
+			res.Tape = tape
+			res.Head = head
+			return res, nil
+		}
+		if res.Steps >= maxSteps {
+			return nil, ErrStepLimit
+		}
+		res.Steps++
+		r, ok := m.byKey[state+"\x00"+tape[head]]
+		if !ok {
+			res.Accepted = false
+			res.Tape = tape
+			res.Head = head
+			return res, nil
+		}
+		tape[head] = r.Write
+		state = r.Next
+		switch r.Move {
+		case Left:
+			if head == 0 {
+				tape = append([]string{TMBlank}, tape...)
+			} else {
+				head--
+			}
+		case Right:
+			head++
+			if head == len(tape) {
+				tape = append(tape, TMBlank)
+			}
+		}
+	}
+}
+
+// ToTwoStack translates the Turing machine into an equivalent two-stack
+// machine. Representation invariant between transitions:
+//
+//	stack 1: the head cell and everything right of it (top = head cell)
+//	stack 2: tape cells strictly left of the head (top = cell head-1)
+//
+// The two-stack machine's input convention — the word pre-loaded on
+// stack 1 with the first symbol on top — IS this invariant with the head
+// on the first input symbol, so no loading phase is needed.
+//
+// Per TM state q there is a pop-state "tm_q" that pops stack 1 (reading
+// the head cell; Bottom reads as blank — the tape is blank beyond what was
+// written) and dispatches on the symbol: write+move-right pushes the
+// written symbol onto stack 2 (it is now left of the head);
+// write+move-left pushes the written symbol back onto stack 1 and then
+// moves one cell from stack 2 to stack 1 (Bottom there also reads as
+// blank, extending the tape leftward); write+stay pushes the written
+// symbol back onto stack 1.
+func (m *TM) ToTwoStack() (*Machine, error) {
+	for sym := range m.symbols {
+		if !identOK(sym) || sym == Bottom {
+			return nil, fmt.Errorf("tm %s: symbol %q is not a valid identifier", m.Name, sym)
+		}
+	}
+	states := map[string]bool{m.Start: true}
+	for _, r := range m.Rules {
+		states[r.State] = true
+		states[r.Next] = true
+	}
+	for st := range states {
+		if !identOK(st) {
+			return nil, fmt.Errorf("tm %s: state %q is not a valid identifier", m.Name, st)
+		}
+	}
+
+	var instrs []Instr
+	add := func(in Instr) { instrs = append(instrs, in) }
+
+	accept := "tm_halt_acc"
+	reject := "tm_halt_rej"
+	add(Instr{Label: accept, Kind: IAccept})
+	add(Instr{Label: reject, Kind: IReject})
+
+	haltTarget := func(state string) (string, bool) {
+		switch state {
+		case m.Accept:
+			return accept, true
+		case m.Reject:
+			return reject, true
+		}
+		return "", false
+	}
+
+	// One dispatcher per live TM state.
+	for st := range states {
+		if _, halt := haltTarget(st); halt {
+			continue
+		}
+		branch := map[string]string{}
+		for sym := range m.symbols {
+			r, ok := m.byKey[st+"\x00"+sym]
+			if !ok {
+				branch[sym] = reject
+				if sym == TMBlank {
+					branch[Bottom] = reject
+				}
+				continue
+			}
+			target := m.emitTransition(&instrs, st, sym, r, haltTarget)
+			branch[sym] = target
+			if sym == TMBlank {
+				// Popping an empty stack 1 means the head sits on a blank
+				// beyond the written tape.
+				branch[Bottom] = target
+			}
+		}
+		add(Instr{Label: "tm_" + st, Kind: IPop, Stack: S1, Branch: branch})
+	}
+
+	return NewMachine("tm_"+m.Name, "tm_"+m.Start, instrs)
+}
+
+// emitTransition appends the push/move instructions realizing rule r fired
+// from state st on symbol sym, returning the entry label.
+func (m *TM) emitTransition(instrs *[]Instr, st, sym string, r TMRule, haltTarget func(string) (string, bool)) string {
+	next := "tm_" + r.Next
+	if h, halt := haltTarget(r.Next); halt {
+		next = h
+	}
+	base := fmt.Sprintf("do_%s_%s", st, sym)
+	switch r.Move {
+	case Right:
+		// Head cell consumed from s1; written symbol is now left of the
+		// new head position: push onto s2.
+		*instrs = append(*instrs, Instr{Label: base, Kind: IPush, Stack: S2, Sym: r.Write, Next: next})
+		return base
+	case Stay:
+		*instrs = append(*instrs, Instr{Label: base, Kind: IPush, Stack: S1, Sym: r.Write, Next: next})
+		return base
+	default: // Left
+		// Written symbol stays on the right side of the new head (s1);
+		// then the new head cell is the old cell to the left: move one
+		// symbol s2 → s1. An empty s2 grows the tape leftward with a blank.
+		mvLabel := base + "_mv"
+		branch := map[string]string{Bottom: base + "_blank"}
+		for tsym := range m.symbols {
+			lbl := fmt.Sprintf("%s_carry_%s", base, tsym)
+			branch[tsym] = lbl
+			*instrs = append(*instrs, Instr{Label: lbl, Kind: IPush, Stack: S1, Sym: tsym, Next: next})
+		}
+		*instrs = append(*instrs,
+			Instr{Label: base, Kind: IPush, Stack: S1, Sym: r.Write, Next: mvLabel},
+			Instr{Label: mvLabel, Kind: IPop, Stack: S2, Branch: branch},
+			Instr{Label: base + "_blank", Kind: IPush, Stack: S1, Sym: TMBlank, Next: next},
+		)
+		return base
+	}
+}

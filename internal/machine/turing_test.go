@@ -1,0 +1,245 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+)
+
+func TestTMAnBnDirect(t *testing.T) {
+	m := TMAnBn()
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 0, true}, {1, 1, true}, {3, 3, true},
+		{1, 0, false}, {0, 1, false}, {2, 3, false}, {3, 2, false},
+	}
+	for _, c := range cases {
+		res, err := m.Run(ABnWord(c.a, c.b), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != c.want {
+			t.Errorf("anbn(a^%d b^%d) = %v, want %v", c.a, c.b, res.Accepted, c.want)
+		}
+	}
+	// Words with b before a reject.
+	res, err := m.Run([]string{"b", "a"}, 10000)
+	if err != nil || res.Accepted {
+		t.Errorf("ba accepted")
+	}
+}
+
+func TestTMIncrementDirect(t *testing.T) {
+	m := TMIncrement()
+	for _, v := range []uint64{0, 1, 2, 3, 7, 12, 255} {
+		res, err := m.Run(BitsLSB(v), 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("increment(%d) rejected", v)
+		}
+		if got := BitsValue(res.Tape); got != v+1 {
+			t.Errorf("increment(%d) tape = %v = %d, want %d", v, res.Tape, got, v+1)
+		}
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return BitsValue(BitsLSB(uint64(v))) == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTMValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []TMRule
+		start string
+	}{
+		{"dup transition", []TMRule{
+			{State: "s", Read: "a", Write: "a", Move: Right, Next: "s"},
+			{State: "s", Read: "a", Write: "b", Move: Left, Next: "s"},
+		}, "s"},
+		{"transition from accept", []TMRule{
+			{State: "acc", Read: "a", Write: "a", Move: Right, Next: "acc"},
+		}, "acc"},
+		{"incomplete rule", []TMRule{
+			{State: "s", Read: "", Write: "a", Move: Right, Next: "s"},
+		}, "s"},
+	}
+	for _, c := range cases {
+		if _, err := NewTM(c.name, c.start, "acc", "rej", c.rules); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewTM("same", "s", "h", "h", nil); err == nil {
+		t.Error("accept == reject accepted")
+	}
+}
+
+// TestTMToTwoStackAgrees: the translated two-stack machine must agree with
+// the TM on acceptance for a spread of inputs.
+func TestTMToTwoStackAgrees(t *testing.T) {
+	tm := TMAnBn()
+	two, err := tm.ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]string{
+		nil,
+		ABnWord(1, 1), ABnWord(2, 2), ABnWord(3, 3),
+		ABnWord(1, 2), ABnWord(2, 1), ABnWord(0, 2), ABnWord(2, 0),
+		{"b", "a"}, {"a", "b", "a", "b"},
+	}
+	for _, in := range inputs {
+		want, err := tm.Run(in, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := two.Run(in, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Accepted != want.Accepted {
+			t.Errorf("input %v: two-stack %v, TM %v", in, got.Accepted, want.Accepted)
+		}
+	}
+}
+
+func TestTMToTwoStackAgreesRandom(t *testing.T) {
+	tm := TMAnBn()
+	two, err := tm.ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(7)
+		w := make([]string, n)
+		for i := range w {
+			if r.Intn(2) == 0 {
+				w[i] = "a"
+			} else {
+				w[i] = "b"
+			}
+		}
+		want, err1 := tm.Run(w, 100000)
+		got, err2 := two.Run(w, 1_000_000)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return want.Accepted == got.Accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTMIncrementViaTwoStack(t *testing.T) {
+	two, err := TMIncrement().ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{0, 1, 5, 6} {
+		res, err := two.Run(BitsLSB(v), 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("two-stack increment(%d) rejected", v)
+		}
+	}
+}
+
+// TestTMEndToEndInTD runs the complete chain: Turing machine → two-stack
+// machine → Transaction Datalog → proof search. Theorem 4.4, executed.
+func TestTMEndToEndInTD(t *testing.T) {
+	tm := TMAnBn()
+	two, err := tm.ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   []string
+		want bool
+	}{
+		{ABnWord(1, 1), true},
+		{ABnWord(2, 2), true},
+		{ABnWord(2, 1), false},
+		{[]string{"b"}, false},
+		{nil, true},
+	}
+	for _, c := range cases {
+		src, goal, err := Source(two, c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("generated TD does not parse: %v", err)
+		}
+		g, _, _ := parser.ParseGoal(goal, prog.VarHigh)
+		d, _ := db.FromFacts(prog.Facts)
+		res, err := engine.New(prog, engine.Options{MaxSteps: 50_000_000, LoopCheck: true, Table: true}).Prove(g, d)
+		if err != nil {
+			t.Fatalf("input %v: %v", c.in, err)
+		}
+		if res.Success != c.want {
+			t.Errorf("TD(TM anbn)(%v) = %v, want %v", c.in, res.Success, c.want)
+		}
+	}
+}
+
+func TestTMDivergenceBudget(t *testing.T) {
+	// A TM that runs forever: moving right on blanks.
+	tm, err := NewTM("runaway", "go", "acc", "rej", []TMRule{
+		{State: "go", Read: TMBlank, Write: TMBlank, Move: Right, Next: "go"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Run(nil, 100); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	two, err := tm.ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.Run(nil, 1000); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("two-stack err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTMFinalTapeThroughTwoStack(t *testing.T) {
+	// The two-stack machine halts with the tape split across its stacks;
+	// for increment, stack contents after accept must hold the result.
+	two, err := TMIncrement().ToTwoStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := two.Run(BitsLSB(3), 100000) // 3 = 11₂ → 4 = 001 (LSB-first)
+	if err != nil || !res.Accepted {
+		t.Fatal(err, res)
+	}
+	// Reconstruct the tape: stack2 bottom→top is the left-of-head part in
+	// left-to-right order; stack1 top→bottom is the head cell onward.
+	var tape []string
+	tape = append(tape, res.Stack2...)
+	for i := len(res.Stack1) - 1; i >= 0; i-- {
+		tape = append(tape, res.Stack1[i])
+	}
+	if got := BitsValue(tape); got != 4 {
+		t.Fatalf("final tape %v = %d, want 4", tape, got)
+	}
+}

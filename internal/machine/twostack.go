@@ -1,0 +1,203 @@
+// Package machine builds runnable versions of the constructions behind the
+// paper's complexity theorems:
+//
+//   - a two-stack machine model (Turing-complete; Hopcroft & Ullman [52])
+//     with a direct Go simulator, and a compiler from two-stack machines to
+//     Transaction Datalog programs of exactly three concurrent sequential
+//     processes — the construction of Theorem 4.4 / Corollary 4.6, where
+//     two recursive processes encode the stacks in their recursion depth
+//     and a third encodes the finite control, all communicating through
+//     the database;
+//   - a QBF evaluator compiled to a *fixed* sequential TD program with the
+//     formula supplied as data — the recursion ⊗ sequencing interaction
+//     behind Theorem 4.5 (sequential TD is EXPTIME-complete via alternating
+//     PSPACE machines); and
+//   - a SAT checker compiled to a fixed *fully bounded* TD program (tail
+//     recursion only), the guess-and-check shape of Section 5's practical
+//     fragment.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StackID selects one of the machine's two stacks.
+type StackID uint8
+
+// The two stacks.
+const (
+	S1 StackID = iota
+	S2
+)
+
+func (s StackID) String() string {
+	if s == S1 {
+		return "s1"
+	}
+	return "s2"
+}
+
+// Bottom is the reserved symbol reported when popping an empty stack.
+// It may not be pushed.
+const Bottom = "zzbottom"
+
+// InstrKind discriminates instruction types.
+type InstrKind uint8
+
+// Instruction kinds.
+const (
+	// IPush pushes Sym onto Stack and jumps to Next.
+	IPush InstrKind = iota
+	// IPop pops Stack and jumps to Branch[sym]; popping an empty stack
+	// jumps to Branch[Bottom]. A missing branch rejects.
+	IPop
+	// IAccept halts and accepts.
+	IAccept
+	// IReject halts and rejects.
+	IReject
+)
+
+// Instr is one machine instruction, identified by Label.
+type Instr struct {
+	Label  string
+	Kind   InstrKind
+	Stack  StackID
+	Sym    string            // IPush: symbol to push
+	Next   string            // IPush: jump target
+	Branch map[string]string // IPop: popped symbol -> label
+}
+
+// Machine is a two-stack program: a finite control over two unbounded
+// stacks. The input word is pre-loaded onto stack 1 with the first input
+// symbol on top.
+type Machine struct {
+	Name    string
+	Start   string
+	Instrs  []Instr
+	byLabel map[string]*Instr
+}
+
+// NewMachine builds a machine and validates it: labels must be unique,
+// jump targets defined, and Bottom must not be pushed.
+func NewMachine(name, start string, instrs []Instr) (*Machine, error) {
+	m := &Machine{Name: name, Start: start, Instrs: instrs, byLabel: make(map[string]*Instr)}
+	for i := range instrs {
+		in := &instrs[i]
+		if in.Label == "" {
+			return nil, fmt.Errorf("machine %s: instruction %d has empty label", name, i)
+		}
+		if _, dup := m.byLabel[in.Label]; dup {
+			return nil, fmt.Errorf("machine %s: duplicate label %s", name, in.Label)
+		}
+		m.byLabel[in.Label] = in
+	}
+	check := func(target, at string) error {
+		if _, ok := m.byLabel[target]; !ok {
+			return fmt.Errorf("machine %s: undefined label %s (referenced at %s)", name, target, at)
+		}
+		return nil
+	}
+	if err := check(start, "start"); err != nil {
+		return nil, err
+	}
+	for i := range instrs {
+		in := &instrs[i]
+		switch in.Kind {
+		case IPush:
+			if in.Sym == Bottom || in.Sym == "" {
+				return nil, fmt.Errorf("machine %s: %s pushes reserved/empty symbol %q", name, in.Label, in.Sym)
+			}
+			if err := check(in.Next, in.Label); err != nil {
+				return nil, err
+			}
+		case IPop:
+			if len(in.Branch) == 0 {
+				return nil, fmt.Errorf("machine %s: %s pops with no branches", name, in.Label)
+			}
+			for sym, target := range in.Branch {
+				if sym == "" {
+					return nil, fmt.Errorf("machine %s: %s branches on empty symbol", name, in.Label)
+				}
+				if err := check(target, in.Label); err != nil {
+					return nil, err
+				}
+			}
+		case IAccept, IReject:
+		default:
+			return nil, fmt.Errorf("machine %s: %s has unknown kind %d", name, in.Label, in.Kind)
+		}
+	}
+	return m, nil
+}
+
+// RunResult reports a simulation outcome.
+type RunResult struct {
+	Accepted bool
+	Steps    int
+	// Final stack contents, bottom first.
+	Stack1, Stack2 []string
+}
+
+// ErrStepLimit is returned when the simulator exceeds its step budget
+// (two-stack machines need not halt).
+var ErrStepLimit = errors.New("machine: step limit exceeded")
+
+// Run simulates the machine on input (pre-loaded onto stack 1 with
+// input[0] on top), for at most maxSteps steps.
+func (m *Machine) Run(input []string, maxSteps int) (*RunResult, error) {
+	var s1, s2 []string // top = last element
+	for i := len(input) - 1; i >= 0; i-- {
+		s1 = append(s1, input[i])
+	}
+	pc := m.Start
+	res := &RunResult{}
+	for {
+		if res.Steps >= maxSteps {
+			return nil, ErrStepLimit
+		}
+		res.Steps++
+		in := m.byLabel[pc]
+		switch in.Kind {
+		case IPush:
+			if in.Stack == S1 {
+				s1 = append(s1, in.Sym)
+			} else {
+				s2 = append(s2, in.Sym)
+			}
+			pc = in.Next
+		case IPop:
+			var sym string
+			if in.Stack == S1 {
+				if len(s1) == 0 {
+					sym = Bottom
+				} else {
+					sym = s1[len(s1)-1]
+					s1 = s1[:len(s1)-1]
+				}
+			} else {
+				if len(s2) == 0 {
+					sym = Bottom
+				} else {
+					sym = s2[len(s2)-1]
+					s2 = s2[:len(s2)-1]
+				}
+			}
+			target, ok := in.Branch[sym]
+			if !ok {
+				res.Accepted = false
+				res.Stack1, res.Stack2 = s1, s2
+				return res, nil
+			}
+			pc = target
+		case IAccept:
+			res.Accepted = true
+			res.Stack1, res.Stack2 = s1, s2
+			return res, nil
+		case IReject:
+			res.Accepted = false
+			res.Stack1, res.Stack2 = s1, s2
+			return res, nil
+		}
+	}
+}

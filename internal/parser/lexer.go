@@ -1,0 +1,329 @@
+// Package parser implements the concrete syntax of Transaction Datalog:
+// a Prolog-flavoured surface language with "," for sequential composition
+// (the paper's ⊗), "|" for concurrent composition, iso(...) for the
+// isolation modality ⊙, and the elementary-update prefixes ins.p, del.p and
+// emptiness test empty.p.
+//
+//	tel(mary, 1234).                        % fact
+//	r(X) :- p(X), del.p(X).                 % sequential rule
+//	flow(W) :- task1(W) | task2(W).         % concurrent rule
+//	main :- iso(t1) | iso(t2).              % isolated subtransactions
+//	?- main.                                % query directive
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // lowercase-led identifier: predicate or symbol
+	tokVar              // uppercase- or underscore-led identifier
+	tokInt              // integer literal (possibly negative)
+	tokString           // double-quoted string
+	tokInsDot           // ins.<pred>  (text holds pred)
+	tokDelDot           // del.<pred>
+	tokEmptyDot         // empty.<pred>
+	tokLParen           // (
+	tokRParen           // )
+	tokComma            // ,
+	tokBar              // |
+	tokDot              // statement-terminating .
+	tokImplies          // :-
+	tokQuery            // ?-
+	tokOp               // comparison operator; text is canonical builtin name
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokInsDot:
+		return "ins."
+	case tokDelDot:
+		return "del."
+	case tokEmptyDot:
+		return "empty."
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokBar:
+		return "'|'"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	case tokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer turns input text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '%':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool { return c >= 'a' && c <= 'z' }
+
+func isVarStart(c byte) bool { return (c >= 'A' && c <= 'Z') || c == '_' }
+
+func isIdentPart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (lx *lexer) next() (token, *Error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.pos]
+		// Recognize the update/test prefixes ins. del. empty. — the dot must
+		// be immediately adjacent and followed by a predicate name.
+		if (word == "ins" || word == "del" || word == "empty") &&
+			lx.peekByte() == '.' && isIdentStart(lx.peekByteAt(1)) {
+			lx.advance() // consume '.'
+			pstart := lx.pos
+			for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+				lx.advance()
+			}
+			pred := lx.src[pstart:lx.pos]
+			kind := tokInsDot
+			switch word {
+			case "del":
+				kind = tokDelDot
+			case "empty":
+				kind = tokEmptyDot
+			}
+			return token{kind: kind, text: pred, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: word, line: line, col: col}, nil
+	case isVarStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		return token{kind: tokVar, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case isDigit(c) || (c == '-' && isDigit(lx.peekByteAt(1))):
+		neg := false
+		if c == '-' {
+			neg = true
+			lx.advance()
+		}
+		var n int64
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			n = n*10 + int64(lx.advance()-'0')
+		}
+		if neg {
+			n = -n
+		}
+		return token{kind: tokInt, num: n, line: line, col: col}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(line, col, "unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, lx.errf(line, col, "unterminated string literal")
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					return token{}, lx.errf(lx.line, lx.col, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+	}
+	// Punctuation and operators.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case ":-":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokImplies, line: line, col: col}, nil
+	case "?-":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokQuery, line: line, col: col}, nil
+	case ">=":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokOp, text: "ge", line: line, col: col}, nil
+	case "=<", "<=":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokOp, text: "le", line: line, col: col}, nil
+	case "==":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokOp, text: "eq", line: line, col: col}, nil
+	case "!=":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokOp, text: "neq", line: line, col: col}, nil
+	case "\\=":
+		lx.advance()
+		lx.advance()
+		return token{kind: tokOp, text: "neq", line: line, col: col}, nil
+	}
+	lx.advance()
+	switch c {
+	case '(':
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case ')':
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case ',':
+		return token{kind: tokComma, line: line, col: col}, nil
+	case '|':
+		return token{kind: tokBar, line: line, col: col}, nil
+	case '.':
+		return token{kind: tokDot, line: line, col: col}, nil
+	case '<':
+		return token{kind: tokOp, text: "lt", line: line, col: col}, nil
+	case '>':
+		return token{kind: tokOp, text: "gt", line: line, col: col}, nil
+	case '=':
+		return token{kind: tokOp, text: "eq", line: line, col: col}, nil
+	}
+	if unicode.IsPrint(rune(c)) {
+		return token{}, lx.errf(line, col, "unexpected character %q", c)
+	}
+	return token{}, lx.errf(line, col, "unexpected byte 0x%02x", c)
+}

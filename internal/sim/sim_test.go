@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func runSim(t *testing.T, src, goal string, opts Options) *Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, _, err := parser.ParseGoal(goal, prog.VarHigh)
+	if err != nil {
+		t.Fatalf("parse goal: %v", err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, opts).Run(g, d)
+}
+
+func short(opts ...func(*Options)) Options {
+	o := Options{Timeout: 2 * time.Second}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+func TestSimpleSequence(t *testing.T) {
+	res := runSim(t, `p(a).`, `p(X), ins.q(X), del.p(X)`, short())
+	if !res.Completed {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if !res.Final.Contains("q", []term.Term{term.NewSym("a")}) {
+		t.Fatalf("final db wrong:\n%s", res.Final)
+	}
+	if res.Final.Contains("p", []term.Term{term.NewSym("a")}) {
+		t.Fatal("p(a) not deleted")
+	}
+}
+
+func TestInputDBUntouched(t *testing.T) {
+	prog := parser.MustParse(`p(a).`)
+	g := parser.MustParseGoal(`del.p(a)`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	res := New(prog, short()).Run(g, d)
+	if !res.Completed {
+		t.Fatal(res.Err)
+	}
+	if !d.Contains("p", []term.Term{term.NewSym("a")}) {
+		t.Fatal("simulator mutated the input database")
+	}
+}
+
+func TestBlockingReadUnblockedByWriter(t *testing.T) {
+	// The consumer blocks on m(X) until the producer writes it.
+	src := `
+		producer :- ins.ready, ins.m(42).
+		consumer :- m(X), ins.got(X).
+	`
+	res := runSim(t, src, `consumer | producer`, short())
+	if !res.Completed {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if !res.Final.Contains("got", []term.Term{term.NewInt(42)}) {
+		t.Fatalf("consumer missed message:\n%s", res.Final)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Both processes wait for the other's output: classic deadlock.
+	src := `
+		a :- bsig, ins.asig.
+		b :- asig, ins.bsig.
+	`
+	res := runSim(t, src, `a | b`, short())
+	if res.Completed {
+		t.Fatal("deadlocked run completed")
+	}
+	if !errors.Is(res.Err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", res.Err)
+	}
+}
+
+func TestSingleBlockedProcessIsDeadlock(t *testing.T) {
+	res := runSim(t, ``, `nosuchtuple(x)`, short())
+	if res.Completed || !errors.Is(res.Err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", res.Err)
+	}
+}
+
+func TestHandshakeProtocol(t *testing.T) {
+	src := `
+		ping :- ins.req, ack, del.ack, ins.ping_done.
+		pong :- req, del.req, ins.ack, ins.pong_done.
+	`
+	res := runSim(t, src, `ping | pong`, short())
+	if !res.Completed {
+		t.Fatalf("handshake failed: %v", res.Err)
+	}
+	for _, p := range []string{"ping_done", "pong_done"} {
+		if res.Final.Count(p, 0) != 1 {
+			t.Errorf("%s missing", p)
+		}
+	}
+}
+
+func TestGuardAtomicityNoDoubleAllocation(t *testing.T) {
+	// Example 3.3's shared-resource idiom: one agent, two claimants. The
+	// guard available(A), del.available(A) must be atomic so exactly one
+	// claim wins at a time; the other blocks until release.
+	src := `
+		available(ann).
+		claim(W) :- available(A), del.available(A), ins.busy(A, W),
+		            del.busy(A, W), ins.served(W), ins.available(A).
+	`
+	busyCount := func(d *db.DB) error {
+		if n := d.Count("busy", 2); n > 1 {
+			return fmt.Errorf("%d agents busy, pool has 1", n)
+		}
+		return nil
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		res := runSim(t, src, `claim(w1) | claim(w2) | claim(w3)`, short(func(o *Options) {
+			o.Seed = seed
+			o.Shuffle = true
+			o.Monitors = []MonitorFunc{busyCount}
+		}))
+		if !res.Completed {
+			t.Fatalf("seed %d: run failed: %v", seed, res.Err)
+		}
+		if res.Final.Count("served", 1) != 3 {
+			t.Fatalf("seed %d: not all work served:\n%s", seed, res.Final)
+		}
+		if res.Final.Count("available", 1) != 1 {
+			t.Fatalf("seed %d: agent not released:\n%s", seed, res.Final)
+		}
+	}
+}
+
+func TestMonitorViolationFailsRun(t *testing.T) {
+	src := `grow :- ins.x(1), ins.x(2), ins.x(3).`
+	limit := func(d *db.DB) error {
+		if d.Count("x", 1) > 2 {
+			return fmt.Errorf("too many x")
+		}
+		return nil
+	}
+	res := runSim(t, src, `grow`, short(func(o *Options) {
+		o.Monitors = []MonitorFunc{limit}
+	}))
+	if res.Completed {
+		t.Fatal("run completed despite invariant violation")
+	}
+	if res.Err == nil || !errors.Is(res.Err, res.Err) {
+		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+func TestIsolationSerializes(t *testing.T) {
+	// Two isolated read-modify-write increments must never lose an update.
+	src := `
+		counter(0).
+		bump :- counter(N), del.counter(N), add(N, 1, M), ins.counter(M).
+		worker :- iso(bump), iso(bump).
+	`
+	for seed := int64(0); seed < 8; seed++ {
+		res := runSim(t, src, `worker | worker`, short(func(o *Options) {
+			o.Seed = seed
+			o.Shuffle = true
+		}))
+		if !res.Completed {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if !res.Final.Contains("counter", []term.Term{term.NewInt(4)}) {
+			t.Fatalf("seed %d: lost update under isolation:\n%s", seed, res.Final)
+		}
+	}
+}
+
+func TestNestedIso(t *testing.T) {
+	src := `
+		inner :- ins.i.
+		outer :- iso(inner), ins.o.
+	`
+	res := runSim(t, src, `iso(outer)`, short())
+	if !res.Completed {
+		t.Fatalf("nested iso failed: %v", res.Err)
+	}
+}
+
+func TestRecursiveSpawning(t *testing.T) {
+	// Example 3.2: the simulation spawns a workflow per work item,
+	// recursing concurrently; the environment seeds the items.
+	src := `
+		item(w1). item(w2). item(w3).
+		simulate :- item(X), del.item(X), (workflow(X) | simulate).
+		simulate :- empty.item.
+		workflow(X) :- ins.started(X), ins.finished(X).
+	`
+	res := runSim(t, src, `simulate`, short())
+	if !res.Completed {
+		t.Fatalf("simulate failed: %v", res.Err)
+	}
+	if res.Final.Count("finished", 1) != 3 {
+		t.Fatalf("items not all processed:\n%s", res.Final)
+	}
+	if res.Spawned < 4 {
+		t.Fatalf("spawned = %d, expected one process per item plus root", res.Spawned)
+	}
+}
+
+func TestEnvironmentAsProcess(t *testing.T) {
+	// The environment injects work; the workflow loop drains it. From the
+	// paper: "we can treat the environment simply as another process".
+	src := `
+		environment :- ins.item(a), ins.item(b), ins.eof.
+		loop :- item(X), del.item(X), ins.done(X), loop.
+		loop :- eof, empty.item.
+	`
+	res := runSim(t, src, `environment | loop`, short())
+	if !res.Completed {
+		t.Fatalf("env|loop failed: %v", res.Err)
+	}
+	if res.Final.Count("done", 1) != 2 {
+		t.Fatalf("not all environment items processed:\n%s", res.Final)
+	}
+}
+
+func TestOutputBindingsFromCalls(t *testing.T) {
+	src := `
+		mk(X, Y) :- add(X, 1, Y).
+		use :- mk(5, Z), ins.result(Z).
+	`
+	res := runSim(t, src, `use`, short())
+	if !res.Completed {
+		t.Fatalf("use failed: %v", res.Err)
+	}
+	if !res.Final.Contains("result", []term.Term{term.NewInt(6)}) {
+		t.Fatalf("output binding lost:\n%s", res.Final)
+	}
+}
+
+func TestSharedUnboundVarRejected(t *testing.T) {
+	res := runSim(t, `p(a). q(a).`, `p(X) | q(X)`, short())
+	if res.Completed {
+		t.Fatal("shared unbound variable across | accepted")
+	}
+	if res.Err == nil {
+		t.Fatal("no error reported")
+	}
+}
+
+func TestSharedBoundVarOK(t *testing.T) {
+	res := runSim(t, `p(a). q(a).`, `p(X), (ins.r1(X) | ins.r2(X))`, short())
+	if !res.Completed {
+		t.Fatalf("bound shared var rejected: %v", res.Err)
+	}
+	if !res.Final.Contains("r1", []term.Term{term.NewSym("a")}) ||
+		!res.Final.Contains("r2", []term.Term{term.NewSym("a")}) {
+		t.Fatalf("final db wrong:\n%s", res.Final)
+	}
+}
+
+func TestUndefinedPredicateFails(t *testing.T) {
+	// A call with rules for a different arity is an undefined predicate.
+	res := runSim(t, `r(a) :- true.`, `r(a, b)`, short())
+	if res.Completed {
+		t.Fatal("undefined predicate call completed")
+	}
+}
+
+func TestBuiltinFailureFailsRun(t *testing.T) {
+	res := runSim(t, ``, `ins.x(5), x(N), N > 10`, short())
+	if res.Completed {
+		t.Fatal("failed comparison completed")
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	res := runSim(t, `p(a).`, `p(X), ins.q(X)`, short(func(o *Options) { o.Trace = true }))
+	if !res.Completed {
+		t.Fatal(res.Err)
+	}
+	if len(res.Events) < 2 {
+		t.Fatalf("events = %v", res.Events)
+	}
+	evs := SortedEvents(res.Events)
+	last := evs[len(evs)-1]
+	if last.Op != "ins" || last.Atom != "q(a)" {
+		t.Fatalf("last event = %v", last)
+	}
+}
+
+func TestOpBudget(t *testing.T) {
+	src := `
+		spin :- ins.t, del.t, spin.
+		spin :- stop.
+	`
+	res := runSim(t, src, `spin`, short(func(o *Options) { o.MaxOps = 500 }))
+	if res.Completed || !errors.Is(res.Err, ErrOpBudget) {
+		t.Fatalf("err = %v, want ErrOpBudget", res.Err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	src := `
+		waiter :- never_coming, ins.x.
+		keepalive :- tick, keepalive.
+		keepalive :- stopnow.
+	`
+	// waiter blocks; keepalive spins forever so there is no deadlock —
+	// only the timeout can end this.
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(`waiter | keepalive`, prog.VarHigh)
+	d := db.New()
+	d.Insert("tick", nil)
+	res := New(prog, Options{Timeout: 200 * time.Millisecond, MaxOps: 100_000_000}).Run(g, d)
+	if res.Completed {
+		t.Fatal("run completed")
+	}
+	if !errors.Is(res.Err, ErrTimeout) && !errors.Is(res.Err, ErrOpBudget) {
+		t.Fatalf("err = %v, want timeout", res.Err)
+	}
+}
+
+func TestManyWorkersThroughput(t *testing.T) {
+	// A small stress test: 20 items, 4 concurrent workers draining them.
+	src := `
+		worker :- item(X), del.item(X), ins.done(X), worker.
+		worker :- empty.item.
+	`
+	prog := parser.MustParse(src)
+	d := db.New()
+	for i := 0; i < 20; i++ {
+		d.Insert("item", []term.Term{term.NewInt(int64(i))})
+	}
+	g := parser.MustParseGoal(`worker | worker | worker | worker`, prog.VarHigh)
+	res := New(prog, Options{Timeout: 5 * time.Second, Shuffle: true, Seed: 3}).Run(g, d)
+	if !res.Completed {
+		t.Fatalf("workers failed: %v", res.Err)
+	}
+	if res.Final.Count("done", 1) != 20 {
+		t.Fatalf("done = %d, want 20", res.Final.Count("done", 1))
+	}
+	if res.Final.Count("item", 1) != 0 {
+		t.Fatal("items left over")
+	}
+}
+
+func TestCooperatingWorkflowsExample34(t *testing.T) {
+	// Two workflows over related parts, synchronizing through the DB: wf2
+	// waits for wf1's measurement before verifying.
+	src := `
+		wf1(P) :- ins.prepped(P), ins.measured(P, 42).
+		wf2(P) :- measured(P, V), ins.verified(P, V).
+	`
+	res := runSim(t, src, `wf2(part1) | wf1(part1)`, short())
+	if !res.Completed {
+		t.Fatalf("cooperating workflows failed: %v", res.Err)
+	}
+	if !res.Final.Contains("verified", []term.Term{term.NewSym("part1"), term.NewInt(42)}) {
+		t.Fatalf("verification missing:\n%s", res.Final)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := runSim(t, `p(a).`, `p(X), ins.q(X), del.p(X)`, short(func(o *Options) { o.Trace = true }))
+	if !res.Completed {
+		t.Fatal(res.Err)
+	}
+	s := Summarize(res.Events)
+	if s.Processes != 1 {
+		t.Fatalf("processes = %d", s.Processes)
+	}
+	if s.Ops["ins"] != 1 || s.Ops["del"] != 1 || s.Ops["query"] != 1 {
+		t.Fatalf("ops = %v", s.Ops)
+	}
+	if s.AtomPrefixCounts["q"] != 1 {
+		t.Fatalf("prefix counts = %v", s.AtomPrefixCounts)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAgentUtilization(t *testing.T) {
+	events := []Event{
+		{Op: "ins", Atom: "doing(ann, w1, prep)"},
+		{Op: "ins", Atom: "doing(ann, w2, prep)"},
+		{Op: "ins", Atom: "doing(bob, w1, scan)"},
+		{Op: "del", Atom: "doing(ann, w1, prep)"},
+		{Op: "ins", Atom: "other(x)"},
+	}
+	u := AgentUtilization(events)
+	if u["ann"] != 2 || u["bob"] != 1 || len(u) != 2 {
+		t.Fatalf("utilization = %v", u)
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary aggregates an event trace into per-process and per-operation
+// statistics — the monitoring/tracking view the paper says workflow
+// management needs ("monitoring, tracking and querying the status of
+// workflow activities").
+type Summary struct {
+	// Ops counts events by operation kind (query/ins/del/call/...).
+	Ops map[string]int64
+	// PerProcess counts events by process id.
+	PerProcess map[int]int64
+	// Processes is the number of distinct processes that executed events.
+	Processes int
+	// AtomPrefixCounts counts ins events by predicate name — the history
+	// accumulation profile.
+	AtomPrefixCounts map[string]int64
+}
+
+// Summarize aggregates events (from Options.Trace).
+func Summarize(events []Event) *Summary {
+	s := &Summary{
+		Ops:              make(map[string]int64),
+		PerProcess:       make(map[int]int64),
+		AtomPrefixCounts: make(map[string]int64),
+	}
+	for _, e := range events {
+		s.Ops[e.Op]++
+		s.PerProcess[e.Task]++
+		if e.Op == "ins" {
+			pred := e.Atom
+			if i := strings.IndexByte(pred, '('); i >= 0 {
+				pred = pred[:i]
+			}
+			s.AtomPrefixCounts[pred]++
+		}
+	}
+	s.Processes = len(s.PerProcess)
+	return s
+}
+
+// String renders the summary compactly.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d processes\n", s.Processes)
+	var ops []string
+	for op := range s.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %-8s %d\n", op, s.Ops[op])
+	}
+	return b.String()
+}
+
+// AgentUtilization extracts per-agent task counts from a trace of the
+// workflow compiler's "ins doing(Agent, Item, Task)" events.
+func AgentUtilization(events []Event) map[string]int {
+	out := make(map[string]int)
+	for _, e := range events {
+		if e.Op != "ins" || !strings.HasPrefix(e.Atom, "doing(") {
+			continue
+		}
+		rest := strings.TrimPrefix(e.Atom, "doing(")
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			out[rest[:i]]++
+		}
+	}
+	return out
+}

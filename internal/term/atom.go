@@ -1,0 +1,101 @@
+package term
+
+import "strings"
+
+// Atom is a predicate symbol applied to a list of terms, e.g. tel(mary, X).
+// Atoms are used both as database tuples (when ground, over base predicates)
+// and as goal literals.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// IsGround reports whether no argument is a variable.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom in concrete syntax.
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns the canonical tuple key of a ground atom's arguments.
+// It panics if the atom is not ground.
+func (a Atom) Key() string { return KeyOf(a.Args) }
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders atoms by predicate, then arity, then argument order.
+func (a Atom) Compare(b Atom) int {
+	if c := strings.Compare(a.Pred, b.Pred); c != 0 {
+		return c
+	}
+	if len(a.Args) != len(b.Args) {
+		if len(a.Args) < len(b.Args) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Args {
+		if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Vars appends the distinct variables of a to dst in first-occurrence order.
+func (a Atom) Vars(dst []Term) []Term {
+	for _, t := range a.Args {
+		if !t.IsVar() {
+			continue
+		}
+		seen := false
+		for _, v := range dst {
+			if v.Equal(t) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}

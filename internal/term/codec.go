@@ -1,0 +1,63 @@
+package term
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DecodeKey parses a canonical tuple key produced by KeyOf back into its
+// ground terms. KeyOf/DecodeKey form a bijection on ground tuples, which
+// the database's persistence layer relies on.
+func DecodeKey(key string) ([]Term, error) {
+	var out []Term
+	s := key
+	for len(s) > 0 {
+		tag := s[0]
+		s = s[1:]
+		switch tag {
+		case 'i':
+			// Integer: digits (with optional leading '-') up to the next
+			// tag byte. Integers are rendered by strconv.FormatInt, so the
+			// token ends where a non-digit (non-leading-'-') begins.
+			j := 0
+			if j < len(s) && s[j] == '-' {
+				j++
+			}
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j == 0 || (j == 1 && s[0] == '-') {
+				return nil, fmt.Errorf("term: bad integer in key at %q", s)
+			}
+			v, err := strconv.ParseInt(s[:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("term: bad integer in key: %w", err)
+			}
+			out = append(out, NewInt(v))
+			s = s[j:]
+		case 's', 'q':
+			colon := strings.IndexByte(s, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("term: missing length in key at %q", s)
+			}
+			n, err := strconv.Atoi(s[:colon])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("term: bad length in key at %q", s)
+			}
+			rest := s[colon+1:]
+			if len(rest) < n {
+				return nil, fmt.Errorf("term: truncated key payload (want %d bytes, have %d)", n, len(rest))
+			}
+			if tag == 's' {
+				out = append(out, NewSym(rest[:n]))
+			} else {
+				out = append(out, NewStr(rest[:n]))
+			}
+			s = rest[n:]
+		default:
+			return nil, fmt.Errorf("term: unknown key tag %q", tag)
+		}
+	}
+	return out, nil
+}

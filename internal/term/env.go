@@ -1,0 +1,138 @@
+package term
+
+// Env is a binding environment: a mutable map from variable ids to terms,
+// with a trail that supports O(1) marking and O(changes) undo. The engine
+// uses a single Env per derivation and rewinds it on backtracking.
+//
+// Bindings may form var→var chains; Walk resolves them. Env performs no
+// occurs check: the language is function-free, so cyclic bindings other than
+// benign var→var self-unifications cannot arise.
+type Env struct {
+	bind  map[int64]Term
+	trail []int64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{bind: make(map[int64]Term)}
+}
+
+// Len returns the number of bound variables.
+func (e *Env) Len() int { return len(e.bind) }
+
+// Walk resolves t through the current bindings until it reaches a constant
+// or an unbound variable.
+func (e *Env) Walk(t Term) Term {
+	for t.IsVar() {
+		u, ok := e.bind[t.VarID()]
+		if !ok {
+			return t
+		}
+		t = u
+	}
+	return t
+}
+
+// Mark returns a position in the trail; passing it to Undo removes every
+// binding made since.
+func (e *Env) Mark() int { return len(e.trail) }
+
+// Undo rewinds the environment to a previous Mark.
+func (e *Env) Undo(mark int) {
+	for i := len(e.trail) - 1; i >= mark; i-- {
+		delete(e.bind, e.trail[i])
+	}
+	e.trail = e.trail[:mark]
+}
+
+// bindVar records id ↦ t.
+func (e *Env) bindVar(id int64, t Term) {
+	e.bind[id] = t
+	e.trail = append(e.trail, id)
+}
+
+// Bind makes variable v refer to t (after walking both). It reports whether
+// binding succeeded; binding fails only when both sides walk to distinct
+// constants.
+func (e *Env) Bind(v, t Term) bool { return e.Unify(v, t) }
+
+// Unify attempts to unify a and b under the current bindings, extending the
+// environment on success. On failure the environment is left unchanged
+// (unification of flat terms makes at most one binding).
+func (e *Env) Unify(a, b Term) bool {
+	a = e.Walk(a)
+	b = e.Walk(b)
+	if a.IsVar() {
+		if b.IsVar() && a.VarID() == b.VarID() {
+			return true
+		}
+		e.bindVar(a.VarID(), b)
+		return true
+	}
+	if b.IsVar() {
+		e.bindVar(b.VarID(), a)
+		return true
+	}
+	return a.Equal(b)
+}
+
+// UnifyAtoms unifies two atoms. On failure every binding made during the
+// attempt is undone.
+func (e *Env) UnifyAtoms(a, b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	mark := e.Mark()
+	for i := range a.Args {
+		if !e.Unify(a.Args[i], b.Args[i]) {
+			e.Undo(mark)
+			return false
+		}
+	}
+	return true
+}
+
+// UnifyArgs unifies the argument vector args against the ground tuple row
+// (same length assumed). On failure the environment is rewound.
+func (e *Env) UnifyArgs(args, row []Term) bool {
+	mark := e.Mark()
+	for i := range args {
+		if !e.Unify(args[i], row[i]) {
+			e.Undo(mark)
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve returns t with all bindings applied (terms are flat, so this is a
+// single Walk).
+func (e *Env) Resolve(t Term) Term { return e.Walk(t) }
+
+// ResolveAtom returns a copy of a with every argument walked.
+func (e *Env) ResolveAtom(a Atom) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		out.Args[i] = e.Walk(t)
+	}
+	return out
+}
+
+// ResolveArgs returns a new slice with each term walked.
+func (e *Env) ResolveArgs(args []Term) []Term {
+	out := make([]Term, len(args))
+	for i, t := range args {
+		out[i] = e.Walk(t)
+	}
+	return out
+}
+
+// IsGroundAtom reports whether a resolves to a ground atom under e.
+func (e *Env) IsGroundAtom(a Atom) bool {
+	for _, t := range a.Args {
+		if e.Walk(t).IsVar() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,439 @@
+package term
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndAccessors(t *testing.T) {
+	v := NewVar("X", 7)
+	if !v.IsVar() || v.VarID() != 7 || v.VarName() != "X" {
+		t.Fatalf("variable accessors broken: %v", v)
+	}
+	s := NewSym("mary")
+	if s.Kind() != Sym || s.SymName() != "mary" || !s.IsConst() {
+		t.Fatalf("symbol accessors broken: %v", s)
+	}
+	i := NewInt(-42)
+	if i.Kind() != Int || i.IntVal() != -42 {
+		t.Fatalf("int accessors broken: %v", i)
+	}
+	q := NewStr("a b")
+	if q.Kind() != Str || q.StrVal() != "a b" {
+		t.Fatalf("str accessors broken: %v", q)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{NewVar("X", 1), "X"},
+		{NewVar("", 9), "_G9"},
+		{NewSym("task1"), "task1"},
+		{NewInt(12), "12"},
+		{NewInt(-3), "-3"},
+		{NewStr("hi"), `"hi"`},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("VarID", func() { NewSym("a").VarID() })
+	mustPanic("SymName", func() { NewInt(1).SymName() })
+	mustPanic("IntVal", func() { NewSym("a").IntVal() })
+	mustPanic("StrVal", func() { NewInt(1).StrVal() })
+	mustPanic("KeyOf var", func() { KeyOf([]Term{NewVar("X", 0)}) })
+}
+
+func TestEqualIgnoresVarName(t *testing.T) {
+	if !NewVar("X", 3).Equal(NewVar("Y", 3)) {
+		t.Error("variables with same id must be equal")
+	}
+	if NewVar("X", 3).Equal(NewVar("X", 4)) {
+		t.Error("variables with different ids must differ")
+	}
+	if NewSym("1").Equal(NewInt(1)) {
+		t.Error("symbol \"1\" must differ from integer 1")
+	}
+	if NewStr("a").Equal(NewSym("a")) {
+		t.Error("string \"a\" must differ from symbol a")
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	ts := []Term{
+		NewVar("A", 0), NewVar("B", 5),
+		NewSym("a"), NewSym("b"),
+		NewInt(-1), NewInt(3),
+		NewStr("a"), NewStr("z"),
+	}
+	for i, a := range ts {
+		for j, b := range ts {
+			c, d := a.Compare(b), b.Compare(a)
+			if c != -d {
+				t.Errorf("Compare not antisymmetric for %v, %v", a, b)
+			}
+			if (i == j) != (c == 0) {
+				t.Errorf("Compare(%v,%v)=%d unexpected", a, b, c)
+			}
+		}
+	}
+}
+
+// Property: KeyOf is injective on ground tuples (distinct tuples ⇒ distinct
+// keys), including near-collisions like [ab, c] vs [a, bc].
+func TestKeyOfInjective(t *testing.T) {
+	a := KeyOf([]Term{NewSym("ab"), NewSym("c")})
+	b := KeyOf([]Term{NewSym("a"), NewSym("bc")})
+	if a == b {
+		t.Fatal("KeyOf collided on [ab,c] vs [a,bc]")
+	}
+	c := KeyOf([]Term{NewSym("1")})
+	d := KeyOf([]Term{NewInt(1)})
+	e := KeyOf([]Term{NewStr("1")})
+	if c == d || c == e || d == e {
+		t.Fatal("KeyOf collided across kinds")
+	}
+}
+
+// randGround produces a random ground term for property tests.
+func randGround(r *rand.Rand) Term {
+	switch r.Intn(3) {
+	case 0:
+		letters := []byte("abcxyz:si")
+		n := r.Intn(4)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = letters[r.Intn(len(letters))]
+		}
+		return NewSym(string(buf))
+	case 1:
+		return NewInt(r.Int63n(200) - 100)
+	default:
+		return NewStr(string(rune('a' + r.Intn(26))))
+	}
+}
+
+func TestKeyOfInjectiveProperty(t *testing.T) {
+	f := func(seed int64, n1, n2 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		t1 := make([]Term, int(n1)%5)
+		t2 := make([]Term, int(n2)%5)
+		for i := range t1 {
+			t1[i] = randGround(r)
+		}
+		for i := range t2 {
+			t2[i] = randGround(r)
+		}
+		same := len(t1) == len(t2)
+		if same {
+			for i := range t1 {
+				if !t1[i].Equal(t2[i]) {
+					same = false
+					break
+				}
+			}
+		}
+		return same == (KeyOf(t1) == KeyOf(t2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("tel", NewSym("mary"), NewInt(1234))
+	if a.Arity() != 2 || !a.IsGround() {
+		t.Fatalf("atom basics broken: %v", a)
+	}
+	if got := a.String(); got != "tel(mary, 1234)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewAtom("go").String(); got != "go" {
+		t.Errorf("nullary String = %q", got)
+	}
+	b := NewAtom("tel", NewSym("mary"), NewVar("X", 0))
+	if b.IsGround() {
+		t.Error("atom with variable reported ground")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("atom equality broken")
+	}
+}
+
+func TestAtomCompare(t *testing.T) {
+	a := NewAtom("p", NewInt(1))
+	b := NewAtom("p", NewInt(2))
+	c := NewAtom("q")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("argument ordering broken")
+	}
+	if a.Compare(c) >= 0 {
+		t.Error("predicate ordering broken")
+	}
+	d := NewAtom("p")
+	if d.Compare(a) >= 0 {
+		t.Error("arity ordering broken")
+	}
+}
+
+func TestAtomVars(t *testing.T) {
+	x, y := NewVar("X", 0), NewVar("Y", 1)
+	a := NewAtom("p", x, NewSym("c"), y, x)
+	vs := a.Vars(nil)
+	want := []Term{x, y}
+	if !reflect.DeepEqual(vs, want) {
+		t.Errorf("Vars = %v, want %v", vs, want)
+	}
+}
+
+func TestEnvUnifyBasics(t *testing.T) {
+	e := NewEnv()
+	x, y := NewVar("X", 0), NewVar("Y", 1)
+	if !e.Unify(x, NewSym("a")) {
+		t.Fatal("var-const unify failed")
+	}
+	if got := e.Walk(x); !got.Equal(NewSym("a")) {
+		t.Fatalf("Walk(X) = %v", got)
+	}
+	if !e.Unify(y, x) {
+		t.Fatal("var-var unify failed")
+	}
+	if got := e.Walk(y); !got.Equal(NewSym("a")) {
+		t.Fatalf("Walk(Y) = %v, want a", got)
+	}
+	if e.Unify(NewSym("a"), NewSym("b")) {
+		t.Fatal("distinct constants unified")
+	}
+	if !e.Unify(NewSym("a"), NewSym("a")) {
+		t.Fatal("identical constants failed to unify")
+	}
+	if !e.Unify(x, x) {
+		t.Fatal("self-unification failed")
+	}
+}
+
+func TestEnvUndo(t *testing.T) {
+	e := NewEnv()
+	x, y, z := NewVar("X", 0), NewVar("Y", 1), NewVar("Z", 2)
+	e.Unify(x, NewSym("a"))
+	mark := e.Mark()
+	e.Unify(y, NewSym("b"))
+	e.Unify(z, y)
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", e.Len())
+	}
+	e.Undo(mark)
+	if e.Len() != 1 {
+		t.Fatalf("after Undo Len = %d, want 1", e.Len())
+	}
+	if !e.Walk(y).IsVar() || !e.Walk(z).IsVar() {
+		t.Fatal("Undo did not unbind Y, Z")
+	}
+	if !e.Walk(x).Equal(NewSym("a")) {
+		t.Fatal("Undo removed binding made before mark")
+	}
+}
+
+func TestUnifyAtomsRewindsOnFailure(t *testing.T) {
+	e := NewEnv()
+	x := NewVar("X", 0)
+	a := NewAtom("p", x, NewSym("b"))
+	b := NewAtom("p", NewSym("a"), NewSym("c"))
+	if e.UnifyAtoms(a, b) {
+		t.Fatal("atoms should not unify")
+	}
+	if e.Len() != 0 {
+		t.Fatal("failed UnifyAtoms left bindings behind")
+	}
+	if e.UnifyAtoms(a, NewAtom("q", NewSym("a"), NewSym("b"))) {
+		t.Fatal("different predicates unified")
+	}
+	if e.UnifyAtoms(a, NewAtom("p", NewSym("a"))) {
+		t.Fatal("different arities unified")
+	}
+	if !e.UnifyAtoms(a, NewAtom("p", NewSym("a"), NewSym("b"))) {
+		t.Fatal("compatible atoms failed to unify")
+	}
+	if !e.Walk(x).Equal(NewSym("a")) {
+		t.Fatal("binding not recorded")
+	}
+}
+
+func TestResolveHelpers(t *testing.T) {
+	e := NewEnv()
+	x, y := NewVar("X", 0), NewVar("Y", 1)
+	e.Unify(x, NewInt(3))
+	a := NewAtom("p", x, y)
+	ra := e.ResolveAtom(a)
+	if !ra.Args[0].Equal(NewInt(3)) || !ra.Args[1].Equal(y) {
+		t.Fatalf("ResolveAtom = %v", ra)
+	}
+	if e.IsGroundAtom(a) {
+		t.Fatal("atom with unbound var reported ground")
+	}
+	e.Unify(y, NewSym("k"))
+	if !e.IsGroundAtom(a) {
+		t.Fatal("fully bound atom reported non-ground")
+	}
+	rs := e.ResolveArgs([]Term{x, y})
+	if !rs[0].Equal(NewInt(3)) || !rs[1].Equal(NewSym("k")) {
+		t.Fatalf("ResolveArgs = %v", rs)
+	}
+}
+
+// Property: Unify is symmetric in outcome, and a successful unification makes
+// both sides walk to the same term.
+func TestUnifySymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Term {
+			if r.Intn(2) == 0 {
+				return NewVar("V", int64(r.Intn(4)))
+			}
+			return randGround(r)
+		}
+		a, b := mk(), mk()
+		e1, e2 := NewEnv(), NewEnv()
+		ok1 := e1.Unify(a, b)
+		ok2 := e2.Unify(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if ok1 {
+			if !e1.Walk(a).Equal(e1.Walk(b)) {
+				return false
+			}
+			if !e2.Walk(a).Equal(e2.Walk(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamer(t *testing.T) {
+	r := NewRenamer(100)
+	v1 := r.Fresh("X")
+	v2 := r.Fresh("X")
+	if v1.Equal(v2) {
+		t.Fatal("Fresh returned identical variables")
+	}
+	if v1.VarID() != 100 || v2.VarID() != 101 {
+		t.Fatalf("ids = %d, %d", v1.VarID(), v2.VarID())
+	}
+	if r.High() != 102 {
+		t.Fatalf("High = %d", r.High())
+	}
+}
+
+func TestRenamingConsistent(t *testing.T) {
+	// Fresh ids must be seeded above the source program's ids (here 0 and 1),
+	// as engines do with the parser's high-water mark.
+	r := NewRenamer(10)
+	rn := r.NewRenaming()
+	x, y := NewVar("X", 0), NewVar("Y", 1)
+	a := NewAtom("p", x, y, x, NewSym("c"))
+	ra := rn.Atom(a)
+	if !ra.Args[0].Equal(ra.Args[2]) {
+		t.Fatal("same source var renamed to different fresh vars")
+	}
+	if ra.Args[0].Equal(ra.Args[1]) {
+		t.Fatal("different source vars renamed to same fresh var")
+	}
+	if ra.Args[0].Equal(x) {
+		t.Fatal("renaming returned original variable")
+	}
+	if !ra.Args[3].Equal(NewSym("c")) {
+		t.Fatal("constant changed by renaming")
+	}
+	// A second renaming must produce different fresh variables.
+	rn2 := r.NewRenaming()
+	rb := rn2.Atom(a)
+	if rb.Args[0].Equal(ra.Args[0]) {
+		t.Fatal("two renamings shared a fresh variable")
+	}
+}
+
+func TestRenamerConcurrent(t *testing.T) {
+	r := NewRenamer(0)
+	const goroutines, per = 8, 200
+	ids := make(chan int64, goroutines*per)
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				ids <- r.Fresh("V").VarID()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	close(ids)
+	seen := make(map[int64]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate fresh id %d under concurrency", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("allocated %d ids, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Var: "var", Sym: "sym", Int: "int", Str: "str"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestEnvBindAlias(t *testing.T) {
+	e := NewEnv()
+	x := NewVar("X", 0)
+	if !e.Bind(x, NewInt(5)) {
+		t.Fatal("Bind failed")
+	}
+	if !e.Walk(x).Equal(NewInt(5)) {
+		t.Fatal("Bind did not bind")
+	}
+	if e.Bind(NewInt(1), NewInt(2)) {
+		t.Fatal("Bind of distinct constants succeeded")
+	}
+}
+
+func TestResolveSingle(t *testing.T) {
+	e := NewEnv()
+	x := NewVar("X", 0)
+	e.Unify(x, NewSym("v"))
+	if !e.Resolve(x).Equal(NewSym("v")) {
+		t.Fatal("Resolve wrong")
+	}
+}

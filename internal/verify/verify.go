@@ -1,0 +1,195 @@
+// Package verify provides exhaustive analysis of Transaction Datalog
+// workflows, in the direction the paper's related-work section points
+// (logic-based reasoning about workflows, Davulcu–Kifer et al. [34]):
+//
+//   - Invariant: does a property hold in EVERY database state reachable on
+//     ANY execution path of a goal (not just on witness paths)?
+//   - Finals: the exact set of final databases the goal can commit with.
+//   - Serializable: is every outcome of a concurrent composition equal to
+//     the outcome of SOME serial order of its components? (The property
+//     the paper's isolation modality guarantees by construction.)
+//
+// All three build on the proof-theoretic engine's exhaustive search, so
+// they are exact — and correspondingly exponential on adversarial inputs;
+// budgets apply.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/engine"
+)
+
+// Violation describes an invariant breach.
+type Violation struct {
+	// Cause is the error the invariant function returned.
+	Cause error
+	// Trace is the execution prefix that reached the violating state.
+	Trace []engine.TraceEntry
+}
+
+func (v *Violation) Error() string { return v.Cause.Error() }
+
+// InvariantResult reports an Invariant check.
+type InvariantResult struct {
+	// Holds is true when no reachable state violates the invariant.
+	Holds bool
+	// Violation is the first breach found (when Holds is false).
+	Violation *Violation
+	// Executions counts complete executions explored.
+	Executions int
+	Stats      engine.Stats
+}
+
+// Invariant explores every execution path of goal from d and checks inv
+// after every database change. The initial database is also checked.
+// d is left unchanged.
+func Invariant(prog *ast.Program, goal ast.Goal, d *db.DB, inv func(*db.DB) error, opts engine.Options) (*InvariantResult, error) {
+	if err := inv(d); err != nil {
+		return &InvariantResult{Violation: &Violation{Cause: err}}, nil
+	}
+	opts.Trace = true
+	opts.Watch = inv
+	// Tabling memoizes failed configurations; under a Watch those
+	// configurations' intermediate states must still be re-visited on new
+	// paths... they were already checked once when first explored, and the
+	// watch is state-based, so pruning re-exploration is sound: a pruned
+	// configuration cannot reach any state it did not already reach.
+	eng := engine.New(prog, opts)
+	count := 0
+	_, res, err := eng.Solutions(goal, d, 0)
+	_ = res
+	if err != nil {
+		var wv *engine.WatchViolation
+		if errors.As(err, &wv) {
+			return &InvariantResult{
+				Violation:  &Violation{Cause: wv.Cause, Trace: wv.Trace},
+				Executions: count,
+				Stats:      res.Stats,
+			}, nil
+		}
+		return nil, err
+	}
+	return &InvariantResult{
+		Holds:      true,
+		Executions: int(res.Stats.Successes),
+		Stats:      res.Stats,
+	}, nil
+}
+
+// Finals returns the set of final databases reachable by committing
+// executions of goal, deduplicated by content. d is left unchanged.
+func Finals(prog *ast.Program, goal ast.Goal, d *db.DB, opts engine.Options) ([]*db.DB, error) {
+	eng := engine.New(prog, opts)
+	sols, _, err := eng.Solutions(goal, d, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []*db.DB
+	seen := map[[2]uint64][]*db.DB{}
+	for _, s := range sols {
+		fp := s.Final.Fingerprint()
+		dup := false
+		for _, prev := range seen[fp] {
+			if prev.Equal(s.Final) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[fp] = append(seen[fp], s.Final)
+			out = append(out, s.Final)
+		}
+	}
+	return out, nil
+}
+
+// SerializableResult reports a Serializable check.
+type SerializableResult struct {
+	// OK is true when every concurrent outcome is a serial outcome.
+	OK bool
+	// Anomaly is a final database reachable concurrently but under no
+	// serial order (when OK is false).
+	Anomaly *db.DB
+	// ConcurrentFinals and SerialFinals count the distinct outcomes.
+	ConcurrentFinals int
+	SerialFinals     int
+}
+
+// Serializable checks whether the concurrent composition of the given
+// transactions only reaches outcomes that some serial order of the same
+// transactions also reaches. It enumerates all len(txns)! serial orders,
+// so keep the transaction count small.
+func Serializable(prog *ast.Program, txns []ast.Goal, d *db.DB, opts engine.Options) (*SerializableResult, error) {
+	if len(txns) == 0 {
+		return &SerializableResult{OK: true}, nil
+	}
+	concFinals, err := Finals(prog, ast.NewConc(txns...), d, opts)
+	if err != nil {
+		return nil, err
+	}
+	var serialFinals []*db.DB
+	perms := permutations(len(txns))
+	for _, perm := range perms {
+		ordered := make([]ast.Goal, len(txns))
+		for i, j := range perm {
+			ordered[i] = txns[j]
+		}
+		finals, err := Finals(prog, ast.NewSeq(ordered...), d, opts)
+		if err != nil {
+			return nil, err
+		}
+		serialFinals = append(serialFinals, finals...)
+	}
+	res := &SerializableResult{
+		OK:               true,
+		ConcurrentFinals: len(concFinals),
+		SerialFinals:     len(serialFinals),
+	}
+	for _, cf := range concFinals {
+		matched := false
+		for _, sf := range serialFinals {
+			if cf.Equal(sf) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			res.OK = false
+			res.Anomaly = cf
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// permutations returns all permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n > 7 {
+		panic(fmt.Sprintf("verify: refusing to enumerate %d! serial orders", n))
+	}
+	var out [][]int
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,256 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func setup(t *testing.T, src string) (*ast.Program, *db.DB) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, d
+}
+
+func goalOf(t *testing.T, prog *ast.Program, src string) ast.Goal {
+	t.Helper()
+	g, _, err := parser.ParseGoal(src, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func opts() engine.Options { return engine.DefaultOptions() }
+
+func TestInvariantAgentAcquisition(t *testing.T) {
+	// Agent pool of 1, two concurrent claimants. Under the pure
+	// declarative semantics, available(A) ⊗ del.available(A) is NOT atomic
+	// — and because deleting an absent tuple is a silent no-op (set
+	// semantics), two processes can both observe available(a1) before
+	// either deletes it: double allocation is genuinely reachable. The
+	// verifier must find that interleaving.
+	bare := `
+		available(a1).
+		job(W) :- available(A), del.available(A), ins.busy(A, W),
+		          del.busy(A, W), ins.done(W), ins.available(A).
+	`
+	inv := func(d *db.DB) error {
+		if d.Count("busy", 2) > 1 {
+			return fmt.Errorf("two agents busy with a pool of one")
+		}
+		return nil
+	}
+	prog, d := setup(t, bare)
+	goal := goalOf(t, prog, "job(w1) | job(w2)")
+	res, err := Invariant(prog, goal, d, inv, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("verifier missed the declarative double-allocation race")
+	}
+	if d.Count("available", 1) != 1 {
+		t.Fatal("input db mutated")
+	}
+
+	// The TD-native fix is the paper's isolation modality: make the
+	// test-and-consume (and the release) atomic. Now NO reachable state
+	// violates the invariant.
+	isolated := `
+		available(a1).
+		acquire(A, W) :- available(A), del.available(A), ins.busy(A, W).
+		release(A, W) :- del.busy(A, W), ins.done(W), ins.available(A).
+		job(W) :- iso(acquire(A, W)), iso(release(A, W)).
+	`
+	prog2, d2 := setup(t, isolated)
+	goal2 := goalOf(t, prog2, "job(w1) | job(w2)")
+	res2, err := Invariant(prog2, goal2, d2, inv, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Holds {
+		t.Fatalf("isolated acquisition still violates: %v (trace %v)",
+			res2.Violation.Cause, res2.Violation.Trace)
+	}
+	if res2.Executions == 0 {
+		t.Fatal("no executions explored")
+	}
+}
+
+func TestInvariantViolatedWithTrace(t *testing.T) {
+	// Without the atomic take (query+del in one rule), a race exists: both
+	// workers can observe available(a1) before either removes it.
+	src := `
+		available(a1).
+		peek(W) :- available(A), ins.claimed(A, W).
+		take(W) :- claimed(A, W), del.available(A), ins.busy(A, W).
+		job(W) :- peek(W), take(W).
+	`
+	prog, d := setup(t, src)
+	goal := goalOf(t, prog, "job(w1) | job(w2)")
+	inv := func(d *db.DB) error {
+		if d.Count("busy", 2) > 1 {
+			return fmt.Errorf("double allocation")
+		}
+		return nil
+	}
+	res, err := Invariant(prog, goal, d, inv, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("racy program passed the invariant")
+	}
+	if res.Violation == nil || len(res.Violation.Trace) == 0 {
+		t.Fatal("violation without trace")
+	}
+}
+
+func TestInvariantChecksInitialState(t *testing.T) {
+	prog, d := setup(t, "bad(x).")
+	goal := goalOf(t, prog, "true")
+	res, err := Invariant(prog, goal, d, func(d *db.DB) error {
+		if d.Count("bad", 1) > 0 {
+			return fmt.Errorf("bad present")
+		}
+		return nil
+	}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("initial-state violation missed")
+	}
+}
+
+func TestFinalsDeduplicates(t *testing.T) {
+	// Two rules reaching the same final state: one distinct final.
+	src := `
+		t :- ins.x.
+		t :- ins.y, del.y, ins.x.
+	`
+	prog, d := setup(t, src)
+	finals, err := Finals(prog, goalOf(t, prog, "t"), d, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 1 {
+		t.Fatalf("finals = %d, want 1", len(finals))
+	}
+	if !finals[0].Contains("x", nil) {
+		t.Fatalf("final wrong:\n%s", finals[0])
+	}
+}
+
+func TestFinalsDistinct(t *testing.T) {
+	src := `
+		pick :- item(I), del.item(I), ins.chosen(I).
+		item(a). item(b). item(c).
+	`
+	prog, d := setup(t, src)
+	finals, err := Finals(prog, goalOf(t, prog, "pick"), d, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 3 {
+		t.Fatalf("finals = %d, want 3", len(finals))
+	}
+}
+
+const counterSrc = `
+	counter(0).
+	bump :- counter(N), del.counter(N), add(N, 1, M), ins.counter(M).
+`
+
+func TestSerializableWithIsolation(t *testing.T) {
+	prog, d := setup(t, counterSrc)
+	txns := []ast.Goal{
+		goalOf(t, prog, "iso(bump)"),
+		goalOf(t, prog, "iso(bump)"),
+	}
+	res, err := Serializable(prog, txns, d, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("isolated bumps not serializable; anomaly:\n%s", res.Anomaly)
+	}
+	if res.ConcurrentFinals != 1 {
+		t.Fatalf("concurrent finals = %d, want 1", res.ConcurrentFinals)
+	}
+}
+
+func TestSerializableDetectsLostUpdate(t *testing.T) {
+	prog, d := setup(t, counterSrc)
+	txns := []ast.Goal{
+		goalOf(t, prog, "bump"),
+		goalOf(t, prog, "bump"),
+	}
+	res, err := Serializable(prog, txns, d, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("unisolated bumps declared serializable")
+	}
+	if res.Anomaly == nil || !res.Anomaly.Contains("counter", []term.Term{term.NewInt(1)}) {
+		t.Fatalf("anomaly should be the lost update counter(1):\n%s", res.Anomaly)
+	}
+}
+
+func TestSerializableCommutingUpdatesOK(t *testing.T) {
+	// Blind inserts commute: concurrent = serial even without isolation.
+	prog, d := setup(t, ``)
+	txns := []ast.Goal{
+		goalOf(t, prog, "ins.a"),
+		goalOf(t, prog, "ins.b"),
+		goalOf(t, prog, "ins.c"),
+	}
+	res, err := Serializable(prog, txns, d, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("commuting inserts flagged; anomaly:\n%s", res.Anomaly)
+	}
+}
+
+func TestSerializableEmpty(t *testing.T) {
+	prog, d := setup(t, ``)
+	res, err := Serializable(prog, nil, d, opts())
+	if err != nil || !res.OK {
+		t.Fatal(err, res)
+	}
+}
+
+func TestSerializableRefusesLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 8 transactions")
+		}
+	}()
+	permutations(8)
+}
+
+func TestInvariantBudgetErrorSurfaces(t *testing.T) {
+	src := `spin :- ins.a, del.a, spin.`
+	prog, d := setup(t, src)
+	o := engine.Options{MaxSteps: 200, MaxDepth: 100}
+	_, err := Invariant(prog, goalOf(t, prog, "spin"), d, func(*db.DB) error { return nil }, o)
+	if err == nil {
+		t.Fatal("budget exhaustion not surfaced")
+	}
+}

@@ -1,0 +1,164 @@
+package workflow
+
+// Cross-validation of the two execution models: randomly generated
+// workflow specifications are executed by the proof-theoretic engine
+// (backtracking over interleavings) and by the operational simulator
+// (goroutines, blocking reads, committed choice). For these generated
+// programs both models must agree on committability, and on success both
+// must produce exactly one history tuple per task.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/sim"
+)
+
+// randomSpec builds a random DAG workflow with nTasks tasks; edges only go
+// from lower to higher indexes, so it is acyclic by construction. With
+// agents=true, some tasks demand an agent of class "tech".
+func randomSpec(r *rand.Rand, nTasks int, agents bool) *Spec {
+	s := &Spec{Name: "rnd"}
+	for i := 0; i < nTasks; i++ {
+		t := Task{Name: fmt.Sprintf("t%d", i)}
+		for j := 0; j < i; j++ {
+			if r.Intn(3) == 0 {
+				t.After = append(t.After, fmt.Sprintf("t%d", j))
+			}
+		}
+		if agents && r.Intn(2) == 0 {
+			t.AgentClass = "tech"
+		}
+		s.Tasks = append(s.Tasks, t)
+	}
+	return s
+}
+
+func TestCrossValidationRandomWorkflows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow-ish")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nTasks := 2 + r.Intn(4)
+		withAgents := r.Intn(2) == 0
+		spec := randomSpec(r, nTasks, withAgents)
+		rules, err := Compile(spec)
+		if err != nil {
+			return false
+		}
+		src := rules
+		if withAgents {
+			src += AgentFacts(map[string]int{"tech": 1 + r.Intn(2)})
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return false
+		}
+		goal := parser.MustParseGoal("wf_rnd(w1)", prog.VarHigh)
+
+		// Prover.
+		dP, _ := db.FromFacts(prog.Facts)
+		resP, err := engine.NewDefault(prog).Prove(goal, dP)
+		if err != nil {
+			return false
+		}
+
+		// Simulator.
+		dS, _ := db.FromFacts(prog.Facts)
+		resS := sim.New(prog, sim.Options{
+			Timeout: 5 * time.Second, Seed: seed, Shuffle: true,
+		}).Run(goal, dS)
+
+		if resP.Success != resS.Completed {
+			t.Logf("seed %d: prover=%v simulator=%v (err %v)\n%s", seed, resP.Success, resS.Completed, resS.Err, src)
+			return false
+		}
+		if !resP.Success {
+			return true
+		}
+		// Both succeeded: identical task histories (one tuple per task).
+		for _, task := range spec.Tasks {
+			p := DonePred("rnd", task.Name)
+			if dP.Count(p, 1) != 1 || resS.Final.Count(p, 1) != 1 {
+				t.Logf("seed %d: history mismatch for %s", seed, p)
+				return false
+			}
+		}
+		// Agents all returned.
+		if withAgents && dP.Count("available", 1) != resS.Final.Count("available", 1) {
+			t.Logf("seed %d: agent pools differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossValidationAgentStarvation(t *testing.T) {
+	// A task needing an agent class with an EMPTY pool: the prover must
+	// report failure; the simulator must deadlock — agreement on
+	// non-committability.
+	spec := &Spec{Name: "starve", Tasks: []Task{{Name: "only", AgentClass: "ghost"}}}
+	rules, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := parser.MustParse(rules)
+	goal := parser.MustParseGoal("wf_starve(w1)", prog.VarHigh)
+
+	dP := db.New()
+	resP, err := engine.NewDefault(prog).Prove(goal, dP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP.Success {
+		t.Fatal("prover committed without agents")
+	}
+	resS := sim.New(prog, sim.Options{Timeout: 2 * time.Second}).Run(goal, db.New())
+	if resS.Completed {
+		t.Fatal("simulator completed without agents")
+	}
+}
+
+func TestCrossValidationDriverLoop(t *testing.T) {
+	// The Example 3.2 driver over a random spec and a handful of items:
+	// prover and simulator agree and process everything.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		spec := randomSpec(r, 2+r.Intn(3), false)
+		rules, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := 2 + r.Intn(3)
+		src := rules + Driver(spec.Name) + ItemFacts(items)
+		prog := parser.MustParse(src)
+		goal := parser.MustParseGoal(DriverGoal(spec.Name), prog.VarHigh)
+
+		dP, _ := db.FromFacts(prog.Facts)
+		resP, err := engine.NewDefault(prog).Prove(goal, dP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dS, _ := db.FromFacts(prog.Facts)
+		resS := sim.New(prog, sim.Options{Timeout: 5 * time.Second, Seed: int64(trial), Shuffle: true}).Run(goal, dS)
+
+		if !resP.Success || !resS.Completed {
+			t.Fatalf("trial %d: prover=%v sim=%v (%v)", trial, resP.Success, resS.Completed, resS.Err)
+		}
+		last := DonePred("rnd", spec.Tasks[len(spec.Tasks)-1].Name)
+		if dP.Count(last, 1) != items || resS.Final.Count(last, 1) != items {
+			t.Fatalf("trial %d: processed %d/%d (prover) %d/%d (sim)",
+				trial, dP.Count(last, 1), items, resS.Final.Count(last, 1), items)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the workflow (and its nested sub-workflows) as a Graphviz
+// digraph: tasks as nodes, dependencies as edges, sub-workflows as
+// clusters, exclusive choices as dashed edges to each alternative.
+// Visualizing the task graph is part of the monitoring story production
+// workflow systems need.
+func Dot(s *Spec) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	writeDotSpec(&b, s, "  ")
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func dotNode(spec, task string) string { return fmt.Sprintf("%q", spec+"."+task) }
+
+func writeDotSpec(b *strings.Builder, s *Spec, indent string) {
+	fmt.Fprintf(b, "%ssubgraph \"cluster_%s\" {\n", indent, s.Name)
+	fmt.Fprintf(b, "%s  label=%q;\n", indent, s.Name)
+	inner := indent + "  "
+	for _, t := range s.Tasks {
+		label := t.Name
+		attrs := ""
+		if t.AgentClass != "" {
+			label += "\\n[" + t.AgentClass + "]"
+		}
+		switch {
+		case t.Sub != nil:
+			attrs = ", style=rounded"
+		case len(t.OneOf) > 0:
+			attrs = ", shape=diamond"
+		}
+		fmt.Fprintf(b, "%s%s [label=\"%s\"%s];\n", inner, dotNode(s.Name, t.Name), label, attrs)
+	}
+	for _, t := range s.Tasks {
+		for _, dep := range t.After {
+			fmt.Fprintf(b, "%s%s -> %s;\n", inner, dotNode(s.Name, dep), dotNode(s.Name, t.Name))
+		}
+	}
+	for _, t := range s.Tasks {
+		if t.Sub != nil {
+			writeDotSpec(b, t.Sub, inner)
+			// Tie the container task to its sub-workflow entry tasks.
+			for _, st := range entryTasks(t.Sub) {
+				fmt.Fprintf(b, "%s%s -> %s [style=dotted];\n", inner, dotNode(s.Name, t.Name), dotNode(t.Sub.Name, st))
+			}
+		}
+		for _, alt := range t.OneOf {
+			writeDotSpec(b, alt, inner)
+			for _, st := range entryTasks(alt) {
+				fmt.Fprintf(b, "%s%s -> %s [style=dashed, label=\"or\"];\n", inner, dotNode(s.Name, t.Name), dotNode(alt.Name, st))
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+}
+
+// entryTasks returns the tasks of s with no dependencies.
+func entryTasks(s *Spec) []string {
+	var out []string
+	for _, t := range s.Tasks {
+		if len(t.After) == 0 {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/db"
+)
+
+// This file synthesizes the genome-laboratory workload that motivates the
+// paper (the Whitehead Institute/MIT Center for Genome Research workflows
+// [25, 26, 73]): plates of DNA samples flow through a factory-like
+// production line of experimental steps, each step needs a qualified agent
+// (a machine or technician), experimental results accumulate in the
+// database and are "queried by analysis programs, but never deleted or
+// altered", and the mapping workflow consists of cooperating sub-workflows
+// that synchronize through shared data. The real LabFlow-1 benchmark and
+// LIMS are proprietary lab infrastructure; this generator preserves the
+// behaviours the paper leans on: high item volume, shared agents, nested
+// sub-workflows, and database-mediated synchronization.
+
+// GenomeSpec returns the laboratory mapping workflow:
+//
+//	prep → digest → gel (sub-workflow: load → run → photo) → analyze
+//
+// with agent classes: technician (prep, load), thermocycler (digest),
+// gel_rig (run), camera (photo), analyst (analyze).
+func GenomeSpec() *Spec {
+	gel := &Spec{
+		Name: "gel",
+		Tasks: []Task{
+			{Name: "load", AgentClass: "technician"},
+			{Name: "run", After: []string{"load"}, AgentClass: "gel_rig"},
+			{Name: "photo", After: []string{"run"}, AgentClass: "camera"},
+		},
+	}
+	return &Spec{
+		Name: "mapping",
+		Tasks: []Task{
+			{Name: "prep", AgentClass: "technician"},
+			{Name: "digest", After: []string{"prep"}, AgentClass: "thermocycler"},
+			{Name: "gelstep", After: []string{"digest"}, Sub: gel},
+			{Name: "analyze", After: []string{"gelstep"}, AgentClass: "analyst"},
+		},
+	}
+}
+
+// LabConfig sizes a generated laboratory workload.
+type LabConfig struct {
+	Samples       int // work items flowing through the line
+	Technicians   int
+	Thermocyclers int
+	GelRigs       int
+	Cameras       int
+	Analysts      int
+}
+
+// DefaultLab is a small but contended laboratory.
+func DefaultLab(samples int) LabConfig {
+	return LabConfig{
+		Samples:       samples,
+		Technicians:   2,
+		Thermocyclers: 1,
+		GelRigs:       1,
+		Cameras:       1,
+		Analysts:      2,
+	}
+}
+
+// LabSource renders the full TD program for the genome workload: workflow
+// rules, the Driver loop, agent pool, and the sample feed. The returned
+// goal runs the whole laboratory.
+func LabSource(cfg LabConfig) (src, goal string, err error) {
+	spec := GenomeSpec()
+	rules, err := Compile(spec)
+	if err != nil {
+		return "", "", err
+	}
+	var b strings.Builder
+	b.WriteString(rules)
+	b.WriteString(Driver(spec.Name))
+	b.WriteString(AgentFacts(map[string]int{
+		"technician":   cfg.Technicians,
+		"thermocycler": cfg.Thermocyclers,
+		"gel_rig":      cfg.GelRigs,
+		"camera":       cfg.Cameras,
+		"analyst":      cfg.Analysts,
+	}))
+	b.WriteString(ItemFacts(cfg.Samples))
+	return b.String(), DriverGoal(spec.Name), nil
+}
+
+// CheckLabRun verifies the invariants of a finished laboratory run against
+// the final database: every sample fully processed, all agents back in the
+// pool, and nothing left mid-flight.
+func CheckLabRun(cfg LabConfig, final *db.DB) error {
+	spec := GenomeSpec()
+	for _, task := range []string{"prep", "digest", "gelstep", "analyze"} {
+		if n := final.Count(DonePred(spec.Name, task), 1); n != cfg.Samples {
+			return fmt.Errorf("lab: %s completed for %d/%d samples", task, n, cfg.Samples)
+		}
+	}
+	for _, task := range []string{"load", "run", "photo"} {
+		if n := final.Count(DonePred("gel", task), 1); n != cfg.Samples {
+			return fmt.Errorf("lab: gel %s completed for %d/%d samples", task, n, cfg.Samples)
+		}
+	}
+	if n := final.Count("newitem", 1); n != 0 {
+		return fmt.Errorf("lab: %d samples never entered the line", n)
+	}
+	if n := final.Count("doing", 3); n != 0 {
+		return fmt.Errorf("lab: %d tasks still mid-flight", n)
+	}
+	total := cfg.Technicians + cfg.Thermocyclers + cfg.GelRigs + cfg.Cameras + cfg.Analysts
+	if n := final.Count("available", 1); n != total {
+		return fmt.Errorf("lab: %d/%d agents back in the pool", n, total)
+	}
+	return nil
+}
+
+// AgentCapacityMonitor builds a simulator monitor asserting that at most
+// max agents are ever simultaneously busy (the Example 3.3 invariant:
+// agents are a shared resource "limiting the number of instances that can
+// be active at one time").
+func AgentCapacityMonitor(max int) func(d *db.DB) error {
+	return func(d *db.DB) error {
+		if n := d.Count("doing", 3); n > max {
+			return fmt.Errorf("%d agents busy, pool holds %d", n, max)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,325 @@
+// Package workflow is the modeling layer the paper's Section 3 sketches:
+// production workflows over work items, built from tasks with ordering
+// dependencies, shared agent pools, and sub-workflows, compiled into
+// Transaction Datalog rules.
+//
+// The compilation follows the paper's idiom:
+//
+//   - each task records its completion in a history relation done_<task>(W)
+//     — "keeping track of work that has been performed ... allows for
+//     monitoring, tracking and querying the status of workflow activities"
+//     (Example 3.3);
+//   - a task's rule begins by querying the completion tuples of its
+//     predecessors, so under the blocking simulator a task simply waits for
+//     its inputs, and under the proof-theoretic engine only interleavings
+//     respecting the dependency order succeed (Example 3.1);
+//   - a task needing an agent of some class performs the atomic
+//     test-and-consume available(A) ⊗ del.available(A) against the shared
+//     pool, and releases the agent when done (Example 3.3);
+//   - a workflow is the concurrent composition of its task processes, one
+//     per task, all over the same work item;
+//   - sub-workflows nest (Example 3.1), and Driver builds the recursive
+//     work-item loop of Example 3.2 (simulate :- ... (workflow | simulate)).
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Task is one activity in a workflow.
+type Task struct {
+	// Name must be a lowercase identifier, unique within the Spec.
+	Name string
+	// After lists tasks (by name, within the same Spec) that must complete
+	// before this one starts.
+	After []string
+	// AgentClass, when non-empty, requires an available agent of the class
+	// for the duration of the task.
+	AgentClass string
+	// Sub, when non-nil, makes this task a nested sub-workflow; it
+	// completes when the sub-workflow completes.
+	Sub *Spec
+	// OneOf, when non-empty, makes this task an exclusive choice
+	// (XOR-split) between alternative sub-workflows: the task completes
+	// when ANY alternative completes. In TD this is simply one rule per
+	// alternative — disjunction by multiple rules. Mutually exclusive with
+	// Sub and AgentClass.
+	OneOf []*Spec
+}
+
+// Spec is a workflow definition.
+type Spec struct {
+	// Name must be a lowercase identifier, unique across nested specs.
+	Name  string
+	Tasks []Task
+}
+
+// Validate checks names, uniqueness, dependency references, and acyclicity.
+func (s *Spec) Validate() error {
+	return s.validate(map[string]bool{})
+}
+
+func (s *Spec) validate(seenSpecs map[string]bool) error {
+	if !identOK(s.Name) {
+		return fmt.Errorf("workflow: spec name %q is not a lowercase identifier", s.Name)
+	}
+	if seenSpecs[s.Name] {
+		return fmt.Errorf("workflow: duplicate spec name %q", s.Name)
+	}
+	seenSpecs[s.Name] = true
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("workflow %s: no tasks", s.Name)
+	}
+	byName := make(map[string]*Task, len(s.Tasks))
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if !identOK(t.Name) {
+			return fmt.Errorf("workflow %s: task name %q is not a lowercase identifier", s.Name, t.Name)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return fmt.Errorf("workflow %s: duplicate task %q", s.Name, t.Name)
+		}
+		byName[t.Name] = t
+		if t.AgentClass != "" && !identOK(t.AgentClass) {
+			return fmt.Errorf("workflow %s: agent class %q is not a lowercase identifier", s.Name, t.AgentClass)
+		}
+		if t.AgentClass != "" && t.Sub != nil {
+			return fmt.Errorf("workflow %s: task %s cannot both need an agent and be a sub-workflow", s.Name, t.Name)
+		}
+		if len(t.OneOf) > 0 && (t.Sub != nil || t.AgentClass != "") {
+			return fmt.Errorf("workflow %s: task %s: OneOf excludes Sub and AgentClass", s.Name, t.Name)
+		}
+	}
+	for _, t := range s.Tasks {
+		for _, dep := range t.After {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("workflow %s: task %s depends on unknown task %q", s.Name, t.Name, dep)
+			}
+		}
+	}
+	if err := s.checkAcyclic(byName); err != nil {
+		return err
+	}
+	for _, t := range s.Tasks {
+		if t.Sub != nil {
+			if err := t.Sub.validate(seenSpecs); err != nil {
+				return err
+			}
+		}
+		for _, alt := range t.OneOf {
+			if err := alt.validate(seenSpecs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Spec) checkAcyclic(byName map[string]*Task) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(s.Tasks))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("workflow %s: dependency cycle through task %s", s.Name, name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		for _, dep := range byName[name].After {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for _, t := range s.Tasks {
+		if err := visit(t.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func identOK(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+// DonePred returns the history predicate recording completion of task in
+// spec ("done_<spec>_<task>"); it has one argument, the work item.
+func DonePred(spec, task string) string { return "done_" + spec + "_" + task }
+
+// FlowPred returns the predicate that runs a whole workflow instance
+// ("wf_<spec>"), with the work item as its argument.
+func FlowPred(spec string) string { return "wf_" + spec }
+
+// Compile renders the TD rulebase for s (and its nested sub-workflows).
+func Compile(s *Spec) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	compileSpec(&b, s)
+	return b.String(), nil
+}
+
+func compileSpec(b *strings.Builder, s *Spec) {
+	fmt.Fprintf(b, "%% workflow %s\n", s.Name)
+
+	// The workflow process: all tasks run concurrently; each waits for its
+	// dependencies through the history relation.
+	var parts []string
+	for _, t := range s.Tasks {
+		parts = append(parts, fmt.Sprintf("task_%s_%s(W)", s.Name, t.Name))
+	}
+	fmt.Fprintf(b, "%s(W) :- %s.\n", FlowPred(s.Name), strings.Join(parts, " | "))
+
+	for _, t := range s.Tasks {
+		var body []string
+		deps := append([]string(nil), t.After...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			body = append(body, fmt.Sprintf("%s(W)", DonePred(s.Name, dep)))
+		}
+		if len(t.OneOf) > 0 {
+			// Exclusive choice: one rule per alternative — disjunction by
+			// multiple rules, resolved nondeterministically by the prover
+			// and by committed guarded choice in the simulator.
+			for _, alt := range t.OneOf {
+				parts := append(append([]string(nil), body...),
+					fmt.Sprintf("%s(W)", FlowPred(alt.Name)),
+					fmt.Sprintf("ins.%s(W)", DonePred(s.Name, t.Name)),
+					fmt.Sprintf("ins.chose_%s_%s(W, %s)", s.Name, t.Name, alt.Name),
+				)
+				fmt.Fprintf(b, "task_%s_%s(W) :- %s.\n", s.Name, t.Name, strings.Join(parts, ", "))
+			}
+			continue
+		}
+		switch {
+		case t.Sub != nil:
+			body = append(body,
+				fmt.Sprintf("%s(W)", FlowPred(t.Sub.Name)),
+				fmt.Sprintf("ins.%s(W)", DonePred(s.Name, t.Name)),
+			)
+		case t.AgentClass != "":
+			body = append(body,
+				fmt.Sprintf("qualified(A, %s)", t.AgentClass),
+				"available(A)",
+				"del.available(A)",
+				fmt.Sprintf("ins.doing(A, W, %s)", t.Name),
+				fmt.Sprintf("ins.%s(W)", DonePred(s.Name, t.Name)),
+				fmt.Sprintf("del.doing(A, W, %s)", t.Name),
+				"ins.available(A)",
+			)
+		default:
+			body = append(body, fmt.Sprintf("ins.%s(W)", DonePred(s.Name, t.Name)))
+		}
+		fmt.Fprintf(b, "task_%s_%s(W) :- %s.\n", s.Name, t.Name, strings.Join(body, ", "))
+	}
+	b.WriteString("\n")
+	for _, t := range s.Tasks {
+		if t.Sub != nil {
+			compileSpec(b, t.Sub)
+		}
+		for _, alt := range t.OneOf {
+			compileSpec(b, alt)
+		}
+	}
+}
+
+// Driver renders the Example 3.2 simulation loop for spec: a recursive
+// process that takes work items from newitem/1, spawning a concurrent
+// workflow instance per item, terminating when the feed is empty.
+//
+//	sim_<spec> :- newitem(X), del.newitem(X), (wf_<spec>(X) | sim_<spec>).
+//	sim_<spec> :- empty.newitem.
+func Driver(spec string) string {
+	return fmt.Sprintf(
+		"sim_%[1]s :- newitem(X), del.newitem(X), (%[2]s(X) | sim_%[1]s).\nsim_%[1]s :- empty.newitem.\n",
+		spec, FlowPred(spec))
+}
+
+// DriverGoal is the goal that runs the Driver loop.
+func DriverGoal(spec string) string { return "sim_" + spec }
+
+// SequentialDriver renders the fully bounded variant of the loop: work
+// items are processed one after another by sequential tail recursion —
+// the paper's Section 5 iteration, with no process creation outside the
+// loop body.
+func SequentialDriver(spec string) string {
+	return fmt.Sprintf(
+		"siter_%[1]s :- newitem(X), del.newitem(X), %[2]s(X), siter_%[1]s.\nsiter_%[1]s :- empty.newitem.\n",
+		spec, FlowPred(spec))
+}
+
+// SequentialDriverGoal is the goal that runs the SequentialDriver loop.
+func SequentialDriverGoal(spec string) string { return "siter_" + spec }
+
+// AgentFacts renders an agent pool: for each class, agents named
+// <class>1..<class>n, all qualified for that class and initially available.
+// Extra qualification pairs may be added with Qualify.
+func AgentFacts(classes map[string]int) string {
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, c := range names {
+		for i := 1; i <= classes[c]; i++ {
+			fmt.Fprintf(&b, "agent(%s%d).\n", c, i)
+			fmt.Fprintf(&b, "qualified(%s%d, %s).\n", c, i, c)
+			fmt.Fprintf(&b, "available(%s%d).\n", c, i)
+		}
+	}
+	return b.String()
+}
+
+// Qualify renders an extra qualification fact.
+func Qualify(agent, class string) string {
+	return fmt.Sprintf("qualified(%s, %s).\n", agent, class)
+}
+
+// ItemFacts renders a work-item feed item1..itemN for the Driver loop.
+func ItemFacts(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "newitem(item%d).\n", i)
+	}
+	return b.String()
+}
+
+// BuildSource assembles a complete TD program for spec: compiled rules,
+// the concurrent Driver loop, an agent pool, and a work-item feed. It is
+// the string-assembly helper behind LabSource, exposed for custom specs.
+func BuildSource(spec *Spec, agentPools map[string]int, items int) (src, goal string, err error) {
+	rules, err := Compile(spec)
+	if err != nil {
+		return "", "", err
+	}
+	var b strings.Builder
+	b.WriteString(rules)
+	b.WriteString(Driver(spec.Name))
+	if len(agentPools) > 0 {
+		b.WriteString(AgentFacts(agentPools))
+	}
+	b.WriteString(ItemFacts(items))
+	return b.String(), DriverGoal(spec.Name), nil
+}
