@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench suite suite-quick examples fmt vet clean
+.PHONY: all build test test-short race check cover bench suite suite-quick examples demo fmt vet clean
 
 all: build test
 
@@ -18,6 +18,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# The pre-merge gate: static checks plus the race-instrumented test run.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 cover:
 	$(GO) test -short -cover ./...
 
@@ -31,14 +36,28 @@ suite:
 suite-quick:
 	$(GO) run ./cmd/tdbench -quick
 
+# Build and smoke-run every example program.
 examples:
-	$(GO) run ./examples/quickstart
-	$(GO) run ./examples/banking
-	$(GO) run ./examples/genomelab
-	$(GO) run ./examples/turing
-	$(GO) run ./examples/boundedtd
-	$(GO) run ./examples/verification
-	$(GO) run ./examples/idioms
+	$(GO) build ./examples/...
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d; \
+	done
+
+# The tdserver acceptance demo: a durable server, 8 concurrent clients
+# committing transfers, then a kill-and-restart recovery check.
+demo:
+	$(GO) build -o /tmp/td-demo-server ./cmd/tdserver
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/td-demo-server serve -addr 127.0.0.1:7391 -snap $$dir/db.gob -wal $$dir/db.wal & \
+	pid=$$!; sleep 0.5; \
+	/tmp/td-demo-server bank -addr 127.0.0.1:7391 -clients 8 -txns 50; \
+	kill -9 $$pid; sleep 0.3; \
+	echo "== restart: recovering from WAL"; \
+	/tmp/td-demo-server serve -addr 127.0.0.1:7391 -snap $$dir/db.gob -wal $$dir/db.wal & \
+	pid=$$!; sleep 0.5; \
+	/tmp/td-demo-server bank -addr 127.0.0.1:7391 -clients 8 -txns 25; \
+	kill $$pid; rm -rf $$dir
 
 fmt:
 	gofmt -w .

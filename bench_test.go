@@ -12,6 +12,7 @@ package td_test
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -253,4 +254,69 @@ func BenchmarkProveVsParWide(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerThroughput drives the transaction service end to end over
+// the in-process transport: n concurrent clients each committing random
+// iso(transfer(...)) transactions against a small, contended bank. It
+// reports commits/sec and the conflict rate (validation losses per commit)
+// alongside the usual ns/op.
+func BenchmarkServerThroughput(b *testing.B) {
+	const accounts = 8
+	var sb strings.Builder
+	for i := 0; i < accounts; i++ {
+		fmt.Fprintf(&sb, "account(acct%d, 100).\n", i)
+	}
+	sb.WriteString(`
+withdraw(Amt, A) :- account(A, B), B >= Amt, del.account(A, B),
+                    sub(B, Amt, C), ins.account(A, C).
+deposit(Amt, A)  :- account(A, B), del.account(A, B),
+                    add(B, Amt, C), ins.account(A, C).
+transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+`)
+	for _, clients := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			srv, err := td.NewServer(td.ServerOptions{Program: sb.String()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			perClient := (b.N + clients - 1) / clients
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					cl := srv.InProcClient()
+					defer cl.Close()
+					for i := 0; i < perClient; i++ {
+						from := (c + i) % accounts
+						to := (from + 1 + i%(accounts-1)) % accounts
+						goal := fmt.Sprintf("iso(transfer(1, acct%d, acct%d))", from, to)
+						if _, err := cl.Exec(goal); err != nil && !td.IsNoProof(err) && !td.IsConflict(err) {
+							errs <- err
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			close(errs)
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+			st, err := srv.InProcClient().Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Commits > 0 {
+				b.ReportMetric(float64(st.Commits)/elapsed.Seconds(), "commits/sec")
+				b.ReportMetric(float64(st.Conflicts)/float64(st.Commits), "conflicts/commit")
+			}
+		})
+	}
 }

@@ -1,0 +1,392 @@
+// Command tdserver runs the TD transaction service and exercises it.
+//
+// Usage:
+//
+//	tdserver serve [-addr :7090] [-program file.td] [-snap s.gob -wal w.wal] [flags]
+//	tdserver bank  [-addr :7090] [-clients 8] [-txns 50] [-accounts 4]
+//	tdserver exec  [-addr :7090] goal
+//	tdserver query [-addr :7090] [-max N] goal
+//	tdserver stats [-addr :7090]
+//
+// serve starts the server. With -snap and -wal it recovers committed state
+// from the write-ahead log on startup and runs durably; without them it
+// runs in memory. SIGINT/SIGTERM shut it down gracefully (open
+// transactions abort; committed work is already durable).
+//
+// bank is a load generator and correctness demo: it loads a bank of
+// -accounts accounts holding 100 each (unless the server already has
+// accounts — e.g. after a restart — in which case it keeps them), then
+// runs -clients concurrent clients each committing -txns random
+// iso(transfer(...)) transactions, and finally checks that money was
+// conserved and prints throughput and the server's STATS counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	td "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "bank":
+		err = bankCmd(os.Args[2:])
+	case "exec":
+		err = execCmd(os.Args[2:])
+	case "query":
+		err = queryCmd(os.Args[2:])
+	case "stats":
+		err = statsCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tdserver: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tdserver serve [-addr :7090] [-program file.td] [-snap s.gob -wal w.wal] [flags]
+  tdserver bank  [-addr :7090] [-clients 8] [-txns 50] [-accounts 4]
+  tdserver exec  [-addr :7090] goal
+  tdserver query [-addr :7090] [-max N] goal
+  tdserver stats [-addr :7090]`)
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", ":7090", "listen address")
+		programPath = fs.String("program", "", "TD program file installed as the default rulebase (its facts seed an empty database)")
+		snap        = fs.String("snap", "", "snapshot path (durable mode; requires -wal)")
+		wal         = fs.String("wal", "", "write-ahead log path (durable mode; requires -snap)")
+		maxSessions = fs.Int("max-sessions", 0, "max concurrent sessions (0 = default)")
+		maxSteps    = fs.Int64("max-steps", 0, "per-goal proof step budget (0 = default)")
+		goalTime    = fs.Duration("goal-time", 0, "per-goal wall-clock budget (0 = default)")
+		idle        = fs.Duration("idle", 0, "per-connection idle timeout (0 = default)")
+		nosync      = fs.Bool("nosync", false, "skip fsync on commit (throughput over durability)")
+	)
+	fs.Parse(args)
+
+	opts := td.ServerOptions{
+		SnapshotPath: *snap,
+		WALPath:      *wal,
+		MaxSessions:  *maxSessions,
+		MaxSteps:     *maxSteps,
+		MaxGoalTime:  *goalTime,
+		IdleTimeout:  *idle,
+		NoSync:       *nosync,
+	}
+	if *programPath != "" {
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			return err
+		}
+		opts.Program = string(src)
+	}
+	srv, err := td.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	lnAddr, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tdserver: listening on %s (version %d, %d tuples)\n",
+		lnAddr, srv.Version(), srv.Snapshot().Size())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tdserver: shutting down")
+	return srv.Close()
+}
+
+// bankSrc builds the demo rulebase plus n seed accounts of 100 each.
+func bankSrc(accounts int) string {
+	var b strings.Builder
+	for i := 0; i < accounts; i++ {
+		fmt.Fprintf(&b, "account(%s, 100).\n", accountName(i))
+	}
+	b.WriteString(`
+withdraw(Amt, A) :- account(A, B), B >= Amt, del.account(A, B),
+                    sub(B, Amt, C), ins.account(A, C).
+deposit(Amt, A)  :- account(A, B), del.account(A, B),
+                    add(B, Amt, C), ins.account(A, C).
+transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+`)
+	return b.String()
+}
+
+func accountName(i int) string { return fmt.Sprintf("acct%c", 'a'+rune(i%26)) + strconv.Itoa(i/26) }
+
+func bankCmd(args []string) error {
+	fs := flag.NewFlagSet("bank", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":7090", "server address")
+		clients  = fs.Int("clients", 8, "concurrent client connections")
+		txns     = fs.Int("txns", 50, "transactions per client")
+		accounts = fs.Int("accounts", 4, "accounts in the bank (fewer = more contention)")
+		seed     = fs.Int64("seed", 1, "transfer-pattern seed")
+	)
+	fs.Parse(args)
+	if *accounts < 2 {
+		return fmt.Errorf("need at least 2 accounts")
+	}
+
+	// Seed the bank through one setup client. If the server already holds
+	// accounts (a restart), keep them: the whole point of durability is
+	// that the committed balances survive.
+	setup, err := td.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer setup.Close()
+	existing, err := setup.Query("account(A, B)", 0)
+	if err != nil {
+		return err
+	}
+	if len(existing) == 0 {
+		if err := setup.Load(bankSrc(*accounts)); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("bank: reusing %d existing accounts (recovered state)\n", len(existing))
+		if err := setup.Load(bankSrc(0)); err != nil { // rules only
+			return err
+		}
+	}
+	before, err := sumBalances(setup)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(existing))
+	if len(existing) == 0 {
+		for i := 0; i < *accounts; i++ {
+			names = append(names, accountName(i))
+		}
+	} else {
+		for _, sol := range existing {
+			names = append(names, sol["A"])
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		committed int
+		conflicts int
+		firstErr  error
+	)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := td.DialServer(*addr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			if err := cl.Load(bankSrc(0)); err != nil { // rules only
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for i := 0; i < *txns; i++ {
+				from := names[rng.Intn(len(names))]
+				to := names[rng.Intn(len(names))]
+				for to == from {
+					to = names[rng.Intn(len(names))]
+				}
+				amt := 1 + rng.Intn(5)
+				res, err := cl.Exec(fmt.Sprintf("iso(transfer(%d, %s, %s))", amt, from, to))
+				mu.Lock()
+				switch {
+				case err == nil:
+					committed++
+					conflicts += res.Retries
+				case td.IsNoProof(err) || td.IsConflict(err):
+					// Insufficient funds, or gave up after retries: an
+					// abort, not a failure of the demo.
+				default:
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+				mu.Unlock()
+				if err != nil && !td.IsNoProof(err) && !td.IsConflict(err) {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	after, err := sumBalances(setup)
+	if err != nil {
+		return err
+	}
+	st, err := setup.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bank: %d clients x %d txns: %d committed in %v (%.0f commits/sec)\n",
+		*clients, *txns, committed, elapsed.Round(time.Millisecond),
+		float64(committed)/elapsed.Seconds())
+	fmt.Printf("bank: money before=%d after=%d (%s)\n", before, after, conserved(before, after))
+	fmt.Printf("bank: server stats: version=%d commits=%d conflicts=%d retries=%d aborts=%d no_proof=%d p50=%dus p99=%dus wal=%dB\n",
+		st.Version, st.Commits, st.Conflicts, st.Retries, st.Aborts, st.NoProof,
+		st.CommitP50Us, st.CommitP99Us, st.WALBytes)
+	if before != after {
+		return fmt.Errorf("money not conserved: %d -> %d", before, after)
+	}
+	return nil
+}
+
+func conserved(before, after int64) string {
+	if before == after {
+		return "conserved"
+	}
+	return "NOT CONSERVED"
+}
+
+func sumBalances(cl *td.ServerClient) (int64, error) {
+	sols, err := cl.Query("account(A, B)", 0)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, sol := range sols {
+		n, err := strconv.ParseInt(sol["B"], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("non-integer balance %q", sol["B"])
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func execCmd(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ExitOnError)
+	addr := fs.String("addr", ":7090", "server address")
+	program := fs.String("program", "", "TD program file to load first")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tdserver exec [-addr A] [-program file.td] goal")
+	}
+	cl, err := td.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := loadFile(cl, *program); err != nil {
+		return err
+	}
+	res, err := cl.Exec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed at version %d (%d retries)\n", res.Version, res.Retries)
+	for name, val := range res.Bindings {
+		fmt.Printf("  %s = %s\n", name, val)
+	}
+	return nil
+}
+
+func queryCmd(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", ":7090", "server address")
+	program := fs.String("program", "", "TD program file to load first")
+	max := fs.Int("max", 0, "max solutions (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tdserver query [-addr A] [-program file.td] [-max N] goal")
+	}
+	cl, err := td.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := loadFile(cl, *program); err != nil {
+		return err
+	}
+	sols, err := cl.Query(fs.Arg(0), *max)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d solution(s)\n", len(sols))
+	for i, sol := range sols {
+		fmt.Printf("  solution %d: %v\n", i+1, sol)
+	}
+	return nil
+}
+
+func statsCmd(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", ":7090", "server address")
+	fs.Parse(args)
+	cl, err := td.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uptime: %dms  version: %d  db: %d tuples  wal: %dB\n",
+		st.UptimeMs, st.Version, st.DBSize, st.WALBytes)
+	fmt.Printf("sessions: %d open / %d total (%d rejected)\n",
+		st.SessionsOpen, st.SessionsTotal, st.Rejected)
+	fmt.Printf("txns: %d begun, %d committed, %d aborted (%d conflicts, %d retries, %d no-proof, %d budget)\n",
+		st.TxnsBegun, st.Commits, st.Aborts, st.Conflicts, st.Retries, st.NoProof, st.BudgetHits)
+	fmt.Printf("commit latency: p50=%dus p99=%dus\n", st.CommitP50Us, st.CommitP99Us)
+	return nil
+}
+
+func loadFile(cl *td.ServerClient, path string) error {
+	if path == "" {
+		return nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return cl.Load(string(src))
+}

@@ -31,7 +31,39 @@ type DB struct {
 	hashHi   uint64
 	useIndex bool
 	detScan  bool
+	readHook ReadHook
 }
+
+// ReadKind classifies one read observation reported to a ReadHook, from
+// finest to coarsest granularity.
+type ReadKind uint8
+
+// Read observation kinds.
+const (
+	// ReadKey: the presence or absence of a single tuple key was observed
+	// (a ground query, or the implicit presence check of an insert/delete
+	// under set semantics).
+	ReadKey ReadKind = iota
+	// ReadPrefix: every tuple whose first argument has the given key was
+	// observed (an index-assisted scan).
+	ReadPrefix
+	// ReadRel: the whole relation pred/arity was observed (a full scan).
+	ReadRel
+	// ReadPred: the predicate at every arity was observed (empty.p).
+	ReadPred
+)
+
+// ReadHook observes the read dependencies of elementary operations:
+// queries, emptiness tests, and the presence checks implicit in set-semantic
+// updates. Transaction machinery (internal/server) uses it to build the
+// read set that optimistic commit validation checks against concurrent
+// writers. The hook fires on every explored execution path, so recorded
+// read sets over-approximate the witness path — a sound direction for
+// conflict detection.
+type ReadHook func(kind ReadKind, pred string, arity int, key string)
+
+// SetReadHook installs (or, with nil, removes) the read observation hook.
+func (d *DB) SetReadHook(h ReadHook) { d.readHook = h }
 
 // relation stores the tuples of one predicate/arity pair.
 type relation struct {
@@ -134,6 +166,9 @@ func (d *DB) Count(pred string, arity int) int {
 // IsEmpty reports whether the relation named pred is empty at every arity.
 // This implements the elementary test empty.p.
 func (d *DB) IsEmpty(pred string) bool {
+	if d.readHook != nil {
+		d.readHook(ReadPred, pred, -1, "")
+	}
 	for _, r := range d.rels {
 		if r.pred == pred && len(r.rows) > 0 {
 			return false
@@ -144,11 +179,15 @@ func (d *DB) IsEmpty(pred string) bool {
 
 // Contains reports whether the ground tuple pred(row) is present.
 func (d *DB) Contains(pred string, row []term.Term) bool {
+	key := term.KeyOf(row)
+	if d.readHook != nil {
+		d.readHook(ReadKey, pred, len(row), key)
+	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
 		return false
 	}
-	_, ok := r.rows[term.KeyOf(row)]
+	_, ok := r.rows[key]
 	return ok
 }
 
@@ -157,6 +196,10 @@ func (d *DB) Contains(pred string, row []term.Term) bool {
 func (d *DB) Insert(pred string, row []term.Term) bool {
 	r := d.rel(pred, len(row), true)
 	key := term.KeyOf(row)
+	if d.readHook != nil {
+		// Set semantics make every update observe its tuple's presence.
+		d.readHook(ReadKey, pred, len(row), key)
+	}
 	if _, ok := r.rows[key]; ok {
 		return false
 	}
@@ -183,11 +226,14 @@ func (d *DB) Insert(pred string, row []term.Term) bool {
 // Delete removes pred(row); row must be ground. It reports whether the
 // database changed (false when the tuple was absent).
 func (d *DB) Delete(pred string, row []term.Term) bool {
+	key := term.KeyOf(row)
+	if d.readHook != nil {
+		d.readHook(ReadKey, pred, len(row), key)
+	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
 		return false
 	}
-	key := term.KeyOf(row)
 	stored, ok := r.rows[key]
 	if !ok {
 		return false
@@ -269,10 +315,6 @@ func (d *DB) Fingerprint() [2]uint64 { return [2]uint64{d.hashLo, d.hashHi} }
 // performed inside yield do not affect which tuples are visited. This gives
 // queries snapshot behaviour within a single elementary step.
 func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() bool) bool {
-	r := d.rel(pred, len(args), false)
-	if r == nil {
-		return true
-	}
 	resolved := env.ResolveArgs(args)
 
 	// Fully ground: single lookup.
@@ -282,6 +324,22 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 			ground = false
 			break
 		}
+	}
+	if d.readHook != nil {
+		// Record the read at the granularity the lookup below uses, even
+		// when the relation does not exist yet: observing absence is a read.
+		switch {
+		case ground:
+			d.readHook(ReadKey, pred, len(args), term.KeyOf(resolved))
+		case d.useIndex && len(resolved) > 0 && !resolved[0].IsVar():
+			d.readHook(ReadPrefix, pred, len(args), term.KeyOf(resolved[:1]))
+		default:
+			d.readHook(ReadRel, pred, len(args), "")
+		}
+	}
+	r := d.rel(pred, len(args), false)
+	if r == nil {
+		return true
 	}
 	if ground {
 		if _, ok := r.rows[term.KeyOf(resolved)]; ok {
@@ -473,6 +531,54 @@ func (d *DB) AllAtoms() iter.Seq[term.Atom] {
 					return
 				}
 			}
+		}
+	}
+}
+
+// Op is one effective elementary update — an undo-log entry made portable.
+// Sequences of Ops are the write sets that transactional callers (the
+// server's optimistic concurrency control) extract, validate, log, and
+// replay.
+type Op struct {
+	Insert bool // false = delete
+	Pred   string
+	Row    []term.Term
+}
+
+// Key returns the canonical tuple key of the op's row (term.KeyOf).
+func (o Op) Key() string { return term.KeyOf(o.Row) }
+
+func (o Op) String() string {
+	verb := "del"
+	if o.Insert {
+		verb = "ins"
+	}
+	return verb + "." + term.Atom{Pred: o.Pred, Args: o.Row}.String()
+}
+
+// DeltaSince returns the effective updates recorded on the undo trail since
+// mark, in execution order. Because backtracking removes undone entries,
+// the result is exactly the net-effect write set of the surviving
+// execution path.
+func (d *DB) DeltaSince(mark int) []Op {
+	if mark >= len(d.trail) {
+		return nil
+	}
+	out := make([]Op, 0, len(d.trail)-mark)
+	for _, c := range d.trail[mark:] {
+		out = append(out, Op{Insert: c.insert, Pred: c.rel.pred, Row: c.row})
+	}
+	return out
+}
+
+// Apply performs ops in order (through the trail, so the batch can still be
+// undone from a prior Mark).
+func (d *DB) Apply(ops []Op) {
+	for _, o := range ops {
+		if o.Insert {
+			d.Insert(o.Pred, o.Row)
+		} else {
+			d.Delete(o.Pred, o.Row)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/term"
 )
@@ -38,8 +39,11 @@ const (
 // ErrCorrupt reports an unreadable persistent file (bad magic).
 var ErrCorrupt = errors.New("db: corrupt persistent file")
 
-// WAL is an append-only operation log.
+// WAL is an append-only operation log. Its methods are safe for concurrent
+// use: appends from multiple goroutines are serialized by an internal
+// mutex (the bufio.Writer underneath is not itself thread-safe).
 type WAL struct {
+	mu  sync.Mutex
 	f   *os.File
 	w   *bufio.Writer
 	len int64
@@ -80,6 +84,8 @@ func OpenWAL(path string) (*WAL, error) {
 // Append writes one operation record. insert=false means delete.
 func (w *WAL) Append(insert bool, pred string, arity int, key string) error {
 	rec := encodeRecord(insert, pred, arity, key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	n, err := w.w.Write(rec)
 	w.len += int64(n)
 	return err
@@ -87,6 +93,8 @@ func (w *WAL) Append(insert bool, pred string, arity int, key string) error {
 
 // Sync flushes buffered records and fsyncs the file.
 func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
@@ -95,6 +103,8 @@ func (w *WAL) Sync() error {
 
 // Close flushes and closes the log.
 func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()
 		return err
@@ -103,7 +113,11 @@ func (w *WAL) Close() error {
 }
 
 // Size returns the current log length in bytes (including buffered data).
-func (w *WAL) Size() int64 { return w.len }
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.len
+}
 
 func encodeRecord(insert bool, pred string, arity int, key string) []byte {
 	var buf []byte
@@ -312,8 +326,11 @@ func applyRecords(d *DB, recs []record) error {
 }
 
 // Store couples a database with a WAL and snapshot file, providing
-// open-or-recover semantics and checkpointing.
+// open-or-recover semantics and checkpointing. Store methods are safe for
+// concurrent use; callers that also touch the DB field directly must
+// provide their own coordination.
 type Store struct {
+	mu       sync.Mutex
 	DB       *DB
 	snapPath string
 	walPath  string
@@ -347,6 +364,8 @@ func OpenStore(snapPath, walPath string, opts ...Option) (*Store, error) {
 
 // Insert inserts and logs a tuple; no-ops (set semantics) are not logged.
 func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.DB.Insert(pred, row) {
 		return false, nil
 	}
@@ -356,6 +375,8 @@ func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
 
 // Delete deletes and logs a tuple; no-ops are not logged.
 func (s *Store) Delete(pred string, row []term.Term) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.DB.Delete(pred, row) {
 		return false, nil
 	}
@@ -363,11 +384,50 @@ func (s *Store) Delete(pred string, row []term.Term) (bool, error) {
 	return true, s.wal.Append(false, pred, len(row), term.KeyOf(row))
 }
 
+// ApplyOps applies and logs a batch of operations as one unit, holding the
+// store lock for the whole batch so no other appender interleaves with it.
+// Per-op no-ops (set semantics) are not logged. It does not sync; call
+// Commit to make the batch durable.
+func (s *Store) ApplyOps(ops []Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range ops {
+		var changed bool
+		if o.Insert {
+			changed = s.DB.Insert(o.Pred, o.Row)
+		} else {
+			changed = s.DB.Delete(o.Pred, o.Row)
+		}
+		if !changed {
+			continue
+		}
+		if err := s.wal.Append(o.Insert, o.Pred, len(o.Row), o.Key()); err != nil {
+			s.DB.ResetTrail()
+			return err
+		}
+	}
+	s.DB.ResetTrail()
+	return nil
+}
+
 // Commit makes all logged operations durable (flush + fsync).
-func (s *Store) Commit() error { return s.wal.Sync() }
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Sync()
+}
+
+// WALSize returns the WAL length in bytes, including buffered data.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Size()
+}
 
 // Checkpoint writes a fresh snapshot and truncates the WAL.
 func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.wal.Sync(); err != nil {
 		return err
 	}
@@ -390,6 +450,8 @@ func (s *Store) Checkpoint() error {
 
 // Close syncs and closes the store.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.wal.Sync(); err != nil {
 		s.wal.Close()
 		return err

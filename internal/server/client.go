@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Error is a protocol-level failure reported by the server.
+type Error struct {
+	Code string
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+// IsConflict reports whether err is a commit-validation conflict (the
+// retryable loser of optimistic concurrency control).
+func IsConflict(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == CodeConflict
+}
+
+// IsNoProof reports whether err means the goal has no committing execution.
+func IsNoProof(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == CodeNoProof
+}
+
+// Client is a synchronous client for the transaction service. It is safe
+// for concurrent use; requests are serialized over the one connection
+// (sessions are single-threaded by design — open several clients for
+// parallelism).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	max  int
+}
+
+// Dial connects to a tdserver at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one end of a net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), max: DefaultMaxFrame}
+}
+
+// Close closes the connection (any open transaction is aborted server-side).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response, converting
+// protocol failures into *Error.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.r, &resp, c.max); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, &Error{Code: resp.Code, Msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Load installs a TD program (rules become the session rulebase; facts are
+// committed into the shared database).
+func (c *Client) Load(program string) error {
+	_, err := c.roundTrip(&Request{Op: OpLoad, Program: program})
+	return err
+}
+
+// Begin opens a transaction.
+func (c *Client) Begin() error {
+	_, err := c.roundTrip(&Request{Op: OpBegin})
+	return err
+}
+
+// Run executes a goal inside the open transaction and returns the witness
+// bindings. A failing goal (IsNoProof) leaves the transaction open.
+func (c *Client) Run(goal string) (map[string]string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRun, Goal: goal})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Bindings, nil
+}
+
+// Commit validates and commits the open transaction, returning the new
+// database version. On conflict (IsConflict) the transaction is rolled
+// back; re-run it from Begin.
+func (c *Client) Commit() (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpCommit})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Abort rolls back the open transaction.
+func (c *Client) Abort() error {
+	_, err := c.roundTrip(&Request{Op: OpAbort})
+	return err
+}
+
+// ExecResult reports a one-shot transaction.
+type ExecResult struct {
+	Bindings map[string]string
+	Version  uint64
+	Retries  int
+}
+
+// Exec runs goal as one serializable transaction (BEGIN + RUN + COMMIT)
+// with server-side conflict retries.
+func (c *Client) Exec(goal string) (*ExecResult, error) {
+	resp, err := c.roundTrip(&Request{Op: OpExec, Goal: goal})
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{Bindings: resp.Bindings, Version: resp.Version, Retries: resp.Retries}, nil
+}
+
+// Query enumerates up to max solutions of goal (max <= 0 means all)
+// against a consistent snapshot, keeping no effects.
+func (c *Client) Query(goal string, max int) ([]map[string]string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpQuery, Goal: goal, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Solutions, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*StatsSnapshot, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,106 @@
+package server
+
+// Optimistic concurrency control (backward validation, à la Kung-Robinson):
+// a transaction records what it read while executing against its snapshot;
+// at commit it is checked against the write sets of every transaction that
+// committed after the snapshot was taken. Any overlap — read/write or
+// write/write — aborts the newcomer, which retries on a fresh snapshot.
+//
+// Reads are recorded by the database's ReadHook at the granularity the
+// lookup actually used: a single tuple key, a first-argument index bucket,
+// a whole relation, or a whole predicate (empty.p). Coarser reads conflict
+// with any write below them; this over-approximates the witness path's
+// true dependencies, which can only cause false conflicts, never missed
+// ones.
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/term"
+)
+
+// readSet accumulates one transaction's read observations.
+type readSet struct {
+	preds    map[string]bool // predicate name: empty.p at every arity
+	rels     map[string]bool // "pred/arity": full scans
+	prefixes map[string]bool // "pred/arity|firstArgKey": index-bucket scans
+	keys     map[string]bool // "pred/arity|rowKey": ground probes
+}
+
+func newReadSet() *readSet {
+	return &readSet{
+		preds:    make(map[string]bool),
+		rels:     make(map[string]bool),
+		prefixes: make(map[string]bool),
+		keys:     make(map[string]bool),
+	}
+}
+
+func relName(pred string, arity int) string { return fmt.Sprintf("%s/%d", pred, arity) }
+
+// observe is the db.ReadHook target.
+func (rs *readSet) observe(kind db.ReadKind, pred string, arity int, key string) {
+	switch kind {
+	case db.ReadKey:
+		rs.keys[relName(pred, arity)+"|"+key] = true
+	case db.ReadPrefix:
+		rs.prefixes[relName(pred, arity)+"|"+key] = true
+	case db.ReadRel:
+		rs.rels[relName(pred, arity)] = true
+	case db.ReadPred:
+		rs.preds[pred] = true
+	}
+}
+
+func (rs *readSet) size() int {
+	return len(rs.preds) + len(rs.rels) + len(rs.prefixes) + len(rs.keys)
+}
+
+// wkey is one committed write, pre-keyed for validation.
+type wkey struct {
+	pred   string // predicate name
+	rel    string // "pred/arity"
+	prefix string // "pred/arity|firstArgKey" ("" for arity 0)
+	key    string // "pred/arity|rowKey"
+}
+
+// commitRecord is one entry of the in-memory commit log: the write set of a
+// committed transaction, at a version, with pre-computed conflict keys.
+type commitRecord struct {
+	version uint64
+	ops     []db.Op
+	writes  []wkey
+}
+
+func newCommitRecord(version uint64, ops []db.Op) commitRecord {
+	rec := commitRecord{version: version, ops: ops, writes: make([]wkey, len(ops))}
+	for i, o := range ops {
+		rel := relName(o.Pred, len(o.Row))
+		w := wkey{pred: o.Pred, rel: rel, key: rel + "|" + o.Key()}
+		if len(o.Row) > 0 {
+			w.prefix = rel + "|" + term.KeyOf(o.Row[:1])
+		}
+		rec.writes[i] = w
+	}
+	return rec
+}
+
+// conflictsWith reports whether the committed writes in rec overlap the
+// given read set or write set (write keys as produced by newCommitRecord).
+func (rec commitRecord) conflictsWith(rs *readSet, writes []wkey) bool {
+	for _, w := range rec.writes {
+		if rs.preds[w.pred] || rs.rels[w.rel] || rs.keys[w.key] {
+			return true
+		}
+		if w.prefix != "" && rs.prefixes[w.prefix] {
+			return true
+		}
+		for _, mine := range writes {
+			if mine.key == w.key {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package server exposes the Transaction Datalog engine as a concurrent
+// multi-client transaction service: many sessions, one shared durable
+// database, serializable transactions arbitrated by optimistic concurrency
+// control. See docs/SERVER.md for the protocol specification and the
+// isolation guarantees.
+//
+// Each session executes its goals against a private replica of the shared
+// database (forked with the undo log, kept in sync from an in-memory commit
+// log). At commit, the session's read and write sets are validated against
+// every transaction that committed since the replica's version; winners
+// append their write set to the write-ahead log before acknowledging,
+// losers abort and retry. Concurrent sessions therefore observe exactly
+// the behavior of the paper's iso(...) modality — each transaction runs as
+// if alone, and the committed history is serializable.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Protocol verbs.
+const (
+	OpLoad   = "LOAD"   // install a program (rules + facts) for this session
+	OpBegin  = "BEGIN"  // open a transaction
+	OpRun    = "RUN"    // execute a goal inside the open transaction
+	OpCommit = "COMMIT" // validate and commit the open transaction
+	OpAbort  = "ABORT"  // roll back the open transaction
+	OpExec   = "EXEC"   // one-shot: BEGIN + RUN + COMMIT with server-side retry
+	OpQuery  = "QUERY"  // read-only: enumerate solutions, no effects kept
+	OpStats  = "STATS"  // server counters
+	OpPing   = "PING"   // liveness
+)
+
+// Error codes carried in Response.Code.
+const (
+	CodeBadRequest = "bad_request" // malformed request or verb misuse
+	CodeParse      = "parse"       // program or goal failed to parse
+	CodeNoProof    = "no_proof"    // no execution of the goal commits
+	CodeConflict   = "conflict"    // commit validation failed (retryable)
+	CodeBudget     = "budget"      // step/time budget exhausted
+	CodeBusy       = "busy"        // admission control rejected the session
+	CodeShutdown   = "shutdown"    // server is shutting down
+	CodeInternal   = "internal"    // unexpected server-side failure
+)
+
+// Request is one client frame.
+type Request struct {
+	Op      string `json:"op"`
+	Program string `json:"program,omitempty"` // LOAD
+	Goal    string `json:"goal,omitempty"`    // RUN / EXEC / QUERY
+	// Max bounds QUERY solution enumeration (0 = all).
+	Max int `json:"max,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	OK   bool   `json:"ok"`
+	Code string `json:"code,omitempty"`
+	Err  string `json:"error,omitempty"`
+	// Bindings are the witness bindings of a successful RUN/EXEC goal,
+	// rendered in concrete TD syntax.
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// Solutions enumerates QUERY answers.
+	Solutions []map[string]string `json:"solutions,omitempty"`
+	// Version is the database version after a successful COMMIT/EXEC.
+	Version uint64 `json:"version,omitempty"`
+	// Retries counts server-side EXEC retries spent on conflicts.
+	Retries int `json:"retries,omitempty"`
+	// Stats answers STATS.
+	Stats *StatsSnapshot `json:"stats,omitempty"`
+}
+
+// Frame format: a 4-byte big-endian payload length followed by a JSON
+// document. DefaultMaxFrame bounds accepted payloads.
+const DefaultMaxFrame = 8 << 20
+
+// writeFrame marshals v and writes one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v.
+func readFrame(r io.Reader, v any, maxFrame int) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > maxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

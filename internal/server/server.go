@@ -1,0 +1,485 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// Options configure a Server. Zero values take the defaults below.
+type Options struct {
+	// SnapshotPath and WALPath enable durability (db.OpenStore semantics:
+	// recover snapshot + WAL, append to the WAL from then on). Both empty
+	// means a purely in-memory database.
+	SnapshotPath string
+	WALPath      string
+	// Program is the initial TD program source. Its rules become the
+	// default rulebase of every session; its facts are installed into the
+	// shared database (set semantics, so reinstalling is idempotent).
+	Program string
+	// MaxSessions bounds concurrently served sessions; excess connections
+	// are rejected with CodeBusy. Default 64.
+	MaxSessions int
+	// MaxSteps is the proof-search step budget per goal. Default 5e6.
+	MaxSteps int64
+	// MaxGoalTime is the wall-clock budget per goal (enforced at every
+	// database-changing step). Default 10s; negative disables.
+	MaxGoalTime time.Duration
+	// IdleTimeout closes sessions with no request activity. Default 5m;
+	// negative disables.
+	IdleTimeout time.Duration
+	// MaxRetries bounds server-side EXEC retries after commit conflicts.
+	// Default 16.
+	MaxRetries int
+	// NoSync skips the per-commit fsync (the WAL is still written in
+	// order; a crash may lose the buffered tail). For benchmarks.
+	NoSync bool
+	// MaxFrame bounds accepted request frames. Default DefaultMaxFrame.
+	MaxFrame int
+	// MaxLog bounds the in-memory commit log used to catch session
+	// replicas up; sessions that fall further behind pay a full resync.
+	// Default 1024 entries.
+	MaxLog int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 5_000_000
+	}
+	if o.MaxGoalTime == 0 {
+		o.MaxGoalTime = 10 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 16
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.MaxLog == 0 {
+		o.MaxLog = 1024
+	}
+	return o
+}
+
+// errConflict is the internal commit-validation failure; sessions translate
+// it into CodeConflict responses (and EXEC retries).
+var errConflict = errors.New("server: commit conflict")
+
+// errShutdown is returned once Close has begun.
+var errShutdown = errors.New("server: shutting down")
+
+// Server is a concurrent multi-client transaction service over one shared
+// Transaction Datalog database.
+type Server struct {
+	opts  Options
+	prog  *ast.Program
+	start time.Time
+	stats serverStats
+	sem   chan struct{}
+
+	// mu guards the shared head state: the authoritative database, the
+	// version counter, the commit log, and the session registry.
+	mu       sync.Mutex
+	head     *db.DB
+	store    *db.Store // nil in memory-only mode
+	frozen   db.FrozenDB
+	version  uint64
+	floor    uint64 // the commit log covers versions (floor, version]
+	clog     []commitRecord
+	sessions map[*session]uint64 // session -> replica version
+	closed   bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// New builds a server: opens (or recovers) the store, parses the initial
+// program, and installs its facts into the shared database.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	prog, err := parser.Parse(opts.Program)
+	if err != nil {
+		return nil, fmt.Errorf("server: initial program: %w", err)
+	}
+	s := &Server{
+		opts:     opts,
+		prog:     prog,
+		start:    time.Now(),
+		sem:      make(chan struct{}, opts.MaxSessions),
+		sessions: make(map[*session]uint64),
+	}
+	if opts.SnapshotPath != "" || opts.WALPath != "" {
+		if opts.SnapshotPath == "" || opts.WALPath == "" {
+			return nil, errors.New("server: need both SnapshotPath and WALPath for durability")
+		}
+		store, err := db.OpenStore(opts.SnapshotPath, opts.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.head = store.DB
+	} else {
+		s.head = db.New()
+	}
+	if err := s.installFacts(prog.Facts); err != nil {
+		return nil, err
+	}
+	s.frozen = db.FreezeDB(s.head)
+	return s, nil
+}
+
+// installFacts seeds the initial program's facts — but only into an EMPTY
+// database. A recovered database already reflects every committed
+// transaction; re-inserting seed facts that later transactions deleted
+// would resurrect stale tuples.
+func (s *Server) installFacts(facts []term.Atom) error {
+	for _, f := range facts {
+		if !f.IsGround() {
+			return fmt.Errorf("server: initial fact %s is not ground", f)
+		}
+	}
+	if s.head.Size() > 0 || len(facts) == 0 {
+		return nil
+	}
+	ops := make([]db.Op, len(facts))
+	for i, f := range facts {
+		ops[i] = db.Op{Insert: true, Pred: f.Pred, Row: f.Args}
+	}
+	if s.store != nil {
+		if err := s.store.ApplyOps(ops); err != nil {
+			return err
+		}
+		return s.store.Commit()
+	}
+	s.head.Apply(ops)
+	s.head.ResetTrail()
+	return nil
+}
+
+// Listen starts accepting TCP connections on addr (e.g. ":7077"); the
+// returned address carries the bound port when addr uses :0.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errShutdown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go s.ServeConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// ServeConn runs one session over conn (any net.Conn — a TCP connection or
+// one end of a net.Pipe), blocking until the session ends. Admission
+// control applies: beyond MaxSessions the connection is refused with a
+// CodeBusy frame.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.refuse(conn, CodeShutdown, "server shutting down")
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.stats.rejected.Add(1)
+		s.refuse(conn, CodeBusy, "too many sessions")
+		return
+	}
+	defer func() { <-s.sem }()
+	sess := s.newSession(conn)
+	defer s.dropSession(sess)
+	s.stats.sessionsOpen.Add(1)
+	s.stats.sessionsTotal.Add(1)
+	defer s.stats.sessionsOpen.Add(-1)
+	sess.serve()
+}
+
+// refuse answers exactly one request with an error frame and closes the
+// connection. It reads the request first — synchronous transports
+// (net.Pipe) would otherwise deadlock, with the client blocked writing its
+// request and the server blocked writing the refusal — under a short
+// deadline so a silent client cannot pin the goroutine.
+func (s *Server) refuse(conn net.Conn, code, msg string) {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var req Request
+	readFrame(bufio.NewReader(conn), &req, s.opts.MaxFrame)
+	writeFrame(conn, &Response{Code: code, Err: msg})
+	conn.Close()
+}
+
+// InProcClient connects a client to the server through an in-process pipe
+// — the same protocol and session machinery, no sockets.
+func (s *Server) InProcClient() *Client {
+	c1, c2 := net.Pipe()
+	go s.ServeConn(c2)
+	return NewClient(c1)
+}
+
+// newSession registers a session with a private replica forked from the
+// current head.
+func (s *Server) newSession(conn net.Conn) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		d:       s.head.Clone(),
+		version: s.version,
+		prog:    s.prog,
+		varHigh: s.prog.VarHigh,
+	}
+	sess.buildEngine()
+	s.sessions[sess] = sess.version
+	return sess
+}
+
+func (s *Server) dropSession(sess *session) {
+	sess.conn.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.pruneLocked()
+	s.mu.Unlock()
+}
+
+// syncSession brings a session's replica up to the current head version.
+func (s *Server) syncSession(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.catchUpLocked(sess)
+}
+
+// catchUpLocked applies the commit log suffix the session has not seen, or
+// performs a full resync when the log no longer reaches back far enough.
+func (s *Server) catchUpLocked(sess *session) {
+	if sess.version == s.version {
+		return
+	}
+	if sess.version < s.floor {
+		sess.d = s.head.Clone()
+	} else {
+		for _, rec := range s.clog {
+			if rec.version > sess.version {
+				sess.d.Apply(rec.ops)
+			}
+		}
+		sess.d.ResetTrail()
+	}
+	sess.version = s.version
+	s.sessions[sess] = sess.version
+}
+
+// commit validates a transaction's read/write sets against everything that
+// committed after the session's replica version and, on success, applies
+// the write set to the shared database, appends it to the WAL (syncing
+// before acknowledging unless NoSync), and advances the version. On
+// conflict it returns errConflict without touching shared state; the
+// session must roll its replica back and resync.
+//
+// The session's replica must already contain exactly ops on top of its
+// version; on success it is caught up to the new head in place.
+func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error) {
+	started := time.Now()
+	mine := newCommitRecord(0, ops).writes
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errShutdown
+	}
+	if sess.version < s.floor {
+		// History needed for validation was pruned: conservatively abort.
+		s.stats.conflicts.Add(1)
+		return 0, errConflict
+	}
+	for _, rec := range s.clog {
+		if rec.version <= sess.version {
+			continue
+		}
+		if rec.conflictsWith(rs, mine) {
+			s.stats.conflicts.Add(1)
+			return 0, errConflict
+		}
+	}
+	prev := sess.version
+	if s.store != nil {
+		if err := s.store.ApplyOps(ops); err != nil {
+			return 0, err
+		}
+		if !s.opts.NoSync {
+			if err := s.store.Commit(); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		s.head.Apply(ops)
+		s.head.ResetTrail()
+	}
+	for _, o := range ops {
+		if o.Insert {
+			s.frozen = s.frozen.Insert(o.Pred, o.Row)
+		} else {
+			s.frozen = s.frozen.Delete(o.Pred, o.Row)
+		}
+	}
+	s.version++
+	s.clog = append(s.clog, newCommitRecord(s.version, ops))
+	// The committer's replica holds (prev + ops); fold in the concurrent
+	// but non-overlapping writes it validated against, making it equal to
+	// the new head.
+	for _, rec := range s.clog {
+		if rec.version > prev && rec.version < s.version {
+			sess.d.Apply(rec.ops)
+		}
+	}
+	sess.d.ResetTrail()
+	sess.version = s.version
+	s.sessions[sess] = sess.version
+	s.pruneLocked()
+	s.stats.commits.Add(1)
+	s.stats.recordCommitLatency(time.Since(started))
+	return s.version, nil
+}
+
+// pruneLocked drops commit-log entries every live replica has already
+// applied, and enforces the MaxLog cap (stranding laggards, who will full
+// resync).
+func (s *Server) pruneLocked() {
+	min := s.version
+	for _, v := range s.sessions {
+		if v < min {
+			min = v
+		}
+	}
+	i := 0
+	for i < len(s.clog) && s.clog[i].version <= min {
+		i++
+	}
+	if keep := len(s.clog) - i; keep > s.opts.MaxLog {
+		i = len(s.clog) - s.opts.MaxLog
+	}
+	if i > 0 {
+		s.clog = append([]commitRecord(nil), s.clog[i:]...)
+	}
+	if len(s.clog) > 0 {
+		s.floor = s.clog[0].version - 1
+	} else {
+		s.floor = s.version
+	}
+}
+
+// Snapshot returns an immutable snapshot of the current shared database
+// (maintained incrementally at each commit; O(1) to take).
+func (s *Server) Snapshot() db.FrozenDB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen
+}
+
+// Version returns the current commit version.
+func (s *Server) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Checkpoint writes a snapshot file and truncates the WAL (durable mode
+// only). Safe to call while serving: commits are excluded for the duration.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return errors.New("server: in-memory server has no store to checkpoint")
+	}
+	return s.store.Checkpoint()
+}
+
+// Stats returns a consistent snapshot of the server counters.
+func (s *Server) Stats() StatsSnapshot {
+	p50, p99 := s.stats.quantiles()
+	s.mu.Lock()
+	version := s.version
+	size := s.head.Size()
+	var walBytes int64
+	if s.store != nil {
+		walBytes = s.store.WALSize()
+	}
+	s.mu.Unlock()
+	return StatsSnapshot{
+		SessionsOpen:  s.stats.sessionsOpen.Load(),
+		SessionsTotal: s.stats.sessionsTotal.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		TxnsBegun:     s.stats.txnsBegun.Load(),
+		Commits:       s.stats.commits.Load(),
+		Aborts:        s.stats.aborts.Load(),
+		Conflicts:     s.stats.conflicts.Load(),
+		Retries:       s.stats.retries.Load(),
+		NoProof:       s.stats.noProof.Load(),
+		BudgetHits:    s.stats.budgetHits.Load(),
+		Version:       version,
+		DBSize:        size,
+		WALBytes:      walBytes,
+		CommitP50Us:   p50,
+		CommitP99Us:   p99,
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+	}
+}
+
+// Close shuts the server down gracefully: stop accepting, close session
+// connections, wait for sessions to unwind, then sync and close the store.
+// Committed transactions are durable before their acknowledgment, so
+// nothing acknowledged is lost.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/verify"
+)
+
+const bankSrc = `
+	account(a, 100).
+	account(b, 100).
+	account(c, 100).
+	balance(A, B) :- account(A, B).
+	change(A, B1, B2) :- del.account(A, B1), ins.account(A, B2).
+	withdraw(Amt, A) :- balance(A, B), B >= Amt, sub(B, Amt, C), change(A, B, C).
+	deposit(Amt, A) :- balance(A, B), add(B, Amt, C), change(A, B, C).
+	transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+`
+
+func newBankServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	opts.Program = bankSrc
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// totalMoney sums account balances in the server's current snapshot.
+func totalMoney(t *testing.T, s *Server) int64 {
+	t.Helper()
+	d := s.Snapshot().Thaw()
+	var sum int64
+	for row := range d.All("account", 2) {
+		sum += row[1].IntVal()
+	}
+	return sum
+}
+
+func TestExecOverTCP(t *testing.T) {
+	s := newBankServer(t, Options{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	res, err := c.Exec("transfer(30, a, b)")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if res.Version != 1 {
+		t.Errorf("version = %d, want 1", res.Version)
+	}
+	sols, err := c.Query("account(A, B)", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	got := map[string]string{}
+	for _, s := range sols {
+		got[s["A"]] = s["B"]
+	}
+	want := map[string]string{"a": "70", "b": "130", "c": "100"}
+	for acct, bal := range want {
+		if got[acct] != bal {
+			t.Errorf("account(%s) = %s, want %s", acct, got[acct], bal)
+		}
+	}
+}
+
+func TestBeginRunCommitAbort(t *testing.T) {
+	s := newBankServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+
+	// RUN outside a transaction is a protocol error.
+	if _, err := c.Run("transfer(1, a, b)"); err == nil {
+		t.Fatal("RUN outside txn should fail")
+	}
+
+	// A committed interactive transaction with bindings.
+	if err := c.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	b, err := c.Run("balance(a, B), transfer(10, a, c)")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b["B"] != "100" {
+		t.Errorf("witness B = %q, want 100", b["B"])
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	// An aborted transaction leaves no trace.
+	if err := c.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := c.Run("transfer(50, c, a)"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	sols, err := c.Query("account(c, B)", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(sols) != 1 || sols[0]["B"] != "110" {
+		t.Errorf("account(c) after abort = %v, want 110", sols)
+	}
+
+	// A failing goal reports no_proof and keeps the transaction open.
+	if err := c.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if _, err := c.Run("transfer(100000, a, b)"); !IsNoProof(err) {
+		t.Fatalf("overdraft should be no_proof, got %v", err)
+	}
+	if _, err := c.Run("transfer(1, a, b)"); err != nil {
+		t.Fatalf("txn should still be open: %v", err)
+	}
+	if _, err := c.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+// TestCommitConflict pins the OCC arbitration: of two transactions racing
+// on overlapping accounts, the second to commit loses and can retry.
+func TestCommitConflict(t *testing.T) {
+	s := newBankServer(t, Options{})
+	a := s.InProcClient()
+	defer a.Close()
+	b := s.InProcClient()
+	defer b.Close()
+
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run("transfer(10, a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run("transfer(5, b, c)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(); err != nil {
+		t.Fatalf("first committer must win: %v", err)
+	}
+	if _, err := b.Commit(); !IsConflict(err) {
+		t.Fatalf("second committer must conflict, got %v", err)
+	}
+
+	// After the conflict the session is resynced; a retry sees a's state.
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	bind, err := b.Run("balance(b, B), transfer(5, b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bind["B"] != "110" {
+		t.Errorf("retry read B = %q, want 110 (a's deposit visible)", bind["B"])
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatalf("retry commit: %v", err)
+	}
+	if st := s.Stats(); st.Conflicts == 0 {
+		t.Error("stats should count the conflict")
+	}
+	if got := totalMoney(t, s); got != 300 {
+		t.Errorf("total money = %d, want 300", got)
+	}
+
+	// Disjoint transactions must NOT conflict.
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run("transfer(1, a, b)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run("ins.audit(entry1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatalf("disjoint commit should succeed: %v", err)
+	}
+}
+
+// TestServerSerializable is the end-to-end serializability test: concurrent
+// client sessions running iso money transfers through the real server must
+// conserve total money and land on a final database some serial order of
+// the same transactions also reaches — checked against the verification
+// package as the oracle.
+func TestServerSerializable(t *testing.T) {
+	goals := []string{
+		"iso(transfer(7, a, b))",
+		"iso(transfer(13, b, c))",
+		"iso(transfer(29, c, a))",
+	}
+
+	// Oracle 1: the engine-level property for the same program and goals.
+	prog := parser.MustParse(bankSrc)
+	d0, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns []ast.Goal
+	high := prog.VarHigh
+	for _, g := range goals {
+		goal, h, err := parser.ParseGoal(g, high)
+		if err != nil {
+			t.Fatal(err)
+		}
+		high = h
+		txns = append(txns, goal)
+	}
+	ser, err := verify.Serializable(prog, txns, d0, engine.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ser.OK {
+		t.Fatalf("engine-level serializability should hold, anomaly:\n%s", ser.Anomaly)
+	}
+
+	// Oracle 2: the exact set of serial outcomes.
+	var serialFinals []*db.DB
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		ordered := make([]ast.Goal, len(p))
+		for i, j := range p {
+			ordered[i] = txns[j]
+		}
+		finals, err := verify.Finals(prog, ast.NewSeq(ordered...), d0, engine.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialFinals = append(serialFinals, finals...)
+	}
+
+	// The real system: one server, one concurrent session per transaction.
+	s := newBankServer(t, Options{})
+	var wg sync.WaitGroup
+	errs := make([]error, len(goals))
+	for i, g := range goals {
+		wg.Add(1)
+		go func(i int, g string) {
+			defer wg.Done()
+			c := s.InProcClient()
+			defer c.Close()
+			_, errs[i] = c.Exec(g)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+
+	if got := totalMoney(t, s); got != 300 {
+		t.Errorf("total money = %d, want 300", got)
+	}
+	final := s.Snapshot().Thaw()
+	matched := false
+	for _, sf := range serialFinals {
+		if final.Equal(sf) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Errorf("server final state matches no serial order:\n%s", final)
+	}
+}
+
+// TestConcurrentTransfersConserveMoney hammers the server with many
+// sessions transferring money around a small account set; conservation and
+// commit accounting must hold exactly.
+func TestConcurrentTransfersConserveMoney(t *testing.T) {
+	const clients, txnsEach = 8, 20
+	s := newBankServer(t, Options{MaxRetries: 200})
+	accounts := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*txnsEach)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := s.InProcClient()
+			defer c.Close()
+			for j := 0; j < txnsEach; j++ {
+				from := accounts[(i+j)%len(accounts)]
+				to := accounts[(i+j+1)%len(accounts)]
+				if _, err := c.Exec(fmt.Sprintf("transfer(1, %s, %s)", from, to)); err != nil {
+					errCh <- fmt.Errorf("client %d txn %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := totalMoney(t, s); got != 300 {
+		t.Errorf("total money = %d, want 300", got)
+	}
+	st := s.Stats()
+	if st.Commits != clients*txnsEach {
+		t.Errorf("commits = %d, want %d", st.Commits, clients*txnsEach)
+	}
+	if st.Version != uint64(clients*txnsEach) {
+		t.Errorf("version = %d, want %d", st.Version, clients*txnsEach)
+	}
+	t.Logf("commits=%d conflicts=%d retries=%d p50=%dµs p99=%dµs",
+		st.Commits, st.Conflicts, st.Retries, st.CommitP50Us, st.CommitP99Us)
+}
+
+// TestRecovery: commits acknowledged by the server must survive a crash
+// (no graceful close) and a restart, replayed from the WAL.
+func TestRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		SnapshotPath: filepath.Join(dir, "td.snap"),
+		WALPath:      filepath.Join(dir, "td.wal"),
+	}
+	s := newBankServer(t, opts)
+	c := s.InProcClient()
+	acked := 0
+	for i := 0; i < 10; i++ {
+		if _, err := c.Exec("transfer(3, a, b)"); err != nil {
+			t.Fatalf("Exec %d: %v", i, err)
+		}
+		acked++
+	}
+	c.Close()
+	// Crash: no server Close, no checkpoint. Every acknowledged commit was
+	// fsynced, so recovery must reproduce them all.
+	recovered, err := db.OpenStore(opts.SnapshotPath, opts.WALPath)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer recovered.Close()
+	wantA := strconv.Itoa(100 - 3*acked)
+	wantB := strconv.Itoa(100 + 3*acked)
+	for _, row := range recovered.DB.Tuples("account", 2) {
+		switch row[0].SymName() {
+		case "a":
+			if row[1].String() != wantA {
+				t.Errorf("account(a) = %s, want %s", row[1], wantA)
+			}
+		case "b":
+			if row[1].String() != wantB {
+				t.Errorf("account(b) = %s, want %s", row[1], wantB)
+			}
+		}
+	}
+
+	// A restarted server over the same files serves the recovered state.
+	s2 := newBankServer(t, opts)
+	c2 := s2.InProcClient()
+	defer c2.Close()
+	sols, err := c2.Query("account(a, B)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 || sols[0]["B"] != wantA {
+		t.Errorf("restarted account(a) = %v, want %s", sols, wantA)
+	}
+	if got := totalMoney(t, s2); got != 300 {
+		t.Errorf("total money after restart = %d, want 300", got)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s := newBankServer(t, Options{MaxSessions: 1})
+	c1 := s.InProcClient()
+	defer c1.Close()
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("first session: %v", err)
+	}
+	c2 := s.InProcClient()
+	defer c2.Close()
+	if got := codeOf(c2.Ping()); got != CodeBusy {
+		t.Fatalf("second session should be rejected busy, got %q", got)
+	}
+}
+
+// codeOf extracts the protocol error code ("" for nil or non-protocol errors).
+func codeOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return ""
+}
+
+func TestStepBudget(t *testing.T) {
+	s := newBankServer(t, Options{MaxSteps: 2000})
+	c := s.InProcClient()
+	defer c.Close()
+	if err := c.Load(`spin(N) :- add(N, 1, M), spin(M).`); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := c.Exec("spin(0)"); codeOf(err) != CodeBudget {
+		t.Fatalf("runaway goal should exhaust the budget, got %v", err)
+	}
+	if st := s.Stats(); st.BudgetHits == 0 {
+		t.Error("stats should count the budget hit")
+	}
+}
+
+func TestLoadIsIdempotentAndSessionScoped(t *testing.T) {
+	s := newBankServer(t, Options{})
+	c1 := s.InProcClient()
+	defer c1.Close()
+	c2 := s.InProcClient()
+	defer c2.Close()
+
+	// Reloading the same facts changes nothing (set semantics).
+	if err := c1.Load(bankSrc); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if v := s.Version(); v != 0 {
+		t.Errorf("idempotent reload bumped version to %d", v)
+	}
+
+	// New rules are visible to the loading session only; the shared
+	// database is shared.
+	if err := c1.Load(bankSrc + `
+		audit_transfer(Amt, A, B) :- transfer(Amt, A, B), ins.audit(A, B, Amt).
+	`); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := c1.Exec("audit_transfer(5, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if _, err := c2.Exec("audit_transfer(5, b, c)"); !IsNoProof(err) {
+		t.Fatalf("c2 should not see c1's rules, got %v", err)
+	}
+	sols, err := c2.Query("audit(A, B, Amt)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Errorf("audit tuple should be shared, got %v", sols)
+	}
+}
+
+func TestQueryMaxAndReadOnly(t *testing.T) {
+	s := newBankServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+	sols, err := c.Query("account(A, B)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Errorf("max=2 returned %d solutions", len(sols))
+	}
+	// A query with updates keeps no effects.
+	if _, err := c.Query("ins.scratch(1), scratch(X)", 0); err != nil {
+		t.Fatal(err)
+	}
+	sols, err = c.Query("scratch(X)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 0 {
+		t.Errorf("query effects leaked: %v", sols)
+	}
+	if v := s.Version(); v != 0 {
+		t.Errorf("read-only traffic bumped version to %d", v)
+	}
+}

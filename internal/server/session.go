@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// errGoalTime is the wall-clock budget violation, delivered through the
+// engine's Watch hook (checked at every database-changing step).
+var errGoalTime = errors.New("goal wall-clock budget exhausted")
+
+// session is one client connection: a private database replica at a known
+// version, a rulebase, and at most one open transaction.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	d       *db.DB
+	version uint64
+	prog    *ast.Program
+	varHigh int64
+	eng     *engine.Engine
+
+	inTxn     bool
+	beginMark int
+	rs        *readSet
+	deadline  time.Time // wall-clock bound for the currently running goal
+}
+
+// buildEngine (re)builds the session engine for the current program.
+func (sess *session) buildEngine() {
+	opts := engine.Options{
+		LoopCheck: true,
+		Table:     true,
+		MaxSteps:  sess.srv.opts.MaxSteps,
+	}
+	if sess.srv.opts.MaxGoalTime > 0 {
+		opts.Watch = func(*db.DB) error {
+			if time.Now().After(sess.deadline) {
+				return errGoalTime
+			}
+			return nil
+		}
+	}
+	sess.eng = engine.New(sess.prog, opts)
+}
+
+// serve is the request loop: one frame in, one frame out, until the
+// connection drops or the server shuts down.
+func (sess *session) serve() {
+	r := bufio.NewReader(sess.conn)
+	w := bufio.NewWriter(sess.conn)
+	for {
+		if t := sess.srv.opts.IdleTimeout; t > 0 {
+			sess.conn.SetReadDeadline(time.Now().Add(t))
+		}
+		var req Request
+		if err := readFrame(r, &req, sess.srv.opts.MaxFrame); err != nil {
+			break // EOF, deadline, or protocol garbage: drop the session
+		}
+		resp := sess.handle(&req)
+		if err := writeFrame(w, resp); err != nil {
+			break
+		}
+		if err := w.Flush(); err != nil {
+			break
+		}
+	}
+	// An open transaction dies with its session.
+	if sess.inTxn {
+		sess.d.Undo(sess.beginMark)
+		sess.inTxn = false
+		sess.srv.stats.aborts.Add(1)
+	}
+}
+
+func fail(code, format string, args ...any) *Response {
+	return &Response{Code: code, Err: fmt.Sprintf(format, args...)}
+}
+
+func (sess *session) handle(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpStats:
+		st := sess.srv.Stats()
+		return &Response{OK: true, Stats: &st}
+	case OpLoad:
+		return sess.handleLoad(req)
+	case OpBegin:
+		return sess.handleBegin()
+	case OpRun:
+		return sess.handleRun(req)
+	case OpCommit:
+		return sess.handleCommit()
+	case OpAbort:
+		return sess.handleAbort()
+	case OpExec:
+		return sess.handleExec(req)
+	case OpQuery:
+		return sess.handleQuery(req)
+	default:
+		return fail(CodeBadRequest, "unknown op %q", req.Op)
+	}
+}
+
+// handleLoad installs a program for this session and commits its facts to
+// the shared database (as an ordinary transaction, so it is validated and
+// WAL-logged like any other write).
+func (sess *session) handleLoad(req *Request) *Response {
+	if sess.inTxn {
+		return fail(CodeBadRequest, "LOAD inside an open transaction")
+	}
+	prog, err := parser.Parse(req.Program)
+	if err != nil {
+		return fail(CodeParse, "program: %v", err)
+	}
+	for _, f := range prog.Facts {
+		if !f.IsGround() {
+			return fail(CodeParse, "fact %s is not ground", f)
+		}
+	}
+	sess.prog = prog
+	sess.varHigh = prog.VarHigh
+	sess.buildEngine()
+	if resp := sess.commitFacts(prog.Facts); resp != nil {
+		return resp
+	}
+	return &Response{OK: true, Version: sess.version}
+}
+
+// commitFacts installs facts through the OCC commit path, retrying on
+// conflicts. Returns nil on success.
+func (sess *session) commitFacts(facts []term.Atom) *Response {
+	for attempt := 0; ; attempt++ {
+		sess.srv.syncSession(sess)
+		rs := newReadSet()
+		mark := sess.d.Mark()
+		sess.d.SetReadHook(rs.observe)
+		for _, f := range facts {
+			sess.d.Insert(f.Pred, f.Args)
+		}
+		sess.d.SetReadHook(nil)
+		ops := sess.d.DeltaSince(mark)
+		if len(ops) == 0 {
+			sess.d.Undo(mark)
+			return nil // everything already present
+		}
+		_, err := sess.srv.commit(sess, rs, ops)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, errConflict):
+			sess.d.Undo(mark)
+			if attempt >= sess.srv.opts.MaxRetries {
+				return fail(CodeConflict, "fact installation kept conflicting")
+			}
+			sess.srv.stats.retries.Add(1)
+		default:
+			sess.d.Undo(mark)
+			return fail(CodeInternal, "%v", err)
+		}
+	}
+}
+
+func (sess *session) handleBegin() *Response {
+	if sess.inTxn {
+		return fail(CodeBadRequest, "transaction already open")
+	}
+	sess.srv.syncSession(sess)
+	sess.varHigh = sess.prog.VarHigh
+	sess.inTxn = true
+	sess.beginMark = sess.d.Mark()
+	sess.rs = newReadSet()
+	sess.srv.stats.txnsBegun.Add(1)
+	return &Response{OK: true, Version: sess.version}
+}
+
+// runGoal executes one parsed goal inside the open transaction, recording
+// reads into the transaction's read set.
+func (sess *session) runGoal(g ast.Goal) (*engine.Result, *Response) {
+	sess.deadline = time.Now().Add(sess.srv.opts.MaxGoalTime)
+	sess.d.SetReadHook(sess.rs.observe)
+	res, _, err := sess.eng.ProveDelta(g, sess.d)
+	sess.d.SetReadHook(nil)
+	if err != nil {
+		var wv *engine.WatchViolation
+		switch {
+		case errors.As(err, &wv) && errors.Is(wv.Cause, errGoalTime):
+			sess.srv.stats.budgetHits.Add(1)
+			return nil, fail(CodeBudget, "goal exceeded wall-clock budget %v", sess.srv.opts.MaxGoalTime)
+		case errors.Is(err, engine.ErrBudget), errors.Is(err, engine.ErrDepth):
+			sess.srv.stats.budgetHits.Add(1)
+			return nil, fail(CodeBudget, "%v", err)
+		default:
+			return nil, fail(CodeInternal, "%v", err)
+		}
+	}
+	if !res.Success {
+		sess.srv.stats.noProof.Add(1)
+		return nil, fail(CodeNoProof, "no execution of the goal commits")
+	}
+	return res, nil
+}
+
+func (sess *session) parseGoal(src string) (ast.Goal, *Response) {
+	g, high, err := parser.ParseGoal(src, sess.varHigh)
+	if err != nil {
+		return nil, fail(CodeParse, "goal: %v", err)
+	}
+	sess.varHigh = high
+	return g, nil
+}
+
+func bindingsWire(b map[string]term.Term) map[string]string {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(b))
+	for k, v := range b {
+		out[k] = v.String()
+	}
+	return out
+}
+
+func (sess *session) handleRun(req *Request) *Response {
+	if !sess.inTxn {
+		return fail(CodeBadRequest, "RUN outside a transaction (use BEGIN, or EXEC for one-shots)")
+	}
+	g, errResp := sess.parseGoal(req.Goal)
+	if errResp != nil {
+		return errResp
+	}
+	res, errResp := sess.runGoal(g)
+	if errResp != nil {
+		return errResp // goal rolled back; transaction stays open
+	}
+	return &Response{OK: true, Bindings: bindingsWire(res.Bindings)}
+}
+
+func (sess *session) handleCommit() *Response {
+	if !sess.inTxn {
+		return fail(CodeBadRequest, "COMMIT outside a transaction")
+	}
+	sess.inTxn = false
+	ops := sess.d.DeltaSince(sess.beginMark)
+	if len(ops) == 0 {
+		// Read-only: serializable at its snapshot point, nothing to
+		// validate or log.
+		return &Response{OK: true, Version: sess.version}
+	}
+	version, err := sess.srv.commit(sess, sess.rs, ops)
+	switch {
+	case err == nil:
+		return &Response{OK: true, Version: version}
+	case errors.Is(err, errConflict):
+		sess.d.Undo(sess.beginMark)
+		sess.srv.syncSession(sess)
+		sess.srv.stats.aborts.Add(1)
+		return fail(CodeConflict, "commit conflict: a concurrent transaction won; retry")
+	default:
+		sess.d.Undo(sess.beginMark)
+		sess.srv.stats.aborts.Add(1)
+		return fail(CodeInternal, "%v", err)
+	}
+}
+
+func (sess *session) handleAbort() *Response {
+	if !sess.inTxn {
+		return fail(CodeBadRequest, "ABORT outside a transaction")
+	}
+	sess.d.Undo(sess.beginMark)
+	sess.inTxn = false
+	sess.rs = nil
+	sess.srv.stats.aborts.Add(1)
+	return &Response{OK: true, Version: sess.version}
+}
+
+// handleExec is BEGIN + RUN + COMMIT with server-side conflict retries:
+// the paper's iso(goal), executed as one serializable unit.
+func (sess *session) handleExec(req *Request) *Response {
+	if sess.inTxn {
+		return fail(CodeBadRequest, "EXEC inside an open transaction")
+	}
+	sess.varHigh = sess.prog.VarHigh
+	g, errResp := sess.parseGoal(req.Goal)
+	if errResp != nil {
+		return errResp
+	}
+	for attempt := 0; ; attempt++ {
+		sess.srv.syncSession(sess)
+		sess.srv.stats.txnsBegun.Add(1)
+		sess.rs = newReadSet()
+		mark := sess.d.Mark()
+		res, errResp := sess.runGoal(g)
+		if errResp != nil {
+			sess.srv.stats.aborts.Add(1)
+			return errResp
+		}
+		ops := sess.d.DeltaSince(mark)
+		if len(ops) == 0 {
+			// Read-only: serializable at its snapshot point.
+			return &Response{OK: true, Version: sess.version, Retries: attempt, Bindings: bindingsWire(res.Bindings)}
+		}
+		version, err := sess.srv.commit(sess, sess.rs, ops)
+		switch {
+		case err == nil:
+			return &Response{OK: true, Version: version, Retries: attempt, Bindings: bindingsWire(res.Bindings)}
+		case errors.Is(err, errConflict):
+			sess.d.Undo(mark)
+			if attempt >= sess.srv.opts.MaxRetries {
+				sess.srv.stats.aborts.Add(1)
+				return fail(CodeConflict, "gave up after %d conflict retries", attempt)
+			}
+			sess.srv.stats.retries.Add(1)
+		default:
+			sess.d.Undo(mark)
+			sess.srv.stats.aborts.Add(1)
+			return fail(CodeInternal, "%v", err)
+		}
+	}
+}
+
+// handleQuery enumerates solutions without keeping effects. Inside a
+// transaction it reads the transaction's state (and its reads count toward
+// validation); outside, it reads a fresh snapshot.
+func (sess *session) handleQuery(req *Request) *Response {
+	if !sess.inTxn {
+		sess.srv.syncSession(sess)
+		sess.varHigh = sess.prog.VarHigh
+	}
+	g, errResp := sess.parseGoal(req.Goal)
+	if errResp != nil {
+		return errResp
+	}
+	if sess.inTxn {
+		sess.d.SetReadHook(sess.rs.observe)
+		defer sess.d.SetReadHook(nil)
+	}
+	sess.deadline = time.Now().Add(sess.srv.opts.MaxGoalTime)
+	var sols []map[string]string
+	_, err := sess.eng.Enumerate(g, sess.d, req.Max, func(b map[string]term.Term) bool {
+		m := bindingsWire(b)
+		if m == nil {
+			m = map[string]string{}
+		}
+		sols = append(sols, m)
+		return true
+	})
+	if err != nil {
+		var wv *engine.WatchViolation
+		if errors.As(err, &wv) && errors.Is(wv.Cause, errGoalTime) {
+			sess.srv.stats.budgetHits.Add(1)
+			return fail(CodeBudget, "query exceeded wall-clock budget %v", sess.srv.opts.MaxGoalTime)
+		}
+		if errors.Is(err, engine.ErrBudget) || errors.Is(err, engine.ErrDepth) {
+			sess.srv.stats.budgetHits.Add(1)
+			return fail(CodeBudget, "%v", err)
+		}
+		return fail(CodeInternal, "%v", err)
+	}
+	return &Response{OK: true, Solutions: sols}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats is the live counter set; StatsSnapshot is its wire form.
+type serverStats struct {
+	sessionsOpen  atomic.Int64
+	sessionsTotal atomic.Int64
+	rejected      atomic.Int64
+	txnsBegun     atomic.Int64
+	commits       atomic.Int64
+	aborts        atomic.Int64 // explicit ABORTs + failed EXECs
+	conflicts     atomic.Int64 // commit validations lost
+	retries       atomic.Int64 // server-side EXEC retries
+	noProof       atomic.Int64 // goals with no committing execution
+	budgetHits    atomic.Int64 // step/time budget exhaustions
+
+	// Commit latencies (µs) in a bounded ring; quantiles are computed over
+	// whatever the ring currently holds.
+	latMu   sync.Mutex
+	lat     [4096]int64
+	latLen  int
+	latNext int
+}
+
+func (st *serverStats) recordCommitLatency(d time.Duration) {
+	us := d.Microseconds()
+	st.latMu.Lock()
+	st.lat[st.latNext] = us
+	st.latNext = (st.latNext + 1) % len(st.lat)
+	if st.latLen < len(st.lat) {
+		st.latLen++
+	}
+	st.latMu.Unlock()
+}
+
+// quantiles returns the p50 and p99 commit latencies in microseconds.
+func (st *serverStats) quantiles() (p50, p99 int64) {
+	st.latMu.Lock()
+	sample := make([]int64, st.latLen)
+	copy(sample, st.lat[:st.latLen])
+	st.latMu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sample)-1))
+		return sample[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// StatsSnapshot is the STATS response payload.
+type StatsSnapshot struct {
+	SessionsOpen  int64  `json:"sessions_open"`
+	SessionsTotal int64  `json:"sessions_total"`
+	Rejected      int64  `json:"rejected"`
+	TxnsBegun     int64  `json:"txns_begun"`
+	Commits       int64  `json:"commits"`
+	Aborts        int64  `json:"aborts"`
+	Conflicts     int64  `json:"conflicts"`
+	Retries       int64  `json:"retries"`
+	NoProof       int64  `json:"no_proof"`
+	BudgetHits    int64  `json:"budget_hits"`
+	Version       uint64 `json:"version"`
+	DBSize        int    `json:"db_size"`
+	WALBytes      int64  `json:"wal_bytes"`
+	CommitP50Us   int64  `json:"commit_p50_us"`
+	CommitP99Us   int64  `json:"commit_p99_us"`
+	UptimeMs      int64  `json:"uptime_ms"`
+}

@@ -1,0 +1,48 @@
+package td
+
+// Transaction-service facade (package server): a concurrent multi-client
+// transaction service over the TD engine. Clients run TD goals as
+// serializable transactions against a shared database; commits are
+// validated optimistically and made durable through the write-ahead log
+// before acknowledgment. See docs/SERVER.md for the wire protocol.
+
+import (
+	"net"
+
+	"repro/internal/server"
+)
+
+type (
+	// Server is the shared transaction service. Create one with NewServer,
+	// expose it with Server.Listen or Server.InProcClient.
+	Server = server.Server
+	// ServerOptions configure a Server (zero values take defaults).
+	ServerOptions = server.Options
+	// ServerClient is a synchronous client for a Server.
+	ServerClient = server.Client
+	// ServerStats is a point-in-time snapshot of server counters.
+	ServerStats = server.StatsSnapshot
+	// ServerError is a protocol-level failure (inspect its Code).
+	ServerError = server.Error
+	// ServerExecResult reports a one-shot EXEC transaction.
+	ServerExecResult = server.ExecResult
+)
+
+// NewServer builds a transaction service. With both SnapshotPath and
+// WALPath set it recovers committed state and runs durably; with neither
+// it runs in memory.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// DialServer connects to a tdserver listening at addr.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// NewServerClient wraps an established connection (e.g. a net.Pipe end
+// being served by Server.ServeConn).
+func NewServerClient(conn net.Conn) *ServerClient { return server.NewClient(conn) }
+
+// IsConflict reports whether err is a commit-validation conflict — the
+// retryable loser of optimistic concurrency control.
+func IsConflict(err error) bool { return server.IsConflict(err) }
+
+// IsNoProof reports whether err means no execution of the goal commits.
+func IsNoProof(err error) bool { return server.IsNoProof(err) }
