@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench suite suite-quick examples demo fmt vet clean
+.PHONY: all build test test-short race check cover bench bench-all profile suite suite-quick examples demo fmt vet clean
 
 all: build test
 
@@ -18,16 +18,43 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: static checks plus the race-instrumented test run.
+# The pre-merge gate: static checks, the full test suite, and the
+# race-instrumented run of the concurrency-heavy packages (the server and
+# the database, which the interner and scan caches sit under).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/server ./internal/db ./internal/term
 
 cover:
 	$(GO) test -short -cover ./...
 
+# Fixed-iteration run of the hot-path benchmarks, recorded as the "post"
+# section of BENCH_PR2.json (the frozen "baseline" section is preserved by
+# the merge). Fixed -benchtime=3000x keeps iteration counts comparable
+# across runs.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput' \
+		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label post -merge BENCH_PR2.json > BENCH_PR2.json.tmp
+	mv BENCH_PR2.json.tmp BENCH_PR2.json
+	@cat BENCH_PR2.json
+
+# Every benchmark, default benchtime (exploratory; nothing recorded).
+bench-all:
 	$(GO) test -bench=. -benchmem .
+
+# Run the bank load generator under the CPU profiler against a throwaway
+# in-memory server; profiles land in /tmp/td-profile/.
+profile:
+	$(GO) build -o /tmp/td-profile-server ./cmd/tdserver
+	@set -e; mkdir -p /tmp/td-profile; \
+	/tmp/td-profile-server serve -addr 127.0.0.1:7392 & \
+	pid=$$!; sleep 0.5; \
+	/tmp/td-profile-server bank -addr 127.0.0.1:7392 -clients 8 -txns 200 \
+		-cpuprofile /tmp/td-profile/bank.cpu.pprof -memprofile /tmp/td-profile/bank.mem.pprof; \
+	kill $$pid; \
+	echo "profiles written: /tmp/td-profile/bank.cpu.pprof /tmp/td-profile/bank.mem.pprof"; \
+	echo "inspect with: go tool pprof -top /tmp/td-profile/bank.cpu.pprof"
 
 # The full reproduction suite (EXPERIMENTS.md tables).
 suite:

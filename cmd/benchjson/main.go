@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark runs can be committed and diffed.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson [-label post] [-merge old.json]
+//
+// Each benchmark line becomes an object keyed by benchmark name with
+// ns_per_op, bytes_per_op, allocs_per_op, iterations, and any extra custom
+// metrics (e.g. commits/sec). With -merge, the existing document's other
+// labels are preserved and this run is added (or replaced) under -label:
+// that is how BENCH_PR2.json keeps a frozen "baseline" section next to the
+// current "post" numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "post", "top-level key to store this run under")
+	merge := flag.String("merge", "", "existing JSON document to merge into (other labels kept)")
+	flag.Parse()
+
+	results, meta := parseBench(os.Stdin)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string]json.RawMessage{}
+	if *merge != "" {
+		if raw, err := os.ReadFile(*merge); err == nil {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *merge, err)
+				os.Exit(1)
+			}
+		}
+	}
+	run := map[string]any{"env": meta, "benchmarks": results}
+	enc, err := json.Marshal(run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc[*label] = enc
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseBench reads go-test benchmark output, returning results keyed by
+// benchmark name (with the -N GOMAXPROCS suffix kept, since throughput
+// benchmarks are parallelism-sensitive) and the goos/goarch/cpu banner.
+func parseBench(f *os.File) (map[string]benchResult, map[string]string) {
+	results := map[string]benchResult{}
+	meta := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+":"); ok {
+				meta[k] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Iterations: iters}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = int64(val)
+			case "allocs/op":
+				r.AllocsPerOp = int64(val)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = val
+			}
+		}
+		results[name] = r
+	}
+	return results, meta
+}

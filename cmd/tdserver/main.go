@@ -19,6 +19,11 @@
 // runs -clients concurrent clients each committing -txns random
 // iso(transfer(...)) transactions, and finally checks that money was
 // conserved and prints throughput and the server's STATS counters.
+//
+// serve and bank both accept -cpuprofile and -memprofile flags that write
+// runtime/pprof profiles (the CPU profile covers the whole run; the heap
+// profile is taken at exit after a GC). `make profile` runs the bank load
+// generator under the CPU profiler against a throwaway in-memory server.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -35,6 +42,54 @@ import (
 
 	td "repro"
 )
+
+// profileFlags adds -cpuprofile/-memprofile to a subcommand's flag set.
+// startProfiles begins CPU profiling if requested and returns a stop
+// function that finishes the CPU profile and writes the heap profile; call
+// it on every exit path (the subcommands defer it).
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) profileFlags {
+	return profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+func (p profileFlags) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tdserver: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tdserver: memprofile:", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -87,8 +142,14 @@ func serveCmd(args []string) error {
 		goalTime    = fs.Duration("goal-time", 0, "per-goal wall-clock budget (0 = default)")
 		idle        = fs.Duration("idle", 0, "per-connection idle timeout (0 = default)")
 		nosync      = fs.Bool("nosync", false, "skip fsync on commit (throughput over durability)")
+		prof        = addProfileFlags(fs)
 	)
 	fs.Parse(args)
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	opts := td.ServerOptions{
 		SnapshotPath: *snap,
@@ -150,11 +211,17 @@ func bankCmd(args []string) error {
 		txns     = fs.Int("txns", 50, "transactions per client")
 		accounts = fs.Int("accounts", 4, "accounts in the bank (fewer = more contention)")
 		seed     = fs.Int64("seed", 1, "transfer-pattern seed")
+		prof     = addProfileFlags(fs)
 	)
 	fs.Parse(args)
 	if *accounts < 2 {
 		return fmt.Errorf("need at least 2 accounts")
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	// Seed the bank through one setup client. If the server already holds
 	// accounts (a restart), keep them: the whole point of durability is

@@ -1,0 +1,110 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+// Allocation regression guards for the hot-path operations. The zero-alloc
+// claims here are load-bearing: the prover's inner loop calls Contains,
+// Scan, Insert, and Delete on every proof step, and a regression to even
+// one allocation per call shows up directly in BenchmarkProverTransfer.
+// testing.AllocsPerRun disables parallelism and averages over many runs,
+// so map-growth noise does not flake these.
+
+func allocRow(a, b string) []term.Term {
+	return []term.Term{term.NewSym(a), term.NewSym(b)}
+}
+
+// Insert of an already-present tuple must not allocate: the binary key is
+// built in the DB's scratch buffer and the hit is found without
+// materializing a string.
+func TestInsertExistingAllocs(t *testing.T) {
+	d := New()
+	row := allocRow("alice", "bob")
+	d.Insert("edge", row)
+	d.ResetTrail()
+	n := testing.AllocsPerRun(200, func() {
+		d.Insert("edge", row)
+	})
+	if n != 0 {
+		t.Errorf("Insert of existing tuple: %v allocs/op, want 0", n)
+	}
+}
+
+// Delete of an absent tuple is a pure lookup miss: zero allocations.
+func TestDeleteAbsentAllocs(t *testing.T) {
+	d := New()
+	d.Insert("edge", allocRow("alice", "bob"))
+	d.ResetTrail()
+	missing := allocRow("carol", "dave")
+	n := testing.AllocsPerRun(200, func() {
+		d.Delete("edge", missing)
+	})
+	if n != 0 {
+		t.Errorf("Delete of absent tuple: %v allocs/op, want 0", n)
+	}
+}
+
+// A ground Contains hit must not allocate.
+func TestContainsHitAllocs(t *testing.T) {
+	d := New()
+	row := allocRow("alice", "bob")
+	d.Insert("edge", row)
+	d.ResetTrail()
+	n := testing.AllocsPerRun(200, func() {
+		if !d.Contains("edge", row) {
+			panic("tuple vanished")
+		}
+	})
+	if n != 0 {
+		t.Errorf("ground Contains hit: %v allocs/op, want 0", n)
+	}
+}
+
+// A fully ground Scan probe (all arguments constant) is a single lookup:
+// zero allocations on the hit path.
+func TestGroundScanAllocs(t *testing.T) {
+	d := New()
+	row := allocRow("alice", "bob")
+	d.Insert("edge", row)
+	d.ResetTrail()
+	env := term.NewEnv()
+	hits := 0
+	n := testing.AllocsPerRun(200, func() {
+		d.Scan("edge", row, env, func() bool {
+			hits++
+			return true
+		})
+	})
+	if hits == 0 {
+		t.Fatal("ground scan never matched")
+	}
+	if n != 0 {
+		t.Errorf("ground Scan hit: %v allocs/op, want 0", n)
+	}
+}
+
+// An insert+delete churn pair of a *new* tuple does allocate (the stored
+// row copy, its key, and trail entries) but must stay under a small
+// ceiling. This guards the whole mutation path — key building, index
+// maintenance, fingerprint fold — against accidental per-op garbage.
+func TestChurnAllocBound(t *testing.T) {
+	d := New()
+	// Pre-grow: a warm relation so map rehashing doesn't count.
+	for i := 0; i < 512; i++ {
+		d.Insert("p", []term.Term{term.NewInt(int64(i))})
+	}
+	d.ResetTrail()
+	row := []term.Term{term.NewInt(99999)}
+	n := testing.AllocsPerRun(200, func() {
+		d.Insert("p", row)
+		d.Delete("p", row)
+		d.ResetTrail()
+	})
+	const ceiling = 8
+	if n > ceiling {
+		t.Errorf("insert+delete churn pair: %v allocs/op, want <= %d", n, ceiling)
+	}
+}

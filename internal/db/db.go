@@ -9,11 +9,18 @@
 //   - optional first-argument hash indexes for selective queries; and
 //   - an incrementally maintained 128-bit fingerprint used by tabling to
 //     recognize previously seen database states.
+//
+// Tuples are keyed by compact binary keys built from interned term codes
+// (term.AppendKey): 8 bytes per argument, no string construction. Presence
+// checks, no-op updates, and ground scans allocate nothing — see
+// alloc_test.go for the enforced ceilings. Each relation (and each
+// first-argument index bucket) caches its deterministic scan order and
+// invalidates it on mutation, so repeated scans of a stable relation sort
+// once per mutation epoch instead of once per call.
 package db
 
 import (
 	"fmt"
-	"hash/fnv"
 	"iter"
 	"sort"
 	"strings"
@@ -24,7 +31,7 @@ import (
 // DB is a mutable database: a finite set of ground atoms. The zero value is
 // not usable; call New.
 type DB struct {
-	rels     map[string]*relation
+	rels     map[relID]*relation
 	trail    []change
 	size     int
 	hashLo   uint64
@@ -32,6 +39,19 @@ type DB struct {
 	useIndex bool
 	detScan  bool
 	readHook ReadHook
+
+	// keyBuf is scratch for building binary tuple keys. It is reused across
+	// calls; no method keeps a reference to it past the point where control
+	// can re-enter the DB (Scan yields, hooks), so re-entrant use is safe.
+	keyBuf []byte
+}
+
+// relID identifies a relation. A struct key: the per-operation Sprintf a
+// string key would cost is exactly the kind of hot-path allocation this
+// package now refuses to pay.
+type relID struct {
+	pred  string
+	arity int
 }
 
 // ReadKind classifies one read observation reported to a ReadHook, from
@@ -59,20 +79,46 @@ const (
 // read set that optimistic commit validation checks against concurrent
 // writers. The hook fires on every explored execution path, so recorded
 // read sets over-approximate the witness path — a sound direction for
-// conflict detection.
+// conflict detection. Keys passed to the hook are the portable canonical
+// encodings of term.KeyOf (matching Op.Key), computed only when a hook is
+// installed.
 type ReadHook func(kind ReadKind, pred string, arity int, key string)
 
 // SetReadHook installs (or, with nil, removes) the read observation hook.
 func (d *DB) SetReadHook(h ReadHook) { d.readHook = h }
 
+// trow is one stored tuple: the row plus its own binary key, kept so that
+// deletion and undo never rebuild or re-allocate the key.
+type trow struct {
+	key string
+	row []term.Term
+}
+
 // relation stores the tuples of one predicate/arity pair.
 type relation struct {
 	pred  string
 	arity int
-	rows  map[string][]term.Term
-	// index maps the key of the first argument to the set of row keys that
-	// start with it. nil when indexing is disabled or arity is 0.
-	index map[string]map[string]bool
+	rows  map[string]trow
+	// index maps the code of the first argument to its bucket. nil when
+	// indexing is disabled or arity is 0.
+	index map[uint64]*ibucket
+	// order is the cached snapshot of rows used by Scan; nil when stale
+	// (invalidated by every mutation). sorted reports whether it is in
+	// deterministic (term-compare) order.
+	order  [][]term.Term
+	sorted bool
+	// seedLo/seedHi are the fingerprint prefix hashes of (pred, arity),
+	// computed once so per-tuple hashing only folds the argument codes.
+	seedLo uint64
+	seedHi uint64
+}
+
+// ibucket is one first-argument index bucket, with the same per-bucket
+// scan-order cache as the relation.
+type ibucket struct {
+	rows   map[string][]term.Term
+	order  [][]term.Term
+	sorted bool
 }
 
 // change is one undo-log entry.
@@ -91,16 +137,17 @@ func WithoutIndex() Option {
 	return func(d *DB) { d.useIndex = false }
 }
 
-// WithoutDeterministicScan lets Scan visit candidate tuples in map order
-// instead of sorted order. Faster on large scans, but derivation order (and
-// therefore witness traces) becomes nondeterministic.
+// WithoutDeterministicScan lets Scan visit candidate tuples in snapshot
+// order instead of sorted order. Avoids the per-epoch sort on large scans,
+// but derivation order (and therefore witness traces) becomes
+// nondeterministic.
 func WithoutDeterministicScan() Option {
 	return func(d *DB) { d.detScan = false }
 }
 
 // New returns an empty database.
 func New(opts ...Option) *DB {
-	d := &DB{rels: make(map[string]*relation), useIndex: true, detScan: true}
+	d := &DB{rels: make(map[relID]*relation), useIndex: true, detScan: true}
 	for _, o := range opts {
 		o(d)
 	}
@@ -120,35 +167,67 @@ func FromFacts(facts []term.Atom, opts ...Option) (*DB, error) {
 	return d, nil
 }
 
-func relKey(pred string, arity int) string {
-	return fmt.Sprintf("%s/%d", pred, arity)
-}
-
 func (d *DB) rel(pred string, arity int, create bool) *relation {
-	k := relKey(pred, arity)
+	k := relID{pred: pred, arity: arity}
 	r := d.rels[k]
 	if r == nil && create {
-		r = &relation{pred: pred, arity: arity, rows: make(map[string][]term.Term)}
+		r = &relation{pred: pred, arity: arity, rows: make(map[string]trow)}
+		r.seedLo, r.seedHi = relSeed(pred, arity)
 		if d.useIndex && arity > 0 {
-			r.index = make(map[string]map[string]bool)
+			r.index = make(map[uint64]*ibucket)
 		}
 		d.rels[k] = r
 	}
 	return r
 }
 
-// tupleHash returns the two fingerprint contributions of one tuple.
-func tupleHash(pred string, arity int, rowKey string) (uint64, uint64) {
-	h1 := fnv.New64a()
-	h1.Write([]byte(relKey(pred, arity)))
-	h1.Write([]byte{0})
-	h1.Write([]byte(rowKey))
-	lo := h1.Sum64()
-	h2 := fnv.New64a()
-	h2.Write([]byte(rowKey))
-	h2.Write([]byte{1})
-	h2.Write([]byte(relKey(pred, arity)))
-	return lo, h2.Sum64()
+// Fingerprint hashing: FNV-1a folded inline over (pred, arity, argument
+// codes), in two independently seeded streams for 128 bits. No hash.Hash
+// objects, no key strings — pure arithmetic on the hot path.
+const (
+	fnvPrime   = 1099511628211
+	fnvOffset  = 14695981039346656037
+	fnvOffset2 = 0x9e3779b97f4a7c15 // independent second stream seed
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// relSeed hashes the relation identity into both fingerprint streams.
+func relSeed(pred string, arity int) (uint64, uint64) {
+	lo, hi := uint64(fnvOffset), uint64(fnvOffset2)
+	for i := 0; i < len(pred); i++ {
+		lo = fnvByte(lo, pred[i])
+		hi = fnvByte(hi, pred[i])
+	}
+	lo = fnvU64(lo, uint64(arity))
+	hi = fnvU64(hi, uint64(arity)+1)
+	return lo, hi
+}
+
+// tupleHashFrom folds the row's term codes onto the relation seeds.
+func tupleHashFrom(seedLo, seedHi uint64, row []term.Term) (uint64, uint64) {
+	lo, hi := seedLo, seedHi
+	for _, t := range row {
+		c := t.Code()
+		lo = fnvU64(lo, c)
+		hi = fnvU64(hi, c^0xa5a5a5a5a5a5a5a5)
+	}
+	return lo, hi
+}
+
+// tupleHash returns the two fingerprint contributions of one tuple (the
+// non-seeded entry point, used by FrozenDB).
+func tupleHash(pred string, arity int, row []term.Term) (uint64, uint64) {
+	lo, hi := relSeed(pred, arity)
+	return tupleHashFrom(lo, hi, row)
 }
 
 // Size returns the total number of tuples.
@@ -179,15 +258,16 @@ func (d *DB) IsEmpty(pred string) bool {
 
 // Contains reports whether the ground tuple pred(row) is present.
 func (d *DB) Contains(pred string, row []term.Term) bool {
-	key := term.KeyOf(row)
+	kb := term.AppendKey(d.keyBuf[:0], row)
+	d.keyBuf = kb
 	if d.readHook != nil {
-		d.readHook(ReadKey, pred, len(row), key)
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
 	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
 		return false
 	}
-	_, ok := r.rows[key]
+	_, ok := r.rows[string(kb)] // compiled to an allocation-free lookup
 	return ok
 }
 
@@ -195,30 +275,19 @@ func (d *DB) Contains(pred string, row []term.Term) bool {
 // changed (false when the tuple was already present).
 func (d *DB) Insert(pred string, row []term.Term) bool {
 	r := d.rel(pred, len(row), true)
-	key := term.KeyOf(row)
+	kb := term.AppendKey(d.keyBuf[:0], row)
+	d.keyBuf = kb
 	if d.readHook != nil {
 		// Set semantics make every update observe its tuple's presence.
-		d.readHook(ReadKey, pred, len(row), key)
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
 	}
-	if _, ok := r.rows[key]; ok {
+	if _, ok := r.rows[string(kb)]; ok {
 		return false
 	}
+	key := string(kb) // materialized once, owned by the stored row
 	stored := make([]term.Term, len(row))
 	copy(stored, row)
-	r.rows[key] = stored
-	if r.index != nil {
-		fk := term.KeyOf(stored[:1])
-		bucket := r.index[fk]
-		if bucket == nil {
-			bucket = make(map[string]bool)
-			r.index[fk] = bucket
-		}
-		bucket[key] = true
-	}
-	d.size++
-	lo, hi := tupleHash(pred, len(row), key)
-	d.hashLo ^= lo
-	d.hashHi ^= hi
+	d.addRow(r, key, stored)
 	d.trail = append(d.trail, change{rel: r, key: key, row: stored, insert: true})
 	return true
 }
@@ -226,53 +295,58 @@ func (d *DB) Insert(pred string, row []term.Term) bool {
 // Delete removes pred(row); row must be ground. It reports whether the
 // database changed (false when the tuple was absent).
 func (d *DB) Delete(pred string, row []term.Term) bool {
-	key := term.KeyOf(row)
+	kb := term.AppendKey(d.keyBuf[:0], row)
+	d.keyBuf = kb
 	if d.readHook != nil {
-		d.readHook(ReadKey, pred, len(row), key)
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
 	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
 		return false
 	}
-	stored, ok := r.rows[key]
+	tr, ok := r.rows[string(kb)]
 	if !ok {
 		return false
 	}
-	d.removeRow(r, key, stored)
-	d.trail = append(d.trail, change{rel: r, key: key, row: stored, insert: false})
+	d.removeRow(r, tr.key, tr.row)
+	d.trail = append(d.trail, change{rel: r, key: tr.key, row: tr.row, insert: false})
 	return true
 }
 
 func (d *DB) removeRow(r *relation, key string, stored []term.Term) {
 	delete(r.rows, key)
+	r.order = nil
 	if r.index != nil {
-		fk := term.KeyOf(stored[:1])
-		if bucket := r.index[fk]; bucket != nil {
-			delete(bucket, key)
-			if len(bucket) == 0 {
-				delete(r.index, fk)
+		c := stored[0].Code()
+		if b := r.index[c]; b != nil {
+			delete(b.rows, key)
+			b.order = nil
+			if len(b.rows) == 0 {
+				delete(r.index, c)
 			}
 		}
 	}
 	d.size--
-	lo, hi := tupleHash(r.pred, r.arity, key)
+	lo, hi := tupleHashFrom(r.seedLo, r.seedHi, stored)
 	d.hashLo ^= lo
 	d.hashHi ^= hi
 }
 
 func (d *DB) addRow(r *relation, key string, stored []term.Term) {
-	r.rows[key] = stored
+	r.rows[key] = trow{key: key, row: stored}
+	r.order = nil
 	if r.index != nil {
-		fk := term.KeyOf(stored[:1])
-		bucket := r.index[fk]
-		if bucket == nil {
-			bucket = make(map[string]bool)
-			r.index[fk] = bucket
+		c := stored[0].Code()
+		b := r.index[c]
+		if b == nil {
+			b = &ibucket{rows: make(map[string][]term.Term)}
+			r.index[c] = b
 		}
-		bucket[key] = true
+		b.rows[key] = stored
+		b.order = nil
 	}
 	d.size++
-	lo, hi := tupleHash(r.pred, r.arity, key)
+	lo, hi := tupleHashFrom(r.seedLo, r.seedHi, stored)
 	d.hashLo ^= lo
 	d.hashHi ^= hi
 }
@@ -304,6 +378,54 @@ func (d *DB) TrailLen() int { return len(d.trail) }
 // independent of insertion order. Used as a tabling key.
 func (d *DB) Fingerprint() [2]uint64 { return [2]uint64{d.hashLo, d.hashHi} }
 
+// snapshot returns a stable slice of the relation's rows, cached until the
+// next mutation. With wantSorted the slice is in deterministic term order;
+// a cached unsorted snapshot is upgraded (and re-cached) on demand. The
+// returned slice is never mutated in place: mutations replace the cache, so
+// an iteration holding an old snapshot keeps its fixed candidate set.
+func (r *relation) snapshot(wantSorted bool) [][]term.Term {
+	if r.order != nil && (!wantSorted || r.sorted) {
+		return r.order
+	}
+	out := make([][]term.Term, 0, len(r.rows))
+	for _, tr := range r.rows {
+		out = append(out, tr.row)
+	}
+	if wantSorted {
+		sortRows(out)
+	}
+	r.order, r.sorted = out, wantSorted
+	return out
+}
+
+func (b *ibucket) snapshot(wantSorted bool) [][]term.Term {
+	if b.order != nil && (!wantSorted || b.sorted) {
+		return b.order
+	}
+	out := make([][]term.Term, 0, len(b.rows))
+	for _, row := range b.rows {
+		out = append(out, row)
+	}
+	if wantSorted {
+		sortRows(out)
+	}
+	b.order, b.sorted = out, wantSorted
+	return out
+}
+
+// sortRows orders rows by term comparison, argument by argument: the
+// deterministic scan and print order of the package.
+func sortRows(rows [][]term.Term) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if c := rows[i][k].Compare(rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
 // Scan calls yield for every tuple of pred/arity that unifies with args
 // under env, with the unifying bindings in effect during the call; bindings
 // are undone after each yield that returns true. Iteration stops early when
@@ -315,15 +437,23 @@ func (d *DB) Fingerprint() [2]uint64 { return [2]uint64{d.hashLo, d.hashHi} }
 // performed inside yield do not affect which tuples are visited. This gives
 // queries snapshot behaviour within a single elementary step.
 func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() bool) bool {
-	resolved := env.ResolveArgs(args)
-
-	// Fully ground: single lookup.
+	// One pass over the arguments: detect groundness and, while everything
+	// is ground so far, accumulate the binary lookup key.
+	kb := d.keyBuf[:0]
 	ground := true
-	for _, t := range resolved {
-		if t.IsVar() {
+	for _, a := range args {
+		w := env.Walk(a)
+		if w.IsVar() {
 			ground = false
 			break
 		}
+		kb = term.AppendCode(kb, w.Code())
+	}
+	d.keyBuf = kb
+
+	var resolved []term.Term
+	if !ground || d.readHook != nil {
+		resolved = env.ResolveArgs(args)
 	}
 	if d.readHook != nil {
 		// Record the read at the granularity the lookup below uses, even
@@ -331,7 +461,7 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 		switch {
 		case ground:
 			d.readHook(ReadKey, pred, len(args), term.KeyOf(resolved))
-		case d.useIndex && len(resolved) > 0 && !resolved[0].IsVar():
+		case d.useIndex && !resolved[0].IsVar():
 			d.readHook(ReadPrefix, pred, len(args), term.KeyOf(resolved[:1]))
 		default:
 			d.readHook(ReadRel, pred, len(args), "")
@@ -341,33 +471,25 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 	if r == nil {
 		return true
 	}
+
+	// Fully ground: single allocation-free lookup.
 	if ground {
-		if _, ok := r.rows[term.KeyOf(resolved)]; ok {
+		if _, ok := r.rows[string(kb)]; ok {
 			return yield()
 		}
 		return true
 	}
 
-	// Choose candidates: first-arg index when available and selective.
-	var keys []string
-	if r.index != nil && len(resolved) > 0 && !resolved[0].IsVar() {
-		bucket := r.index[term.KeyOf(resolved[:1])]
-		keys = make([]string, 0, len(bucket))
-		for key := range bucket {
-			keys = append(keys, key)
+	// Choose candidates: first-arg index bucket when available and
+	// selective, else the whole relation; either way through the cached
+	// snapshot, so the deterministic sort happens once per mutation epoch.
+	var candidates [][]term.Term
+	if r.index != nil && !resolved[0].IsVar() {
+		if b := r.index[resolved[0].Code()]; b != nil {
+			candidates = b.snapshot(d.detScan)
 		}
 	} else {
-		keys = make([]string, 0, len(r.rows))
-		for key := range r.rows {
-			keys = append(keys, key)
-		}
-	}
-	if d.detScan {
-		sort.Strings(keys)
-	}
-	candidates := make([][]term.Term, len(keys))
-	for i, key := range keys {
-		candidates[i] = r.rows[key]
+		candidates = r.snapshot(d.detScan)
 	}
 	for _, row := range candidates {
 		mark := env.Mark()
@@ -392,19 +514,8 @@ func (d *DB) Tuples(pred string, arity int) [][]term.Term {
 	if r == nil {
 		return nil
 	}
-	out := make([][]term.Term, 0, len(r.rows))
-	for _, row := range r.rows {
-		out = append(out, row)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if c := out[i][k].Compare(out[j][k]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	return out
+	// Copy the cached sorted snapshot: callers may reorder the outer slice.
+	return append([][]term.Term(nil), r.snapshot(true)...)
 }
 
 // Relations returns the pred/arity pairs present (possibly with zero rows),
@@ -439,20 +550,24 @@ func (d *DB) Clone() *DB {
 	out.useIndex = d.useIndex
 	out.detScan = d.detScan
 	for k, r := range d.rels {
-		nr := &relation{pred: r.pred, arity: r.arity, rows: make(map[string][]term.Term, len(r.rows))}
-		if d.useIndex && r.arity > 0 {
-			nr.index = make(map[string]map[string]bool, len(r.index))
+		nr := &relation{
+			pred: r.pred, arity: r.arity,
+			rows:   make(map[string]trow, len(r.rows)),
+			seedLo: r.seedLo, seedHi: r.seedHi,
 		}
-		for key, row := range r.rows {
-			nr.rows[key] = row // rows are immutable once stored
+		if d.useIndex && r.arity > 0 {
+			nr.index = make(map[uint64]*ibucket, len(r.index))
+		}
+		for key, tr := range r.rows {
+			nr.rows[key] = tr // rows are immutable once stored
 			if nr.index != nil {
-				fk := term.KeyOf(row[:1])
-				bucket := nr.index[fk]
-				if bucket == nil {
-					bucket = make(map[string]bool)
-					nr.index[fk] = bucket
+				c := tr.row[0].Code()
+				b := nr.index[c]
+				if b == nil {
+					b = &ibucket{rows: make(map[string][]term.Term)}
+					nr.index[c] = b
 				}
-				bucket[key] = true
+				b.rows[key] = tr.row
 			}
 		}
 		out.rels[k] = nr

@@ -249,7 +249,7 @@ func (f FrozenDB) Insert(pred string, row []term.Term) FrozenDB {
 	}
 	out := f.withRel(pa, newRoot)
 	out.size = f.size + 1
-	lo, hi := tupleHash(pred, len(row), key)
+	lo, hi := tupleHash(pred, len(row), row)
 	out.lo, out.hi = f.lo^lo, f.hi^hi
 	return out
 }
@@ -268,7 +268,7 @@ func (f FrozenDB) Delete(pred string, row []term.Term) FrozenDB {
 	}
 	out := f.withRel(pa, newRoot)
 	out.size = f.size - 1
-	lo, hi := tupleHash(pred, len(row), key)
+	lo, hi := tupleHash(pred, len(row), row)
 	out.lo, out.hi = f.lo^lo, f.hi^hi
 	return out
 }

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// First-argument clause dispatch. The program is compiled once, in New,
+// into a per-predicate table that buckets rules by the interned code of
+// their head's first argument. A call step then only attempts head
+// unification against rules that can actually match: rules whose head
+// starts with the same constant, plus the rules whose head starts with a
+// variable. Rule order within every candidate list is source order, so
+// dispatch is invisible to the search — identical answer sets and identical
+// witness traces (dispatch_test.go checks this against the linear fallback
+// across the paper examples).
+
+type enginePredArity struct {
+	pred  string
+	arity int
+}
+
+// predClauses is the dispatch entry of one derived predicate.
+type predClauses struct {
+	// all holds every rule in source order: the candidate list when the
+	// call's first argument is unbound (or the predicate is nullary).
+	all []ast.Rule
+	// varOnly holds the rules whose head's first argument is a variable:
+	// the candidate list for a bound first argument that matches no
+	// constant bucket.
+	varOnly []ast.Rule
+	// byCode maps the code of each constant that appears as a head's first
+	// argument to the rules that can match it — that constant's rules
+	// merged with the variable-headed ones, in source order.
+	byCode map[uint64][]ast.Rule
+}
+
+// clauseIndex is the compiled dispatch table of a program.
+type clauseIndex struct {
+	byPred map[enginePredArity]*predClauses
+}
+
+// compileClauses builds the dispatch table from the program's rulebase.
+func compileClauses(prog *ast.Program) *clauseIndex {
+	ci := &clauseIndex{byPred: make(map[enginePredArity]*predClauses)}
+	for _, r := range prog.Rules {
+		k := enginePredArity{pred: r.Head.Pred, arity: len(r.Head.Args)}
+		pc := ci.byPred[k]
+		if pc == nil {
+			pc = &predClauses{}
+			if k.arity > 0 {
+				pc.byCode = make(map[uint64][]ast.Rule)
+			}
+			ci.byPred[k] = pc
+		}
+		pc.all = append(pc.all, r)
+		if k.arity == 0 {
+			continue
+		}
+		first := r.Head.Args[0]
+		if first.IsVar() {
+			// A variable-headed rule joins every existing bucket (and the
+			// catch-all list); buckets created later pick it up from
+			// varOnly via the seeding below.
+			pc.varOnly = append(pc.varOnly, r)
+			for c := range pc.byCode {
+				pc.byCode[c] = append(pc.byCode[c], r)
+			}
+			continue
+		}
+		c := first.Code()
+		if _, ok := pc.byCode[c]; !ok {
+			// New constant bucket: seed it with the variable-headed rules
+			// seen so far, keeping global source order.
+			pc.byCode[c] = append([]ast.Rule(nil), pc.varOnly...)
+		}
+		pc.byCode[c] = append(pc.byCode[c], r)
+	}
+	return ci
+}
+
+// candidates returns the rules a call of pred(args) must try, in source
+// order, under the current bindings. nil means the predicate has no rules.
+func (ci *clauseIndex) candidates(pred string, args []term.Term, env *term.Env) []ast.Rule {
+	pc := ci.byPred[enginePredArity{pred: pred, arity: len(args)}]
+	if pc == nil {
+		return nil
+	}
+	if len(args) == 0 {
+		return pc.all
+	}
+	w := env.Walk(args[0])
+	if w.IsVar() {
+		return pc.all
+	}
+	if rules, ok := pc.byCode[w.Code()]; ok {
+		return rules
+	}
+	return pc.varOnly
+}

@@ -15,6 +15,11 @@ type deriv struct {
 	d   *db.DB
 	env *term.Env
 	ren *term.Renamer
+	// prn is the derivation's pooled Renaming, Reset and reused for every
+	// candidate clause instead of allocating a fresh map per attempt. Safe
+	// because a renaming is consumed entirely (head and body renamed)
+	// before the call step recurses.
+	prn *term.Renaming
 	err error
 
 	steps    int64
@@ -29,9 +34,12 @@ type deriv struct {
 
 	// path holds canonical configuration keys along the current derivation
 	// path (for the cycle check); failed memoizes exhaustively explored
-	// configurations with no reachable success (tabling).
-	path   map[string]bool
-	failed map[string]bool
+	// configurations with no reachable success (tabling). Keys are 128-bit
+	// hashes of the canonical serialization: the same collision trade the
+	// key already made by embedding the database's 128-bit fingerprint, and
+	// it keeps the hot path free of string construction.
+	path   map[ckey]bool
+	failed map[ckey]bool
 
 	tableHits int64
 	loopHits  int64
@@ -43,6 +51,10 @@ type deriv struct {
 	keyBuf  []byte
 	keyVars map[int64]int
 
+	// argBuf is scratch for resolving update arguments when tracing is off
+	// (with tracing on, resolved atoms must be owned by the trace).
+	argBuf []term.Term
+
 	// shared, when non-nil, is an aggregate step counter for parallel
 	// search: the budget is enforced against it rather than local steps.
 	shared *atomic.Int64
@@ -51,15 +63,54 @@ type deriv struct {
 	frontier func(ast.Goal)
 }
 
+// newDeriv returns a search state for d, reusing the engine's pooled
+// scratch (environment, renaming, tables, buffers) when one is free. The
+// pool is checked out atomically, so concurrent derivations (ProvePar
+// workers) simply fall back to fresh allocations.
 func newDeriv(e *Engine, d *db.DB) *deriv {
+	if dv := e.pool.Swap(nil); dv != nil {
+		dv.reset(d)
+		return dv
+	}
 	dv := &deriv{e: e, d: d, env: term.NewEnv(), ren: term.NewRenamer(e.prog.VarHigh + 1_000_000)}
+	dv.prn = dv.ren.NewRenaming()
 	if e.opts.LoopCheck {
-		dv.path = make(map[string]bool)
+		dv.path = make(map[ckey]bool)
 	}
 	if e.opts.Table {
-		dv.failed = make(map[string]bool)
+		dv.failed = make(map[ckey]bool)
 	}
 	return dv
+}
+
+// reset rewinds a pooled deriv for a new search against d.
+func (dv *deriv) reset(d *db.DB) {
+	dv.d = d
+	dv.err = nil
+	dv.steps = 0
+	dv.maxDepth = 0
+	dv.depthLimit = 0
+	dv.cutoffs = 0
+	dv.tableHits = 0
+	dv.loopHits = 0
+	dv.trace = dv.trace[:0]
+	dv.shared = nil
+	dv.frontier = nil
+	dv.env.Reset()
+	dv.prn.Reset()
+	if dv.path != nil {
+		clear(dv.path)
+	}
+	if dv.failed != nil {
+		clear(dv.failed)
+	}
+}
+
+// release returns the deriv to the engine's pool. Callers must be done
+// with every reference into it (env, trace) before releasing.
+func (dv *deriv) release() {
+	dv.d = nil
+	dv.e.pool.Store(dv)
 }
 
 func (dv *deriv) stats() Stats {
@@ -101,7 +152,7 @@ func (dv *deriv) explore(g ast.Goal, depth int, emit func() bool) bool {
 		return emit()
 	}
 
-	var key string
+	var key ckey
 	usingKey := dv.path != nil || dv.failed != nil
 	if usingKey {
 		key = dv.configKey(g)
@@ -268,21 +319,35 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 		if !dv.budget() {
 			return false
 		}
-		atom := dv.env.ResolveAtom(g.Atom)
-		if !atom.IsGround() {
-			dv.err = &RuntimeError{Goal: g.String(), Msg: "update with unbound variable (unsafe program)"}
-			return false
+		// Resolve the update's arguments. With tracing off they land in a
+		// reused scratch slice (the database copies them on store); with
+		// tracing on the trace entry must own them, so allocate.
+		var args []term.Term
+		if dv.e.opts.Trace {
+			args = dv.env.ResolveArgs(g.Atom.Args)
+		} else {
+			dv.argBuf = dv.argBuf[:0]
+			for _, t := range g.Atom.Args {
+				dv.argBuf = append(dv.argBuf, dv.env.Walk(t))
+			}
+			args = dv.argBuf
+		}
+		for _, t := range args {
+			if t.IsVar() {
+				dv.err = &RuntimeError{Goal: g.String(), Msg: "update with unbound variable (unsafe program)"}
+				return false
+			}
 		}
 		dbMark := dv.d.Mark()
 		var op TraceOp
 		if g.Op == ast.OpIns {
-			dv.d.Insert(atom.Pred, atom.Args)
+			dv.d.Insert(g.Atom.Pred, args)
 			op = TraceIns
 		} else {
-			dv.d.Delete(atom.Pred, atom.Args)
+			dv.d.Delete(g.Atom.Pred, args)
 			op = TraceDel
 		}
-		dv.pushTrace(TraceEntry{Op: op, Atom: atom})
+		dv.pushTrace(TraceEntry{Op: op, Atom: term.Atom{Pred: g.Atom.Pred, Args: args}})
 		if w := dv.e.opts.Watch; w != nil {
 			if werr := w(dv.d); werr != nil {
 				dv.err = &WatchViolation{Cause: werr, Trace: append([]TraceEntry(nil), dv.trace...)}
@@ -297,7 +362,15 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 		return cont
 
 	case ast.OpCall:
-		rules := dv.e.prog.RulesFor(g.Atom.Pred, len(g.Atom.Args))
+		// First-argument dispatch: only rules whose head can unify with the
+		// call's (walked) first argument are attempted. The linear fallback
+		// tries every rule; both enumerate candidates in source order.
+		var rules []ast.Rule
+		if dv.e.opts.NoClauseIndex {
+			rules = dv.e.prog.RulesFor(g.Atom.Pred, len(g.Atom.Args))
+		} else {
+			rules = dv.e.idx.candidates(g.Atom.Pred, g.Atom.Args, dv.env)
+		}
 		if len(rules) == 0 {
 			// Unknown predicate: no rules and not a base relation — treat as
 			// a query against an empty relation (fails), matching Datalog
@@ -308,7 +381,8 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 			if !dv.budget() {
 				return false
 			}
-			rn := dv.ren.NewRenaming()
+			rn := dv.prn
+			rn.Reset()
 			head := rn.Atom(r.Head)
 			envMark := dv.env.Mark()
 			if !dv.env.UnifyAtoms(head, g.Atom) {
@@ -363,13 +437,19 @@ func (dv *deriv) popTrace(cont bool) {
 	}
 }
 
-// configKey serializes the configuration (g under the current env, plus the
-// database fingerprint) into a canonical string. Free variables are numbered
-// by first occurrence, so α-equivalent configurations share keys; branches
-// of a concurrent composition are sorted, exploiting commutativity of | to
+// ckey is a 128-bit configuration key: two independent FNV-1a streams over
+// the canonical serialization of (goal, database fingerprint).
+type ckey [2]uint64
+
+// configKey canonicalizes the configuration (g under the current env, plus
+// the database fingerprint) and hashes it. Free variables are numbered by
+// first occurrence, so α-equivalent configurations share keys; branches of
+// a concurrent composition are sorted, exploiting commutativity of | to
 // merge symmetric states. The scratch buffer and numbering map are reused
-// across calls — this is the search's hottest allocation site.
-func (dv *deriv) configKey(g ast.Goal) string {
+// across calls, and the key is a fixed-size hash rather than a retained
+// string — the canonicalization used to be the search's hottest allocation
+// site and now allocates nothing in steady state.
+func (dv *deriv) configKey(g ast.Goal) ckey {
 	buf := dv.keyBuf[:0]
 	if dv.keyVars == nil {
 		dv.keyVars = make(map[int64]int, 16)
@@ -377,13 +457,19 @@ func (dv *deriv) configKey(g ast.Goal) string {
 		clear(dv.keyVars)
 	}
 	buf = dv.writeCanon(buf, g, dv.keyVars)
-	fp := dv.d.Fingerprint()
-	buf = append(buf, '#')
-	buf = strconv.AppendUint(buf, fp[0], 16)
-	buf = append(buf, ':')
-	buf = strconv.AppendUint(buf, fp[1], 16)
 	dv.keyBuf = buf
-	return string(buf)
+	// Two streams with distinct multipliers so they stay independent.
+	const primeLo, primeHi = 1099511628211, 0xff51afd7ed558ccd
+	lo := uint64(14695981039346656037)
+	hi := uint64(0x9e3779b97f4a7c15)
+	for _, b := range buf {
+		lo = (lo ^ uint64(b)) * primeLo
+		hi = (hi ^ uint64(b)) * primeHi
+	}
+	fp := dv.d.Fingerprint()
+	lo = (lo ^ fp[0]) * primeLo
+	hi = (hi ^ fp[1]) * primeHi
+	return ckey{lo, hi}
 }
 
 func (dv *deriv) writeCanon(buf []byte, g ast.Goal, vars map[int64]int) []byte {

@@ -28,6 +28,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/db"
@@ -54,6 +55,12 @@ type Options struct {
 	// Trace records the witness execution path (elementary operations in
 	// order) for a successful proof.
 	Trace bool
+	// NoClauseIndex disables first-argument clause dispatch and falls back
+	// to trying every rule of the called predicate in source order. The
+	// answer set and witness traces are identical either way (the index is
+	// purely an optimization); the flag exists for the equivalence tests
+	// and for measuring the dispatch win.
+	NoClauseIndex bool
 	// Watch, when non-nil, is invoked after every database-changing step,
 	// on every explored execution path. Returning a non-nil error aborts
 	// the search with a *WatchViolation that carries the trace of the
@@ -189,6 +196,14 @@ type Solution struct {
 type Engine struct {
 	prog *ast.Program
 	opts Options
+	// idx is the first-argument clause dispatch table, compiled once from
+	// the program so every call step pays a map lookup instead of a linear
+	// scan over non-matching rules.
+	idx *clauseIndex
+	// pool holds one reusable search state (environment, renaming, tables,
+	// scratch buffers), checked out atomically so repeated Prove calls on a
+	// long-lived engine — the server's steady state — do not rebuild them.
+	pool atomic.Pointer[deriv]
 }
 
 // New returns an engine for prog. Zero-valued fields of opts take defaults:
@@ -201,7 +216,7 @@ func New(prog *ast.Program, opts Options) *Engine {
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = DefaultMaxDepth
 	}
-	return &Engine{prog: prog, opts: opts}
+	return &Engine{prog: prog, opts: opts, idx: compileClauses(prog)}
 }
 
 // DefaultOptions are the options used by convenience constructors: pruning
@@ -225,6 +240,7 @@ func (e *Engine) Prove(goal ast.Goal, d *db.DB) (*Result, error) {
 		return nil, err
 	}
 	dv := newDeriv(e, d)
+	defer dv.release()
 	res := &Result{}
 	dbMark := d.Mark()
 	found := false
@@ -287,7 +303,9 @@ func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, erro
 		if dv.err != nil {
 			d.Undo(dbMark)
 			res.Stats.Truncated = errors.Is(dv.err, ErrBudget) || errors.Is(dv.err, ErrDepth)
-			return res, dv.err
+			err := dv.err
+			dv.release()
+			return res, err
 		}
 		if !cont && found {
 			res.Success = true
@@ -297,10 +315,13 @@ func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, erro
 				res.Trace = append([]TraceEntry(nil), dv.trace...)
 			}
 			d.ResetTrail()
+			dv.release()
 			return res, nil
 		}
 		d.Undo(dbMark)
-		if dv.cutoffs == 0 {
+		cutoffs := dv.cutoffs
+		dv.release()
+		if cutoffs == 0 {
 			// Exhausted with no cutoff: definite failure.
 			return res, nil
 		}
@@ -320,6 +341,7 @@ func (e *Engine) Solutions(goal ast.Goal, d *db.DB, max int) ([]Solution, *Resul
 		return nil, nil, err
 	}
 	dv := newDeriv(e, d)
+	defer dv.release()
 	var sols []Solution
 	dbMark := d.Mark()
 	dv.explore(goal, 0, func() bool {

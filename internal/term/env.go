@@ -20,6 +20,13 @@ func NewEnv() *Env {
 // Len returns the number of bound variables.
 func (e *Env) Len() int { return len(e.bind) }
 
+// Reset removes every binding and empties the trail, keeping allocated
+// capacity so a pooled environment can be reused without reallocating.
+func (e *Env) Reset() {
+	clear(e.bind)
+	e.trail = e.trail[:0]
+}
+
 // Walk resolves t through the current bindings until it reaches a constant
 // or an unbound variable.
 func (e *Env) Walk(t Term) Term {

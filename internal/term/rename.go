@@ -37,6 +37,11 @@ func (r *Renamer) NewRenaming() *Renaming {
 	return &Renaming{r: r, m: make(map[int64]Term)}
 }
 
+// Reset empties the renaming so it can be reused for the next rule
+// activation. Callers pool one Renaming per derivation instead of
+// allocating a map per candidate clause; see the engine's call step.
+func (rn *Renaming) Reset() { clear(rn.m) }
+
 // Term returns the renamed version of t (constants are returned unchanged;
 // each distinct variable is mapped to one fresh variable).
 func (rn *Renaming) Term(t Term) Term {

@@ -44,21 +44,23 @@ func (k Kind) String() string {
 // code may use it as a sentinel.
 type Term struct {
 	kind Kind
-	num  int64  // Var: id; Int: value
+	num  int64  // Var: id; Int: value; Sym/Str: interned id of str
 	str  string // Var: display name; Sym: name; Str: contents
 }
 
 // NewVar returns a variable term with the given display name and id.
 func NewVar(name string, id int64) Term { return Term{kind: Var, num: id, str: name} }
 
-// NewSym returns a symbolic constant.
-func NewSym(name string) Term { return Term{kind: Sym, str: name} }
+// NewSym returns a symbolic constant. The name is interned (see Intern), so
+// equality of symbols is an integer comparison.
+func NewSym(name string) Term { return Term{kind: Sym, num: int64(Intern(name)), str: name} }
 
 // NewInt returns an integer constant.
 func NewInt(v int64) Term { return Term{kind: Int, num: v} }
 
-// NewStr returns a string constant.
-func NewStr(s string) Term { return Term{kind: Str, str: s} }
+// NewStr returns a string constant. Like symbols, string contents are
+// interned so that stored tuples can be keyed by fixed-size codes.
+func NewStr(s string) Term { return Term{kind: Str, num: int64(Intern(s)), str: s} }
 
 // Kind reports the variant of t.
 func (t Term) Kind() Kind { return t.kind }
@@ -129,20 +131,18 @@ func (t Term) String() string {
 }
 
 // Equal reports whether two terms are identical. Variables are equal iff
-// their ids are equal; display names are ignored.
+// their ids are equal; display names are ignored. Symbols and strings
+// compare by interned id — an integer comparison, never a string walk.
 func (t Term) Equal(u Term) bool {
-	if t.kind != u.kind {
-		return false
+	return t.kind == u.kind && t.num == u.num
+}
+
+// SymID returns the interned id of a symbolic constant; panics otherwise.
+func (t Term) SymID() uint32 {
+	if t.kind != Sym {
+		panic("term: SymID on non-symbol " + t.String())
 	}
-	switch t.kind {
-	case Var:
-		return t.num == u.num
-	case Sym, Str:
-		return t.str == u.str
-	case Int:
-		return t.num == u.num
-	}
-	return false
+	return uint32(t.num)
 }
 
 // Compare orders terms: by kind first (Var < Sym < Int < Str), then by value.
