@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-all profile suite suite-quick examples demo fmt vet clean
+.PHONY: all build test test-short race check cover bench bench-all obs-demo profile suite suite-quick examples demo fmt vet clean
 
 all: build test
 
@@ -20,24 +20,40 @@ race:
 
 # The pre-merge gate: static checks, the full test suite, and the
 # race-instrumented run of the concurrency-heavy packages (the server and
-# the database, which the interner and scan caches sit under).
+# the database, which the interner and scan caches sit under, plus the
+# lock-free metrics/histogram layer).
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/server ./internal/db ./internal/term
+	$(GO) test -race ./internal/server ./internal/db ./internal/term ./internal/obs
 
 cover:
 	$(GO) test -short -cover ./...
 
-# Fixed-iteration run of the hot-path benchmarks, recorded as the "post"
-# section of BENCH_PR2.json (the frozen "baseline" section is preserved by
-# the merge). Fixed -benchtime=3000x keeps iteration counts comparable
-# across runs.
+# Fixed-iteration run of the hot-path benchmarks, recorded as
+# BENCH_PR3.json in two sections: "disabled" (observability instrumented
+# but no tracing — must stay within noise of BENCH_PR2's frozen "post"
+# numbers) and "enabled" (full structured tracing into a sink). Fixed
+# -benchtime=3000x keeps iteration counts comparable across runs.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput' \
-		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label post -merge BENCH_PR2.json > BENCH_PR2.json.tmp
-	mv BENCH_PR2.json.tmp BENCH_PR2.json
-	@cat BENCH_PR2.json
+	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$' \
+		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR3.json > BENCH_PR3.json.tmp
+	mv BENCH_PR3.json.tmp BENCH_PR3.json
+	$(GO) test -run '^$$' -bench 'BenchmarkProverTransferTraced$$|BenchmarkServerThroughputTraced$$' \
+		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR3.json > BENCH_PR3.json.tmp
+	mv BENCH_PR3.json.tmp BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# Span-tree smoke test: prove the concurrent two-workflow goal with tracing
+# on and check that the rendered tree shows the expected structure — iso
+# sub-transactions inside concurrent branches, and the workflows' writes.
+obs-demo:
+	@set -e; out=$$($(GO) run ./cmd/tdlog -trace -goal "iso(flow(w1)) | iso(flow(w2))" testdata/workflow.td); \
+	echo "$$out"; \
+	for want in "iso" "branch" "ins.prepped(w1)" "ins.analyzed(w1)" "ins.recorded(w2)" "ins.finished(w2)"; do \
+		echo "$$out" | grep -q "$$want" || { echo "obs-demo: span tree missing $$want" >&2; exit 1; }; \
+	done; \
+	echo "obs-demo: span tree shows all expected labels"
 
 # Every benchmark, default benchtime (exploratory; nothing recorded).
 bench-all:

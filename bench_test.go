@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sim"
 	"repro/internal/workflow"
@@ -74,6 +75,29 @@ func BenchmarkProverTransfer(b *testing.B) {
 	prog := parser.MustParse(benchBank)
 	g := parser.MustParseGoal("transfer(1, a, b)", prog.VarHigh)
 	eng := engine.NewDefault(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := db.FromFacts(prog.Facts)
+		res, err := eng.Prove(g, d)
+		if err != nil || !res.Success {
+			b.Fatal(err, res)
+		}
+	}
+}
+
+// BenchmarkProverTransferTraced is BenchmarkProverTransfer with structured
+// execution tracing enabled and span trees flowing into a ring sink — the
+// cost of full observability on the engine's hot path. Compare against
+// BenchmarkProverTransfer (tracing off) for the enabled-vs-disabled delta;
+// BENCH_PR3.json records both.
+func BenchmarkProverTransferTraced(b *testing.B) {
+	prog := parser.MustParse(benchBank)
+	g := parser.MustParseGoal("transfer(1, a, b)", prog.VarHigh)
+	opts := engine.DefaultOptions()
+	opts.Trace = true
+	opts.SpanSink = obs.NewRingSink(16)
+	eng := engine.New(prog, opts)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -274,9 +298,34 @@ deposit(Amt, A)  :- account(A, B), del.account(A, B),
                     add(B, Amt, C), ins.account(A, C).
 transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
 `)
+	benchServerThroughput(b, sb.String(), accounts, td.ServerOptions{})
+}
+
+// BenchmarkServerThroughputTraced is BenchmarkServerThroughput with
+// server-side tracing forced on and every transaction's span tree emitted
+// to a ring sink — the full-observability cost of the service path.
+func BenchmarkServerThroughputTraced(b *testing.B) {
+	const accounts = 8
+	var sb strings.Builder
+	for i := 0; i < accounts; i++ {
+		fmt.Fprintf(&sb, "account(acct%d, 100).\n", i)
+	}
+	sb.WriteString(`
+withdraw(Amt, A) :- account(A, B), B >= Amt, del.account(A, B),
+                    sub(B, Amt, C), ins.account(A, C).
+deposit(Amt, A)  :- account(A, B), del.account(A, B),
+                    add(B, Amt, C), ins.account(A, C).
+transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
+`)
+	benchServerThroughput(b, sb.String(), accounts,
+		td.ServerOptions{Trace: true, TraceSink: obs.NewRingSink(64)})
+}
+
+func benchServerThroughput(b *testing.B, program string, accounts int, opts td.ServerOptions) {
+	opts.Program = program
 	for _, clients := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
-			srv, err := td.NewServer(td.ServerOptions{Program: sb.String()})
+			srv, err := td.NewServer(opts)
 			if err != nil {
 				b.Fatal(err)
 			}

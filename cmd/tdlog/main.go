@@ -14,7 +14,7 @@
 //	-goal G       run goal G instead of the file's ?- directives
 //	-sim          use the operational simulator (goroutines, blocking
 //	              reads, committed choice) instead of the prover
-//	-trace        print the execution trace
+//	-trace        print the execution trace (prover: structured span tree)
 //	-all          enumerate all solutions (prover only)
 //	-db           print the final database
 //	-classify     print the fragment classification and exit
@@ -32,6 +32,7 @@ import (
 
 	td "repro"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -196,8 +197,15 @@ func run(path, goalSrc string, opt options) error {
 			fmt.Printf("no (%d steps)\n", res.Stats.Steps)
 		}
 		if opt.trace {
-			for _, e := range res.Trace {
-				fmt.Println("  ", e)
+			// The prover builds a structured span tree alongside the flat
+			// witness trace; pretty-print it when present (ProvePar keeps
+			// only the flat trace).
+			if res.Spans != nil {
+				obs.WriteTree(os.Stdout, res.Spans)
+			} else {
+				for _, e := range res.Trace {
+					fmt.Println("  ", e)
+				}
 			}
 		}
 		_ = i

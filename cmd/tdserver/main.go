@@ -13,6 +13,11 @@
 // runs in memory. SIGINT/SIGTERM shut it down gracefully (open
 // transactions abort; committed work is already durable).
 //
+// Observability (see docs/OBSERVABILITY.md): -obs.addr serves /metrics
+// (Prometheus text) and /debug/pprof; -obs.slowtxn logs the span tree of
+// any goal slower than the threshold; -obs.trace traces every goal;
+// -obs.jsonl appends every traced goal's span tree to a JSON-lines file.
+//
 // bank is a load generator and correctness demo: it loads a bank of
 // -accounts accounts holding 100 each (unless the server already has
 // accounts — e.g. after a restart — in which case it keeps them), then
@@ -29,7 +34,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	td "repro"
+	"repro/internal/obs"
 )
 
 // profileFlags adds -cpuprofile/-memprofile to a subcommand's flag set.
@@ -142,6 +150,10 @@ func serveCmd(args []string) error {
 		goalTime    = fs.Duration("goal-time", 0, "per-goal wall-clock budget (0 = default)")
 		idle        = fs.Duration("idle", 0, "per-connection idle timeout (0 = default)")
 		nosync      = fs.Bool("nosync", false, "skip fsync on commit (throughput over durability)")
+		obsAddr     = fs.String("obs.addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+		obsSlow     = fs.Duration("obs.slowtxn", 0, "log the span tree of any goal slower than this (0 = off)")
+		obsTrace    = fs.Bool("obs.trace", false, "trace every session's goals (TRACE dump works without opting in)")
+		obsJSONL    = fs.String("obs.jsonl", "", "append every traced goal's span tree as JSON lines to this file")
 		prof        = addProfileFlags(fs)
 	)
 	fs.Parse(args)
@@ -159,6 +171,17 @@ func serveCmd(args []string) error {
 		MaxGoalTime:  *goalTime,
 		IdleTimeout:  *idle,
 		NoSync:       *nosync,
+		Trace:        *obsTrace,
+		SlowTxn:      *obsSlow,
+		Logger:       slog.Default(),
+	}
+	if *obsJSONL != "" {
+		sink, err := obs.OpenJSONL(*obsJSONL)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		opts.TraceSink = sink
 	}
 	if *programPath != "" {
 		src, err := os.ReadFile(*programPath)
@@ -177,6 +200,16 @@ func serveCmd(args []string) error {
 	}
 	fmt.Printf("tdserver: listening on %s (version %d, %d tuples)\n",
 		lnAddr, srv.Version(), srv.Snapshot().Size())
+	if *obsAddr != "" {
+		obsSrv := &http.Server{Addr: *obsAddr, Handler: obs.NewMux(srv.Metrics())}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "tdserver: obs:", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("tdserver: metrics and pprof on http://%s/metrics\n", *obsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -444,6 +477,21 @@ func statsCmd(args []string) error {
 	fmt.Printf("txns: %d begun, %d committed, %d aborted (%d conflicts, %d retries, %d no-proof, %d budget)\n",
 		st.TxnsBegun, st.Commits, st.Aborts, st.Conflicts, st.Retries, st.NoProof, st.BudgetHits)
 	fmt.Printf("commit latency: p50=%dus p99=%dus\n", st.CommitP50Us, st.CommitP99Us)
+	if len(st.ConflictCauses) > 0 {
+		fmt.Printf("conflict causes: %v\n", st.ConflictCauses)
+	}
+	if st.Fsyncs > 0 {
+		fmt.Printf("fsyncs: %d (p99=%dus)\n", st.Fsyncs, st.FsyncP99Us)
+	}
+	if st.EngineSteps > 0 {
+		fmt.Printf("engine: %d steps, %d unifications, %d table hits\n",
+			st.EngineSteps, st.EngineUnifications, st.EngineTableHits)
+		fmt.Printf("db: %d lookups, %d index hits, %d scans, %d order rebuilds, %d delta ops\n",
+			st.DBLookups, st.DBIndexHits, st.DBScans, st.DBOrderRebuilds, st.DeltaOps)
+	}
+	if st.SlowTxns > 0 {
+		fmt.Printf("slow txns: %d\n", st.SlowTxns)
+	}
 	return nil
 }
 

@@ -1,0 +1,68 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestCounters(t *testing.T) {
+	d := New()
+	a := term.NewSym("a")
+	b := term.NewSym("b")
+	n1 := term.NewInt(1)
+	n2 := term.NewInt(2)
+	d.Insert("edge", []term.Term{a, n1})
+	d.Insert("edge", []term.Term{a, n2})
+	d.Insert("edge", []term.Term{b, n1})
+	base := d.Counters()
+	if base.Lookups != 3 {
+		t.Fatalf("inserts should count presence lookups: %+v", base)
+	}
+
+	env := term.NewEnv()
+	vid := int64(0)
+	newVar := func() term.Term { vid++; return term.NewVar("V", vid) }
+	// Ground scan: a point lookup.
+	d.Scan("edge", []term.Term{a, n1}, env, func() bool { return true })
+	// First-arg bound: index hit (plus a first-time order rebuild).
+	x := newVar()
+	d.Scan("edge", []term.Term{a, x}, env, func() bool { return true })
+	// All vars: full relation scan.
+	y := newVar()
+	d.Scan("edge", []term.Term{newVar(), y}, env, func() bool { return true })
+
+	c := d.Counters()
+	if got := c.Lookups - base.Lookups; got != 1 {
+		t.Errorf("ground scan lookups = %d, want 1", got)
+	}
+	if c.IndexHits != 1 {
+		t.Errorf("index hits = %d, want 1", c.IndexHits)
+	}
+	if c.Scans != 1 {
+		t.Errorf("full scans = %d, want 1", c.Scans)
+	}
+	if c.OrderRebuilds < 2 {
+		t.Errorf("order rebuilds = %d, want >= 2 (bucket + relation)", c.OrderRebuilds)
+	}
+	rebuilds := c.OrderRebuilds
+
+	// Re-scan without mutating: cached snapshots, no new rebuilds.
+	d.Scan("edge", []term.Term{a, newVar()}, env, func() bool { return true })
+	d.Scan("edge", []term.Term{newVar(), newVar()}, env, func() bool { return true })
+	if got := d.Counters().OrderRebuilds; got != rebuilds {
+		t.Errorf("cached re-scan rebuilt order: %d -> %d", rebuilds, got)
+	}
+
+	// Mutate, scan again: exactly one rebuild for the touched bucket.
+	d.Insert("edge", []term.Term{a, term.NewInt(3)})
+	d.Scan("edge", []term.Term{a, newVar()}, env, func() bool { return true })
+	if got := d.Counters().OrderRebuilds; got != rebuilds+1 {
+		t.Errorf("post-mutation rebuilds = %d, want %d", got, rebuilds+1)
+	}
+
+	// Clone starts with fresh counters.
+	if cc := d.Clone().Counters(); cc != (Counters{}) {
+		t.Errorf("clone counters not fresh: %+v", cc)
+	}
+}

@@ -44,7 +44,30 @@ type DB struct {
 	// calls; no method keeps a reference to it past the point where control
 	// can re-enter the DB (Scan yields, hooks), so re-entrant use is safe.
 	keyBuf []byte
+
+	// Operation tallies for observability. Plain int64s: a DB is owned by a
+	// single goroutine (each server session runs on its own replica), so
+	// counting costs one increment, not an atomic RMW, on the zero-alloc
+	// paths guarded by alloc_test.go.
+	cnt Counters
 }
+
+// Counters is a snapshot of a DB's cumulative operation tallies.
+type Counters struct {
+	// Lookups counts ground point lookups: Contains calls, fully ground
+	// Scans, and the presence checks implicit in Insert/Delete.
+	Lookups int64
+	// IndexHits counts Scans served from a first-argument index bucket.
+	IndexHits int64
+	// Scans counts Scans that had to walk a whole relation.
+	Scans int64
+	// OrderRebuilds counts deterministic scan-order cache rebuilds (the
+	// sort-on-first-scan-after-mutation cost PR 2 introduced caching for).
+	OrderRebuilds int64
+}
+
+// Counters returns the DB's cumulative operation tallies.
+func (d *DB) Counters() Counters { return d.cnt }
 
 // relID identifies a relation. A struct key: the per-operation Sprintf a
 // string key would cost is exactly the kind of hot-path allocation this
@@ -258,6 +281,7 @@ func (d *DB) IsEmpty(pred string) bool {
 
 // Contains reports whether the ground tuple pred(row) is present.
 func (d *DB) Contains(pred string, row []term.Term) bool {
+	d.cnt.Lookups++
 	kb := term.AppendKey(d.keyBuf[:0], row)
 	d.keyBuf = kb
 	if d.readHook != nil {
@@ -274,6 +298,7 @@ func (d *DB) Contains(pred string, row []term.Term) bool {
 // Insert adds pred(row); row must be ground. It reports whether the database
 // changed (false when the tuple was already present).
 func (d *DB) Insert(pred string, row []term.Term) bool {
+	d.cnt.Lookups++
 	r := d.rel(pred, len(row), true)
 	kb := term.AppendKey(d.keyBuf[:0], row)
 	d.keyBuf = kb
@@ -295,6 +320,7 @@ func (d *DB) Insert(pred string, row []term.Term) bool {
 // Delete removes pred(row); row must be ground. It reports whether the
 // database changed (false when the tuple was absent).
 func (d *DB) Delete(pred string, row []term.Term) bool {
+	d.cnt.Lookups++
 	kb := term.AppendKey(d.keyBuf[:0], row)
 	d.keyBuf = kb
 	if d.readHook != nil {
@@ -474,6 +500,7 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 
 	// Fully ground: single allocation-free lookup.
 	if ground {
+		d.cnt.Lookups++
 		if _, ok := r.rows[string(kb)]; ok {
 			return yield()
 		}
@@ -485,10 +512,18 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 	// snapshot, so the deterministic sort happens once per mutation epoch.
 	var candidates [][]term.Term
 	if r.index != nil && !resolved[0].IsVar() {
+		d.cnt.IndexHits++
 		if b := r.index[resolved[0].Code()]; b != nil {
+			if b.order == nil || (d.detScan && !b.sorted) {
+				d.cnt.OrderRebuilds++
+			}
 			candidates = b.snapshot(d.detScan)
 		}
 	} else {
+		d.cnt.Scans++
+		if r.order == nil || (d.detScan && !r.sorted) {
+			d.cnt.OrderRebuilds++
+		}
 		candidates = r.snapshot(d.detScan)
 	}
 	for _, row := range candidates {

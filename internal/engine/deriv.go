@@ -44,7 +44,46 @@ type deriv struct {
 	tableHits int64
 	loopHits  int64
 
+	// unifs counts head-unification attempts in call steps; dispatchHits
+	// counts call steps whose candidate set came from the clause index.
+	// Plain increments on paths already taken — no extra lookups.
+	unifs        int64
+	dispatchHits int64
+
 	trace []TraceEntry
+
+	// Branch-identity state for span recording, active only when
+	// opts.Trace is on (recording()); every field below stays nil/zero on
+	// the zero-alloc untraced path.
+	//
+	// The difficulty: ast.NewConc flattens nested compositions and drops
+	// finished branches, so positional indices are unstable across
+	// transitions. Instead each live branch of a concurrent composition
+	// gets a stable int32 id, carried across rebuilds:
+	//
+	//   - concIDs memoizes the per-position ids of a Conc node (AST nodes
+	//     are immutable, so a pointer identifies a composition state);
+	//   - when a transition rebuilds a Conc, noteConcRebuild transfers ids
+	//     to the successor node: a branch whose residual stays a single
+	//     goal keeps its id, a finished branch's id is dropped, and a
+	//     branch that expanded into k concurrent sub-branches gets k fresh
+	//     ids recorded as children (parentOf) of the expanding branch;
+	//   - when a composition collapses to its last surviving branch, the
+	//     survivor goal node is remembered in survivors so later steps of
+	//     it still attribute to its branch id.
+	//
+	// branchStack is the id chain of the current descent; descentBase marks
+	// where the current explore's descent began (outer frames keep their
+	// entries while a continuation explores the next residual). Because
+	// every rebuild maps to the whole-tree residual, branchStack[descentBase:]
+	// is the full root-to-branch path of the operation being recorded
+	// (relative to the iso body root inside an iso macro-step).
+	branchStack []int32
+	descentBase int
+	nextID      int32
+	concIDs     map[*ast.Conc][]int32
+	survivors   map[ast.Goal]int32
+	parentOf    map[int32]int32
 
 	// keyBuf and keyVars are scratch space for configKey, reused across
 	// calls (the canonicalization is the search's hottest allocation site).
@@ -69,9 +108,11 @@ type deriv struct {
 // workers) simply fall back to fresh allocations.
 func newDeriv(e *Engine, d *db.DB) *deriv {
 	if dv := e.pool.Swap(nil); dv != nil {
+		e.poolHits.Add(1)
 		dv.reset(d)
 		return dv
 	}
+	e.poolMisses.Add(1)
 	dv := &deriv{e: e, d: d, env: term.NewEnv(), ren: term.NewRenamer(e.prog.VarHigh + 1_000_000)}
 	dv.prn = dv.ren.NewRenaming()
 	if e.opts.LoopCheck {
@@ -93,7 +134,21 @@ func (dv *deriv) reset(d *db.DB) {
 	dv.cutoffs = 0
 	dv.tableHits = 0
 	dv.loopHits = 0
+	dv.unifs = 0
+	dv.dispatchHits = 0
 	dv.trace = dv.trace[:0]
+	dv.branchStack = dv.branchStack[:0]
+	dv.descentBase = 0
+	dv.nextID = 0
+	if dv.concIDs != nil {
+		clear(dv.concIDs)
+	}
+	if dv.survivors != nil {
+		clear(dv.survivors)
+	}
+	if dv.parentOf != nil {
+		clear(dv.parentOf)
+	}
 	dv.shared = nil
 	dv.frontier = nil
 	dv.env.Reset()
@@ -115,13 +170,18 @@ func (dv *deriv) release() {
 
 func (dv *deriv) stats() Stats {
 	return Stats{
-		Steps:     dv.steps,
-		MaxDepth:  dv.maxDepth,
-		TableHits: dv.tableHits,
-		LoopHits:  dv.loopHits,
-		TableSize: len(dv.failed),
+		Steps:        dv.steps,
+		MaxDepth:     dv.maxDepth,
+		TableHits:    dv.tableHits,
+		LoopHits:     dv.loopHits,
+		TableSize:    len(dv.failed),
+		Unifications: dv.unifs,
+		DispatchHits: dv.dispatchHits,
 	}
 }
+
+// recording reports whether span/branch identity bookkeeping is active.
+func (dv *deriv) recording() bool { return dv.e.opts.Trace }
 
 // explore runs the whole process tree g to completion, invoking emit at
 // every distinct successful execution with the database and environment
@@ -131,6 +191,15 @@ func (dv *deriv) stats() Stats {
 func (dv *deriv) explore(g ast.Goal, depth int, emit func() bool) bool {
 	if dv.err != nil {
 		return false
+	}
+	if dv.recording() {
+		// Every explore receives a whole-tree residual (or an iso body),
+		// so its descent restarts from the root: record branch ids pushed
+		// below this point only. Outer frames' entries stay on the stack
+		// and are restored when this explore returns.
+		saved := dv.descentBase
+		dv.descentBase = len(dv.branchStack)
+		defer func() { dv.descentBase = saved }()
 	}
 	if depth > dv.maxDepth {
 		dv.maxDepth = depth
@@ -205,6 +274,27 @@ func (dv *deriv) step(g ast.Goal, rebuild func(ast.Goal) ast.Goal, depth int, em
 	if dv.err != nil {
 		return false
 	}
+	if dv.recording() && dv.survivors != nil {
+		if id, ok := dv.survivors[g]; ok {
+			// g is the last surviving branch of a collapsed concurrent
+			// composition: its operations still belong to branch id. Keep
+			// the chain alive by tagging whatever residual it rebuilds to.
+			inner := rebuild
+			rebuild = func(res ast.Goal) ast.Goal {
+				dv.noteSurvivor(res, id)
+				return inner(res)
+			}
+			// Both a tagged Seq and its (also tagged) elements pass through
+			// here when the Seq is stepped in place; push the id once.
+			// Only entries above the current descent base count — an equal
+			// id below it belongs to an enclosing explore and is invisible
+			// to this descent's path extraction.
+			if n := len(dv.branchStack); n <= dv.descentBase || dv.branchStack[n-1] != id {
+				dv.branchStack = append(dv.branchStack, id)
+				defer func() { dv.branchStack = dv.branchStack[:len(dv.branchStack)-1] }()
+			}
+		}
+	}
 	switch g := g.(type) {
 	case ast.True:
 		return true // no transitions out of a finished component
@@ -256,14 +346,25 @@ func (dv *deriv) step(g ast.Goal, rebuild func(ast.Goal) ast.Goal, depth int, em
 		}, depth, emit)
 
 	case *ast.Conc:
+		ids := dv.concBranchIDs(g) // nil when not recording
 		for i := range g.Goals {
 			i := i
+			if ids != nil {
+				dv.branchStack = append(dv.branchStack, ids[i])
+			}
 			cont := dv.step(g.Goals[i], func(res ast.Goal) ast.Goal {
 				goals := make([]ast.Goal, len(g.Goals))
 				copy(goals, g.Goals)
 				goals[i] = res
-				return rebuild(ast.NewConc(goals...))
+				ng := ast.NewConc(goals...)
+				if ids != nil {
+					dv.noteConcRebuild(g, ids, i, res, ng)
+				}
+				return rebuild(ng)
 			}, depth, emit)
+			if ids != nil {
+				dv.branchStack = dv.branchStack[:len(dv.branchStack)-1]
+			}
 			if !cont {
 				return false
 			}
@@ -291,9 +392,15 @@ func (dv *deriv) step(g ast.Goal, rebuild func(ast.Goal) ast.Goal, depth int, em
 			dv.depthLimit = savedLimit
 			return cont
 		}
-		return dv.explore(g.Body, depth+1, func() bool {
-			return dv.explore(rebuild(ast.True{}), depth+1, emit)
+		dv.pushTrace(TraceEntry{Op: TraceIsoBegin})
+		cont := dv.explore(g.Body, depth+1, func() bool {
+			dv.pushTrace(TraceEntry{Op: TraceIsoEnd})
+			r := dv.explore(rebuild(ast.True{}), depth+1, emit)
+			dv.popTrace(r)
+			return r
 		})
+		dv.popTrace(cont)
+		return cont
 
 	default:
 		dv.err = &RuntimeError{Goal: g.String(), Msg: "unknown goal node"}
@@ -369,6 +476,7 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 		if dv.e.opts.NoClauseIndex {
 			rules = dv.e.prog.RulesFor(g.Atom.Pred, len(g.Atom.Args))
 		} else {
+			dv.dispatchHits++
 			rules = dv.e.idx.candidates(g.Atom.Pred, g.Atom.Args, dv.env)
 		}
 		if len(rules) == 0 {
@@ -385,6 +493,7 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 			rn.Reset()
 			head := rn.Atom(r.Head)
 			envMark := dv.env.Mark()
+			dv.unifs++
 			if !dv.env.UnifyAtoms(head, g.Atom) {
 				dv.env.Undo(envMark)
 				continue
@@ -425,6 +534,10 @@ func (dv *deriv) budget() bool {
 
 func (dv *deriv) pushTrace(t TraceEntry) {
 	if dv.e.opts.Trace {
+		if n := len(dv.branchStack) - dv.descentBase; n > 0 {
+			t.Path = append([]int32(nil), dv.branchStack[dv.descentBase:]...)
+		}
+		t.Steps = dv.steps
 		dv.trace = append(dv.trace, t)
 	}
 }
@@ -434,6 +547,99 @@ func (dv *deriv) pushTrace(t TraceEntry) {
 func (dv *deriv) popTrace(cont bool) {
 	if dv.e.opts.Trace && cont {
 		dv.trace = dv.trace[:len(dv.trace)-1]
+	}
+}
+
+// concBranchIDs returns the stable branch ids for g's positions, assigning
+// fresh ids on first visit. Returns nil when span recording is off.
+func (dv *deriv) concBranchIDs(g *ast.Conc) []int32 {
+	if !dv.recording() {
+		return nil
+	}
+	if dv.concIDs == nil {
+		dv.concIDs = make(map[*ast.Conc][]int32)
+		dv.survivors = make(map[ast.Goal]int32)
+		dv.parentOf = make(map[int32]int32)
+	}
+	if ids, ok := dv.concIDs[g]; ok {
+		return ids
+	}
+	ids := make([]int32, len(g.Goals))
+	for i := range ids {
+		ids[i] = dv.newBranchID()
+	}
+	dv.concIDs[g] = ids
+	return ids
+}
+
+func (dv *deriv) newBranchID() int32 {
+	dv.nextID++
+	return dv.nextID
+}
+
+// noteSurvivor tags res (the residual a surviving branch stepped to) with
+// the branch's id, unless the branch just finished. A Seq residual's
+// elements are tagged as well: an enclosing sequential rebuild flattens
+// them into the parent sequence (ast.NewSeq), dissolving the Seq node
+// itself, and the chain must survive that.
+func (dv *deriv) noteSurvivor(res ast.Goal, id int32) {
+	if _, done := res.(ast.True); done {
+		return
+	}
+	dv.survivors[res] = id
+	if seq, ok := res.(*ast.Seq); ok {
+		for _, sub := range seq.Goals {
+			if _, done := sub.(ast.True); !done {
+				dv.survivors[sub] = id
+			}
+		}
+	}
+}
+
+// noteConcRebuild transfers branch identity from Conc node g (whose
+// position i stepped to residual res) to the rebuilt composition ng.
+// ast.NewConc may have dropped a finished branch, flattened an expansion
+// of branch i into several sub-branches, or collapsed the whole
+// composition to its last surviving goal.
+func (dv *deriv) noteConcRebuild(g *ast.Conc, ids []int32, i int, res, ng ast.Goal) {
+	switch ng := ng.(type) {
+	case *ast.Conc:
+		if _, ok := dv.concIDs[ng]; ok {
+			return // revisited rebuild of a node already mapped
+		}
+		// res contributed k goals at position i; siblings are carried over
+		// verbatim around it.
+		k := len(ng.Goals) - (len(g.Goals) - 1)
+		nids := make([]int32, 0, len(ng.Goals))
+		nids = append(nids, ids[:i]...)
+		switch {
+		case k == 1:
+			nids = append(nids, ids[i]) // branch continues under its id
+		case k > 1:
+			// Branch i expanded into k concurrent sub-branches (a call
+			// whose body is a concurrent composition, flattened into the
+			// parent): fresh ids, nested under the expanding branch.
+			for j := 0; j < k; j++ {
+				id := dv.newBranchID()
+				dv.parentOf[id] = ids[i]
+				nids = append(nids, id)
+			}
+		}
+		// k == 0: branch finished; its id is dropped.
+		nids = append(nids, ids[i+1:]...)
+		dv.concIDs[ng] = nids
+	case ast.True:
+		// Whole composition finished; nothing left to attribute.
+	default:
+		// Collapsed to a single goal: either the untouched last sibling
+		// (res finished) or, defensively, the stepped branch's residual.
+		for j, sub := range g.Goals {
+			if j != i && sub == ng {
+				dv.noteSurvivor(ng, ids[j])
+				return
+			}
+		}
+		dv.noteSurvivor(ng, ids[i])
 	}
 }
 

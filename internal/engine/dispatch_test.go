@@ -59,9 +59,9 @@ func freshDB(t *testing.T, prog *ast.Program) *db.DB {
 }
 
 // runProve executes goal under the given index setting and returns the
-// observable outcome: success, witness bindings, witness trace, and the
-// final database fingerprint.
-func runProve(t *testing.T, prog *ast.Program, g ast.Goal, noIndex bool) (bool, string, []string, [2]uint64) {
+// observable outcome: success, witness bindings, witness trace, the span
+// tree rendering, and the final database fingerprint.
+func runProve(t *testing.T, prog *ast.Program, g ast.Goal, noIndex bool) (bool, string, []string, string, [2]uint64) {
 	t.Helper()
 	opts := DefaultOptions()
 	opts.Trace = true
@@ -75,7 +75,11 @@ func runProve(t *testing.T, prog *ast.Program, g ast.Goal, noIndex bool) (bool, 
 	for _, e := range res.Trace {
 		trace = append(trace, e.String())
 	}
-	return res.Success, renderBindings(res.Bindings), trace, d.Fingerprint()
+	spans := ""
+	if res.Spans != nil {
+		spans = res.Spans.Tree()
+	}
+	return res.Success, renderBindings(res.Bindings), trace, spans, d.Fingerprint()
 }
 
 // renderBindings renders a bindings map in deterministic name order.
@@ -110,8 +114,8 @@ func TestDispatchEquivalenceOnPaperExamples(t *testing.T) {
 		for i, g := range allGoals {
 			name := fmt.Sprintf("%s/goal%d", file, i)
 			t.Run(name, func(t *testing.T) {
-				okIdx, bIdx, trIdx, fpIdx := runProve(t, prog, g, false)
-				okLin, bLin, trLin, fpLin := runProve(t, prog, g, true)
+				okIdx, bIdx, trIdx, spIdx, fpIdx := runProve(t, prog, g, false)
+				okLin, bLin, trLin, spLin, fpLin := runProve(t, prog, g, true)
 				if okIdx != okLin {
 					t.Fatalf("success differs: index=%v linear=%v", okIdx, okLin)
 				}
@@ -126,6 +130,12 @@ func TestDispatchEquivalenceOnPaperExamples(t *testing.T) {
 					if trIdx[j] != trLin[j] {
 						t.Fatalf("trace step %d differs: index=%s linear=%s", j, trIdx[j], trLin[j])
 					}
+				}
+				// Span trees — including the stable branch ids assigned
+				// during the search — must be identical: dispatch preserves
+				// both the witness path and its branch attribution.
+				if spIdx != spLin {
+					t.Fatalf("span trees differ:\n index:\n%s\n linear:\n%s", spIdx, spLin)
 				}
 				if fpIdx != fpLin {
 					t.Fatalf("final database fingerprints differ: index=%x linear=%x", fpIdx, fpLin)

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/term"
 )
 
@@ -53,8 +54,14 @@ type Options struct {
 	// "tabling" the paper points to for restricted fragments (ablation A1).
 	Table bool
 	// Trace records the witness execution path (elementary operations in
-	// order) for a successful proof.
+	// order) for a successful proof, and builds the structured span tree
+	// (Result.Spans) attributing operations to concurrent branches and
+	// iso sub-transactions.
 	Trace bool
+	// SpanSink, when non-nil (and Trace is on), receives the span tree of
+	// every successful proof. With SpanSink nil and Trace off the engine
+	// does no span work at all — the zero-alloc hot path is unchanged.
+	SpanSink obs.Sink
 	// NoClauseIndex disables first-argument clause dispatch and falls back
 	// to trying every rule of the called predicate in source order. The
 	// answer set and witness traces are identical either way (the index is
@@ -120,6 +127,11 @@ const (
 	TraceEmpty
 	TraceCall
 	TraceBuiltin
+	// TraceIsoBegin / TraceIsoEnd bracket the witness execution of an
+	// iso(...) body; only matched pairs whose body succeeded survive on the
+	// witness path (backtracking pops unmatched markers like any entry).
+	TraceIsoBegin
+	TraceIsoEnd
 )
 
 func (op TraceOp) String() string {
@@ -136,6 +148,10 @@ func (op TraceOp) String() string {
 		return "call"
 	case TraceBuiltin:
 		return "builtin"
+	case TraceIsoBegin:
+		return "iso"
+	case TraceIsoEnd:
+		return "iso-end"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -145,6 +161,14 @@ func (op TraceOp) String() string {
 type TraceEntry struct {
 	Op   TraceOp
 	Atom term.Atom // resolved at execution time
+	// Path identifies the concurrent branch the operation executed in: the
+	// chain of stable branch ids from the process-tree root down to the
+	// branch, empty for operations outside any concurrent composition.
+	// Inside an iso body the path is relative to the body's root.
+	Path []int32
+	// Steps is the engine's step counter at the time the entry was pushed
+	// (used to attribute step counts to iso sub-transactions).
+	Steps int64
 }
 
 func (t TraceEntry) String() string {
@@ -155,6 +179,10 @@ func (t TraceEntry) String() string {
 		return "del." + t.Atom.String()
 	case TraceEmpty:
 		return "empty." + t.Atom.Pred
+	case TraceIsoBegin:
+		return "iso{"
+	case TraceIsoEnd:
+		return "}"
 	default:
 		return t.Atom.String()
 	}
@@ -162,13 +190,15 @@ func (t TraceEntry) String() string {
 
 // Stats reports search effort.
 type Stats struct {
-	Steps     int64 // transition attempts
-	MaxDepth  int   // deepest derivation path reached
-	TableHits int64 // prunings due to the failure table
-	LoopHits  int64 // prunings due to the path-cycle check
-	TableSize int   // entries in the failure table at the end
-	Successes int64 // number of successful executions emitted
-	Truncated bool  // true when budget/depth aborted the search
+	Steps        int64 // transition attempts
+	MaxDepth     int   // deepest derivation path reached
+	TableHits    int64 // prunings due to the failure table
+	LoopHits     int64 // prunings due to the path-cycle check
+	TableSize    int   // entries in the failure table at the end
+	Successes    int64 // number of successful executions emitted
+	Unifications int64 // head-unification attempts across call steps
+	DispatchHits int64 // call steps served by the first-argument clause index
+	Truncated    bool  // true when budget/depth aborted the search
 }
 
 // Result is the outcome of Prove.
@@ -180,6 +210,10 @@ type Result struct {
 	Bindings map[string]term.Term
 	// Trace is the witness execution path (only when Options.Trace).
 	Trace []TraceEntry
+	// Spans is the structured span tree of the witness execution (only for
+	// successful proofs when Options.Trace): one node per iso sub-transaction
+	// and concurrent branch, with leaf spans for elementary operations.
+	Spans *obs.Span
 	// Stats reports search effort.
 	Stats Stats
 }
@@ -204,6 +238,16 @@ type Engine struct {
 	// scratch buffers), checked out atomically so repeated Prove calls on a
 	// long-lived engine — the server's steady state — do not rebuild them.
 	pool atomic.Pointer[deriv]
+	// poolHits / poolMisses count searches that reused the pooled state vs
+	// built a fresh one (an observability instrument for the PR 2 pooling).
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+}
+
+// PoolStats reports how many searches reused the pooled scratch state vs
+// allocated fresh state.
+func (e *Engine) PoolStats() (hits, misses int64) {
+	return e.poolHits.Load(), e.poolMisses.Load()
 }
 
 // New returns an engine for prog. Zero-valued fields of opts take defaults:
@@ -264,6 +308,10 @@ func (e *Engine) Prove(goal ast.Goal, d *db.DB) (*Result, error) {
 	res.Bindings = bindingsOf(goal, dv.env)
 	if e.opts.Trace {
 		res.Trace = append([]TraceEntry(nil), dv.trace...)
+		res.Spans = dv.buildSpans(goal.String(), res.Stats)
+		if e.opts.SpanSink != nil {
+			e.opts.SpanSink.Emit(res.Spans)
+		}
 	}
 	d.ResetTrail()
 	return res, nil
@@ -313,6 +361,10 @@ func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, erro
 			res.Bindings = bindingsOf(goal, dv.env)
 			if e.opts.Trace {
 				res.Trace = append([]TraceEntry(nil), dv.trace...)
+				res.Spans = dv.buildSpans(goal.String(), res.Stats)
+				if e.opts.SpanSink != nil {
+					e.opts.SpanSink.Emit(res.Spans)
+				}
 			}
 			d.ResetTrail()
 			dv.release()

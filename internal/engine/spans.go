@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// buildSpans converts the witness trace into a structured span tree: a root
+// "txn" span, one "iso" span per isolated sub-transaction (nested by the
+// TraceIsoBegin/TraceIsoEnd markers), one "branch" span per concurrent
+// branch that executed operations (nested by the stable branch-id paths the
+// search recorded), and a leaf span per elementary operation.
+func (dv *deriv) buildSpans(label string, st Stats) *obs.Span {
+	root := &obs.Span{Kind: "txn", Label: label, Steps: st.Steps}
+
+	// A frame is one iso scope: branch spans materialize lazily per scope
+	// because paths inside an iso body are relative to the body's root.
+	type frame struct {
+		span  *obs.Span
+		byID  map[int32]*obs.Span
+		begin int64 // step counter at the scope's TraceIsoBegin
+	}
+	stack := []frame{{span: root, byID: map[int32]*obs.Span{}}}
+
+	// attach resolves a branch path within the current scope, creating
+	// branch spans (and honoring parentOf links from branch expansions) as
+	// needed, and returns the span the operation belongs under.
+	attach := func(top *frame, path []int32) *obs.Span {
+		cur := top.span
+		for _, id := range path {
+			s := top.byID[id]
+			if s == nil {
+				parent := cur
+				if pid, ok := dv.parentOf[id]; ok {
+					if ps := top.byID[pid]; ps != nil {
+						parent = ps
+					}
+				}
+				s = &obs.Span{Kind: "branch", Label: "b" + strconv.Itoa(int(id))}
+				parent.Add(s)
+				top.byID[id] = s
+			}
+			cur = s
+		}
+		return cur
+	}
+
+	for _, e := range dv.trace {
+		top := &stack[len(stack)-1]
+		switch e.Op {
+		case TraceIsoBegin:
+			parent := attach(top, e.Path)
+			s := &obs.Span{Kind: "iso"}
+			parent.Add(s)
+			stack = append(stack, frame{span: s, byID: map[int32]*obs.Span{}, begin: e.Steps})
+		case TraceIsoEnd:
+			if len(stack) > 1 {
+				top.span.Steps = e.Steps - top.begin
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			parent := attach(top, e.Path)
+			leaf := &obs.Span{Kind: e.Op.String(), Label: e.String(), Ops: 1}
+			switch e.Op {
+			case TraceQuery, TraceEmpty:
+				leaf.Reads = 1
+			case TraceIns, TraceDel:
+				leaf.Writes = 1
+			case TraceCall:
+				leaf.Calls = 1
+			}
+			parent.Add(leaf)
+		}
+	}
+	root.Aggregate()
+	root.Steps = st.Steps
+	return root
+}

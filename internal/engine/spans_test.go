@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/parser"
+)
+
+// proveSpans proves goal with tracing on and returns the span tree.
+func proveSpans(t *testing.T, src, goal string) *obs.Span {
+	t.Helper()
+	prog := parser.MustParse(src)
+	g := parser.MustParseGoal(goal, prog.VarHigh)
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Trace = true
+	res, perr := New(prog, opts).Prove(g, d)
+	if perr != nil || !res.Success {
+		t.Fatalf("prove %q: err=%v success=%v", goal, perr, res != nil && res.Success)
+	}
+	if res.Spans == nil {
+		t.Fatalf("no spans for traced proof of %q", goal)
+	}
+	return res.Spans
+}
+
+// kinds returns the Kind sequence of the direct children of s.
+func kinds(s *obs.Span) []string {
+	out := make([]string, len(s.Children))
+	for i, c := range s.Children {
+		out[i] = c.Kind
+	}
+	return out
+}
+
+func TestSpansFlatSequence(t *testing.T) {
+	sp := proveSpans(t, `p(a). t :- p(X), ins.q(X).`, `t`)
+	if sp.Kind != "txn" || sp.Label != "t" {
+		t.Fatalf("root = %s %s", sp.Kind, sp.Label)
+	}
+	// call t, query p(a), ins q(a) — all direct children, no branch spans.
+	got := kinds(sp)
+	want := []string{"call", "query", "ins"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("children kinds = %v, want %v\n%s", got, want, sp.Tree())
+	}
+	if sp.Reads != 1 || sp.Writes != 1 || sp.Calls != 1 || sp.Ops != 3 {
+		t.Fatalf("aggregates wrong: %+v", *sp)
+	}
+	if sp.Steps == 0 {
+		t.Fatalf("root span should carry step count")
+	}
+}
+
+func TestSpansConcurrentBranches(t *testing.T) {
+	// Two concurrent branches, two ops each. Every op must land in its own
+	// branch span regardless of the interleaving the search finds — in
+	// particular after one branch finishes and the composition collapses to
+	// the survivor.
+	sp := proveSpans(t, `p(a). q(b).`, `(p(X), ins.r(X)) | (q(Y), ins.s(Y))`)
+	if len(sp.Children) != 2 {
+		t.Fatalf("want 2 branch children:\n%s", sp.Tree())
+	}
+	for _, c := range sp.Children {
+		if c.Kind != "branch" {
+			t.Fatalf("child kind = %s, want branch\n%s", c.Kind, sp.Tree())
+		}
+		if c.Ops != 2 || c.Reads != 1 || c.Writes != 1 {
+			t.Fatalf("branch %s aggregates = %+v, want 1 read + 1 write", c.Label, *c)
+		}
+	}
+	// Branch contents must not be mixed up.
+	b0, b1 := sp.Children[0], sp.Children[1]
+	if b0.Children[0].Label != "p(a)" || b0.Children[1].Label != "ins.r(a)" {
+		t.Fatalf("branch 0 holds wrong ops:\n%s", sp.Tree())
+	}
+	if b1.Children[0].Label != "q(b)" || b1.Children[1].Label != "ins.s(b)" {
+		t.Fatalf("branch 1 holds wrong ops:\n%s", sp.Tree())
+	}
+}
+
+func TestSpansNestedConcUnderSeq(t *testing.T) {
+	// A concurrent composition nested inside a sequential branch: the inner
+	// branches must nest under the outer branch's span.
+	sp := proveSpans(t, `a. b. c. z.`,
+		`(a, (b | c)) | z`)
+	if len(sp.Children) != 2 {
+		t.Fatalf("want 2 outer branches:\n%s", sp.Tree())
+	}
+	outer := sp.Children[0]
+	if outer.Children[0].Label != "a" {
+		t.Fatalf("outer branch should start with call a:\n%s", sp.Tree())
+	}
+	var innerBranches int
+	for _, c := range outer.Children {
+		if c.Kind == "branch" {
+			innerBranches++
+		}
+	}
+	if innerBranches != 2 {
+		t.Fatalf("want 2 inner branches nested under outer branch, got %d:\n%s",
+			innerBranches, sp.Tree())
+	}
+}
+
+func TestSpansCallExpandingToConc(t *testing.T) {
+	// A call whose body is a concurrent composition: NewConc flattens the
+	// body's branches into the enclosing composition, so their spans must
+	// appear as children of the calling branch (parentOf links).
+	sp := proveSpans(t, `t :- ins.x(1) | ins.y(2). z.`, `t | z`)
+	var tBranch *obs.Span
+	for _, c := range sp.Children {
+		if c.Kind == "branch" && len(c.Children) > 0 && c.Children[0].Label == "t" {
+			tBranch = c
+		}
+	}
+	if tBranch == nil {
+		t.Fatalf("no branch holding call t:\n%s", sp.Tree())
+	}
+	var sub int
+	for _, c := range tBranch.Children {
+		if c.Kind == "branch" {
+			sub++
+			if c.Ops != 1 || c.Writes != 1 {
+				t.Fatalf("expanded sub-branch should hold one write:\n%s", sp.Tree())
+			}
+		}
+	}
+	if sub != 2 {
+		t.Fatalf("call expansion should nest 2 sub-branches under the calling branch, got %d:\n%s",
+			sub, sp.Tree())
+	}
+}
+
+func TestSpansIsoNesting(t *testing.T) {
+	// Two sequential iso blocks: two iso spans under the root, each holding
+	// its body's ops; iso step attribution is positive.
+	sp := proveSpans(t, `acct(a, 100).`,
+		`iso(acct(a, B), del.acct(a, B), ins.acct(a, 90)), iso(empty.none)`)
+	var isos []*obs.Span
+	for _, c := range sp.Children {
+		if c.Kind == "iso" {
+			isos = append(isos, c)
+		}
+	}
+	if len(isos) != 2 {
+		t.Fatalf("want 2 iso spans, got %d:\n%s", len(isos), sp.Tree())
+	}
+	if isos[0].Ops != 3 || isos[0].Writes != 2 || isos[0].Reads != 1 {
+		t.Fatalf("first iso aggregates wrong: %+v\n%s", *isos[0], sp.Tree())
+	}
+	if isos[0].Steps <= 0 {
+		t.Fatalf("iso span should attribute steps, got %d", isos[0].Steps)
+	}
+	if isos[1].Ops != 1 || isos[1].Reads != 1 {
+		t.Fatalf("second iso aggregates wrong: %+v", *isos[1])
+	}
+}
+
+func TestSpansIsoInsideConcurrentBranch(t *testing.T) {
+	// iso sub-transactions racing in concurrent branches (the paper's
+	// genome-lab shape): each branch span holds exactly one iso span, and
+	// the iso bodies' ops stay inside their iso.
+	sp := proveSpans(t, `v(1). w(2).`,
+		`iso(v(X), ins.sv(X)) | iso(w(Y), ins.sw(Y))`)
+	if len(sp.Children) != 2 {
+		t.Fatalf("want 2 branches:\n%s", sp.Tree())
+	}
+	for _, b := range sp.Children {
+		if b.Kind != "branch" || len(b.Children) != 1 || b.Children[0].Kind != "iso" {
+			t.Fatalf("each branch must hold exactly one iso span:\n%s", sp.Tree())
+		}
+		iso := b.Children[0]
+		if iso.Ops != 2 || iso.Reads != 1 || iso.Writes != 1 {
+			t.Fatalf("iso aggregates wrong: %+v\n%s", *iso, sp.Tree())
+		}
+	}
+}
+
+func TestSpansNilWhenTraceOff(t *testing.T) {
+	prog := parser.MustParse(`p(a).`)
+	g := parser.MustParseGoal(`p(a)`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	res, err := New(prog, DefaultOptions()).Prove(g, d)
+	if err != nil || !res.Success {
+		t.Fatalf("prove: %v", err)
+	}
+	if res.Spans != nil {
+		t.Fatal("spans built with Trace=false")
+	}
+}
+
+func TestSpanSinkReceivesEmissions(t *testing.T) {
+	prog := parser.MustParse(`p(a). t :- p(X), ins.q(X).`)
+	g := parser.MustParseGoal(`t`, prog.VarHigh)
+	ring := obs.NewRingSink(4)
+	opts := DefaultOptions()
+	opts.Trace = true
+	opts.SpanSink = ring
+	e := New(prog, opts)
+	for i := 0; i < 3; i++ {
+		d, _ := db.FromFacts(prog.Facts)
+		if res, err := e.Prove(g, d); err != nil || !res.Success {
+			t.Fatalf("prove: %v", err)
+		}
+	}
+	if got := len(ring.Snapshot()); got != 3 {
+		t.Fatalf("sink received %d spans, want 3", got)
+	}
+	if ring.Last().Label != "t" {
+		t.Fatalf("sink span label = %q", ring.Last().Label)
+	}
+}
+
+func TestSpansProveDelta(t *testing.T) {
+	prog := parser.MustParse(`acct(a, 100). acct(b, 50).
+		transfer(Amt, F, T) :- iso(acct(F, BF), sub(BF, Amt, NF), del.acct(F, BF), ins.acct(F, NF),
+			acct(T, BT), add(BT, Amt, NT), del.acct(T, BT), ins.acct(T, NT)).`)
+	g := parser.MustParseGoal(`transfer(10, a, b)`, prog.VarHigh)
+	d, _ := db.FromFacts(prog.Facts)
+	opts := DefaultOptions()
+	opts.Trace = true
+	res, delta, err := New(prog, opts).ProveDelta(g, d)
+	if err != nil || !res.Success {
+		t.Fatalf("prove delta: %v", err)
+	}
+	if len(delta) == 0 {
+		t.Fatal("no write set")
+	}
+	if res.Spans == nil {
+		t.Fatal("ProveDelta did not build spans")
+	}
+	tree := res.Spans.Tree()
+	if !strings.Contains(tree, "iso") {
+		t.Fatalf("transfer span tree missing iso:\n%s", tree)
+	}
+	if res.Spans.Writes != 4 {
+		t.Fatalf("transfer should write 4 tuples, spans say %d:\n%s", res.Spans.Writes, tree)
+	}
+}

@@ -48,6 +48,10 @@ func (e *Engine) ProveDelta(goal ast.Goal, d *db.DB) (*Result, []db.Op, error) {
 	res.Bindings = bindingsOf(goal, dv.env)
 	if e.opts.Trace {
 		res.Trace = append([]TraceEntry(nil), dv.trace...)
+		res.Spans = dv.buildSpans(goal.String(), res.Stats)
+		if e.opts.SpanSink != nil {
+			e.opts.SpanSink.Emit(res.Spans)
+		}
 	}
 	return res, d.DeltaSince(dbMark), nil
 }

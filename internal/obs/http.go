@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving reg in Prometheus text
+// exposition format.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+}
+
+// NewMux returns a mux exposing /metrics for reg plus the standard
+// net/http/pprof endpoints under /debug/pprof/. This is what tdserver
+// mounts behind -obs.addr.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {math.MaxInt64, histFinite},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bound covers it.
+	for v := int64(1); v < 1<<22; v = v*3 + 1 {
+		b := bucketFor(v)
+		if BucketBound(b) < v {
+			t.Fatalf("value %d above its bucket bound %d", v, BucketBound(b))
+		}
+		if b > 0 && BucketBound(b-1) >= v {
+			t.Fatalf("value %d fits in earlier bucket %d", v, b-1)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 samples at ~100µs, 10 at ~10000µs.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 90*100+10*10000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100 || p50 > 256 {
+		t.Errorf("p50 = %d, want ~128 (bucket bound covering 100)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 10000 || p99 > 32768 {
+		t.Errorf("p99 = %d, want bucket bound covering 10000", p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+// The histogram is the replacement for the old sort-under-mutex quantile
+// path: both recording and reading must be allocation-free.
+func TestHistogramAllocFree(t *testing.T) {
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(137) }); n != 0 {
+		t.Errorf("Observe allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Quantile(0.99) }); n != 0 {
+		t.Errorf("Quantile allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestCounterGaugeAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("td_test_total", "test")
+	g := r.Gauge("td_test_gauge", "test")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); g.Set(7) }); n != 0 {
+		t.Errorf("counter/gauge updates allocate %.1f times per call, want 0", n)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("td_commits_total", "committed transactions")
+	c.Add(42)
+	r.GaugeFunc("td_db_size", "tuples in the head database", func() int64 { return 17 })
+	h := r.HistogramL("td_request_latency_us", "per-verb latency", `verb="EXEC"`)
+	h.Observe(100)
+	h2 := r.HistogramL("td_request_latency_us", "per-verb latency", `verb="PING"`)
+	h2.Observe(3)
+	ca := r.CounterL("td_conflicts_total", "by cause", `cause="read_write"`)
+	ca.Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP td_commits_total committed transactions\n",
+		"# TYPE td_commits_total counter\n",
+		"td_commits_total 42\n",
+		"# TYPE td_db_size gauge\n",
+		"td_db_size 17\n",
+		"# TYPE td_request_latency_us histogram\n",
+		`td_request_latency_us_bucket{verb="EXEC",le="128"} 1`,
+		`td_request_latency_us_bucket{verb="EXEC",le="+Inf"} 1`,
+		`td_request_latency_us_sum{verb="EXEC"} 100`,
+		`td_request_latency_us_count{verb="PING"} 1`,
+		`td_conflicts_total{cause="read_write"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q\n---\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with multiple label sets.
+	if n := strings.Count(out, "# TYPE td_request_latency_us histogram"); n != 1 {
+		t.Errorf("family header appears %d times, want 1", n)
+	}
+	// Histogram buckets must be cumulative and end at the count.
+	if !strings.Contains(out, `td_request_latency_us_bucket{verb="EXEC",le="4"} 0`) {
+		t.Errorf("low bucket should be 0 before first sample bucket\n%s", out)
+	}
+}

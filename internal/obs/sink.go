@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink receives completed span trees. Implementations must be safe for
+// concurrent use; Emit must not retain the right to mutate the span (the
+// tree is immutable once emitted).
+type Sink interface {
+	Emit(*Span)
+}
+
+// RingSink keeps the last N emitted span trees in a ring buffer.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []*Span
+	next int
+	n    int
+}
+
+// NewRingSink returns a ring sink retaining the last n spans (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]*Span, n)}
+}
+
+// Emit stores s, evicting the oldest entry when full.
+func (r *RingSink) Emit(s *Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Last returns the most recently emitted span, or nil.
+func (r *RingSink) Last() *Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[(r.next-1+len(r.buf))%len(r.buf)]
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *RingSink) Snapshot() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, r.n)
+	start := r.next - r.n
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// JSONLSink writes each emitted span tree as one JSON object per line.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONLSink wraps an io.Writer; if w is also an io.Closer, Close will
+// close it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// OpenJSONL opens (appending, creating if needed) a JSONL trace file.
+func OpenJSONL(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Emit marshals s and appends one line. Marshal errors are swallowed: a
+// tracing sink must never take down the traced system.
+func (j *JSONLSink) Emit(s *Span) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	j.w.Write(data)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+	j.mu.Unlock()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONLSink) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.w.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MultiSink fans out to several sinks.
+type MultiSink []Sink
+
+// Emit forwards s to every sink.
+func (m MultiSink) Emit(s *Span) {
+	for _, sk := range m {
+		sk.Emit(s)
+	}
+}

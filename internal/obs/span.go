@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Span is one node of a structured execution trace. The engine emits one
+// span per proved transaction (the root), one per iso(...) sub-transaction,
+// one per concurrent branch of `|` that executed at least one operation,
+// and one leaf per primitive operation (query, ins, del, empty, call,
+// builtin). Spans are plain data: JSON-marshalable and safe to hand across
+// package boundaries.
+type Span struct {
+	// Kind is "txn", "iso", "branch", or a primitive op name
+	// ("query", "ins", "del", "empty", "call", "builtin").
+	Kind string `json:"kind"`
+	// Label is the human-readable payload: the goal text for a txn span,
+	// the rendered atom for a leaf ("ins.account(a,90)"), or a stable
+	// branch identifier ("b3") for a concurrent branch.
+	Label string `json:"label,omitempty"`
+	// Steps is the number of derivation steps attributed to this span
+	// (root and iso spans only).
+	Steps int64 `json:"steps,omitempty"`
+	// Reads / Writes / Calls / Ops aggregate the leaf operations beneath
+	// (and including) this span: db reads (query/empty), db writes
+	// (ins/del), rule calls, and total primitive operations.
+	Reads  int64 `json:"reads,omitempty"`
+	Writes int64 `json:"writes,omitempty"`
+	Calls  int64 `json:"calls,omitempty"`
+	Ops    int64 `json:"ops,omitempty"`
+	// DurUs is wall-clock duration in microseconds (set by callers that
+	// time the enclosing execution; the engine itself does not read clocks).
+	DurUs    int64   `json:"dur_us,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Add appends a child span.
+func (s *Span) Add(child *Span) { s.Children = append(s.Children, child) }
+
+// Count returns the number of spans in the tree rooted at s.
+func (s *Span) Count() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.Count()
+	}
+	return n
+}
+
+// Aggregate recomputes Reads/Writes/Calls/Ops bottom-up from the leaves.
+// Leaf spans (no children) keep their own values.
+func (s *Span) Aggregate() {
+	if len(s.Children) == 0 {
+		return
+	}
+	s.Reads, s.Writes, s.Calls, s.Ops = 0, 0, 0, 0
+	for _, c := range s.Children {
+		c.Aggregate()
+		s.Reads += c.Reads
+		s.Writes += c.Writes
+		s.Calls += c.Calls
+		s.Ops += c.Ops
+	}
+}
+
+// WriteTree pretty-prints the span tree, one node per line, two-space
+// indentation per level:
+//
+//	txn iso(transfer(1,a,b)) steps=42 reads=2 writes=2 dur=1.3ms
+//	  iso steps=40 reads=2 writes=2
+//	    call transfer(1,a,b)
+//	    ...
+func WriteTree(w io.Writer, s *Span) error {
+	return writeTree(w, s, 0)
+}
+
+func writeTree(w io.Writer, s *Span, depth int) error {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Kind)
+	if s.Label != "" {
+		b.WriteByte(' ')
+		b.WriteString(s.Label)
+	}
+	if s.Steps > 0 {
+		fmt.Fprintf(&b, " steps=%d", s.Steps)
+	}
+	if len(s.Children) > 0 {
+		// Aggregates are only interesting on interior nodes; a leaf's
+		// kind+label already says everything.
+		if s.Reads > 0 {
+			fmt.Fprintf(&b, " reads=%d", s.Reads)
+		}
+		if s.Writes > 0 {
+			fmt.Fprintf(&b, " writes=%d", s.Writes)
+		}
+		if s.Calls > 0 {
+			fmt.Fprintf(&b, " calls=%d", s.Calls)
+		}
+	}
+	if s.DurUs > 0 {
+		fmt.Fprintf(&b, " dur=%s", formatUs(s.DurUs))
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeTree(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree returns the WriteTree rendering as a string.
+func (s *Span) Tree() string {
+	var b strings.Builder
+	writeTree(&b, s, 0)
+	return b.String()
+}
+
+func formatUs(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTree() *Span {
+	root := &Span{Kind: "txn", Label: "iso(transfer(1,a,b))", Steps: 42, DurUs: 1300}
+	iso := &Span{Kind: "iso", Steps: 40}
+	root.Add(iso)
+	iso.Add(&Span{Kind: "call", Label: "transfer(1,a,b)", Calls: 1, Ops: 1})
+	br := &Span{Kind: "branch", Label: "b1"}
+	iso.Add(br)
+	br.Add(&Span{Kind: "query", Label: "account(a,100)", Reads: 1, Ops: 1})
+	br.Add(&Span{Kind: "del", Label: "del.account(a,100)", Writes: 1, Ops: 1})
+	root.Aggregate()
+	return root
+}
+
+func TestSpanAggregate(t *testing.T) {
+	root := sampleTree()
+	if root.Reads != 1 || root.Writes != 1 || root.Calls != 1 || root.Ops != 3 {
+		t.Fatalf("aggregate = reads=%d writes=%d calls=%d ops=%d",
+			root.Reads, root.Writes, root.Calls, root.Ops)
+	}
+	if root.Count() != 6 {
+		t.Fatalf("count = %d, want 6", root.Count())
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	out := sampleTree().Tree()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := []string{
+		"txn iso(transfer(1,a,b)) steps=42 reads=1 writes=1 calls=1 dur=1.30ms",
+		"  iso steps=40 reads=1 writes=1 calls=1",
+		"    call transfer(1,a,b)",
+		"    branch b1 reads=1 writes=1",
+		"      query account(a,100)",
+		"      del del.account(a,100)",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	root := sampleTree()
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tree() != root.Tree() {
+		t.Fatalf("round trip changed tree:\n%s\nvs\n%s", back.Tree(), root.Tree())
+	}
+}
+
+func TestRingSink(t *testing.T) {
+	r := NewRingSink(3)
+	if r.Last() != nil {
+		t.Fatal("empty ring should have no last span")
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(&Span{Kind: "txn", Label: string(rune('a' + i))})
+	}
+	if got := r.Last().Label; got != "e" {
+		t.Fatalf("last = %q, want e", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Label != "c" || snap[2].Label != "e" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONLSink(&b)
+	s.Emit(&Span{Kind: "txn", Label: "t1"})
+	s.Emit(&Span{Kind: "txn", Label: "t2"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var sp Span
+	if err := json.Unmarshal([]byte(lines[1]), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Label != "t2" {
+		t.Fatalf("second line label = %q", sp.Label)
+	}
+}

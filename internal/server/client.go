@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Error is a protocol-level failure reported by the server.
@@ -159,4 +161,27 @@ func (c *Client) Stats() (*StatsSnapshot, error) {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// TraceOn enables structured execution tracing for this session: every
+// subsequent RUN/EXEC goal builds a span tree retrievable with TraceDump.
+func (c *Client) TraceOn() error {
+	_, err := c.roundTrip(&Request{Op: OpTrace, Arg: "on"})
+	return err
+}
+
+// TraceOff disables session-level tracing.
+func (c *Client) TraceOff() error {
+	_, err := c.roundTrip(&Request{Op: OpTrace, Arg: "off"})
+	return err
+}
+
+// TraceDump fetches the span tree of the session's most recent successfully
+// proved goal.
+func (c *Client) TraceDump() (*obs.Span, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTrace, Arg: "dump"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Trace, nil
 }

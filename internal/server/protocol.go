@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Protocol verbs.
@@ -32,6 +34,7 @@ const (
 	OpQuery  = "QUERY"  // read-only: enumerate solutions, no effects kept
 	OpStats  = "STATS"  // server counters
 	OpPing   = "PING"   // liveness
+	OpTrace  = "TRACE"  // toggle execution tracing / dump the last span tree
 )
 
 // Error codes carried in Response.Code.
@@ -53,6 +56,9 @@ type Request struct {
 	Goal    string `json:"goal,omitempty"`    // RUN / EXEC / QUERY
 	// Max bounds QUERY solution enumeration (0 = all).
 	Max int `json:"max,omitempty"`
+	// Arg carries verb modifiers: TRACE takes "on", "off", or "dump"
+	// (empty defaults to "dump").
+	Arg string `json:"arg,omitempty"`
 }
 
 // Response is one server frame.
@@ -71,6 +77,9 @@ type Response struct {
 	Retries int `json:"retries,omitempty"`
 	// Stats answers STATS.
 	Stats *StatsSnapshot `json:"stats,omitempty"`
+	// Trace answers TRACE dump: the span tree of the session's most
+	// recent successfully proved goal.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // Frame format: a 4-byte big-endian payload length followed by a JSON

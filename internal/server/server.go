@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/ast"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/term"
 )
@@ -48,6 +50,19 @@ type Options struct {
 	// replicas up; sessions that fall further behind pay a full resync.
 	// Default 1024 entries.
 	MaxLog int
+	// Trace enables structured execution tracing for every session (each
+	// session can also opt in individually with the TRACE verb). Tracing
+	// costs allocations on the goal path; leave it off for throughput.
+	Trace bool
+	// SlowTxn logs the span tree of any goal slower than this threshold
+	// through Logger (and forces tracing on so the tree exists). Zero
+	// disables.
+	SlowTxn time.Duration
+	// TraceSink receives the span tree of every traced goal (e.g. an
+	// obs.RingSink or obs.JSONLSink). Setting it forces tracing on.
+	TraceSink obs.Sink
+	// Logger receives slow-transaction reports. Default slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +87,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxLog == 0 {
 		o.MaxLog = 1024
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
 	return o
 }
 
@@ -89,6 +107,7 @@ type Server struct {
 	prog  *ast.Program
 	start time.Time
 	stats serverStats
+	reg   *obs.Registry
 	sem   chan struct{}
 
 	// mu guards the shared head state: the authoritative database, the
@@ -119,9 +138,48 @@ func New(opts Options) (*Server, error) {
 		opts:     opts,
 		prog:     prog,
 		start:    time.Now(),
+		reg:      obs.NewRegistry(),
 		sem:      make(chan struct{}, opts.MaxSessions),
 		sessions: make(map[*session]uint64),
 	}
+	s.stats.init(s.reg)
+	s.reg.GaugeFunc("td_version", "current commit version of the shared database",
+		func() int64 { return int64(s.Version()) })
+	s.reg.GaugeFunc("td_db_size", "tuples in the shared database", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(s.head.Size())
+	})
+	s.reg.GaugeFunc("td_wal_bytes", "bytes appended to the write-ahead log", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.store == nil {
+			return 0
+		}
+		return s.store.WALSize()
+	})
+	s.reg.GaugeFunc("td_uptime_seconds", "seconds since the server started",
+		func() int64 { return int64(time.Since(s.start).Seconds()) })
+	poolStats := func(hits bool) int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var total int64
+		for sess := range s.sessions {
+			h, m := sess.eng.PoolStats()
+			if hits {
+				total += h
+			} else {
+				total += m
+			}
+		}
+		return total
+	}
+	s.reg.CounterFuncL("td_engine_pool_derivations_total",
+		"derivation-state acquisitions by live sessions, by pool outcome",
+		`outcome="reuse"`, func() int64 { return poolStats(true) })
+	s.reg.CounterFuncL("td_engine_pool_derivations_total",
+		"derivation-state acquisitions by live sessions, by pool outcome",
+		`outcome="alloc"`, func() int64 { return poolStats(false) })
 	if opts.SnapshotPath != "" || opts.WALPath != "" {
 		if opts.SnapshotPath == "" || opts.WALPath == "" {
 			return nil, errors.New("server: need both SnapshotPath and WALPath for durability")
@@ -323,6 +381,7 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 	if sess.version < s.floor {
 		// History needed for validation was pruned: conservatively abort.
 		s.stats.conflicts.Add(1)
+		s.stats.conflictStale.Add(1)
 		return 0, errConflict
 	}
 	for _, rec := range s.clog {
@@ -331,6 +390,7 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		}
 		if rec.conflictsWith(rs, mine) {
 			s.stats.conflicts.Add(1)
+			s.stats.conflictRW.Add(1)
 			return 0, errConflict
 		}
 	}
@@ -340,9 +400,12 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			return 0, err
 		}
 		if !s.opts.NoSync {
+			fsyncStart := time.Now()
 			if err := s.store.Commit(); err != nil {
 				return 0, err
 			}
+			s.stats.fsyncLat.Observe(time.Since(fsyncStart).Microseconds())
+			s.stats.fsyncs.Add(1)
 		}
 	} else {
 		s.head.Apply(ops)
@@ -370,6 +433,7 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 	s.sessions[sess] = sess.version
 	s.pruneLocked()
 	s.stats.commits.Add(1)
+	s.stats.deltaOps.Add(int64(len(ops)))
 	s.stats.recordCommitLatency(time.Since(started))
 	return s.version, nil
 }
@@ -438,7 +502,7 @@ func (s *Server) Stats() StatsSnapshot {
 		walBytes = s.store.WALSize()
 	}
 	s.mu.Unlock()
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		SessionsOpen:  s.stats.sessionsOpen.Load(),
 		SessionsTotal: s.stats.sessionsTotal.Load(),
 		Rejected:      s.stats.rejected.Load(),
@@ -455,8 +519,42 @@ func (s *Server) Stats() StatsSnapshot {
 		CommitP50Us:   p50,
 		CommitP99Us:   p99,
 		UptimeMs:      time.Since(s.start).Milliseconds(),
+
+		FsyncP99Us:         s.stats.fsyncLat.Quantile(0.99),
+		Fsyncs:             s.stats.fsyncs.Load(),
+		SlowTxns:           s.stats.slowTxns.Load(),
+		EngineSteps:        s.stats.engineSteps.Load(),
+		EngineUnifications: s.stats.engineUnifs.Load(),
+		EngineTableHits:    s.stats.engineTable.Load(),
+		DBLookups:          s.stats.dbLookups.Load(),
+		DBIndexHits:        s.stats.dbIndexHits.Load(),
+		DBScans:            s.stats.dbScans.Load(),
+		DBOrderRebuilds:    s.stats.dbRebuilds.Load(),
+		DeltaOps:           s.stats.deltaOps.Load(),
 	}
+	if stale, rw := s.stats.conflictStale.Load(), s.stats.conflictRW.Load(); stale > 0 || rw > 0 {
+		snap.ConflictCauses = map[string]int64{}
+		if stale > 0 {
+			snap.ConflictCauses["stale_replica"] = stale
+		}
+		if rw > 0 {
+			snap.ConflictCauses["read_write"] = rw
+		}
+	}
+	for _, v := range statVerbs {
+		if h := s.stats.verbLat[v]; h.Count() > 0 {
+			if snap.VerbP99Us == nil {
+				snap.VerbP99Us = map[string]int64{}
+			}
+			snap.VerbP99Us[v] = h.Quantile(0.99)
+		}
+	}
+	return snap
 }
+
+// Metrics returns the server's metric registry, suitable for serving with
+// obs.Handler / obs.NewMux.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Close shuts the server down gracefully: stop accepting, close session
 // connections, wait for sessions to unwind, then sync and close the store.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/db"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/term"
 )
@@ -34,6 +35,17 @@ type session struct {
 	beginMark int
 	rs        *readSet
 	deadline  time.Time // wall-clock bound for the currently running goal
+
+	traceOn  bool      // session-level TRACE on/off toggle
+	lastSpan *obs.Span // span tree of the most recent successful goal
+}
+
+// tracing reports whether goals run with structured execution tracing:
+// either the session toggled it with TRACE, or a server-level option
+// (Trace, SlowTxn, TraceSink) demands span trees for every goal.
+func (sess *session) tracing() bool {
+	o := &sess.srv.opts
+	return sess.traceOn || o.Trace || o.SlowTxn > 0 || o.TraceSink != nil
 }
 
 // buildEngine (re)builds the session engine for the current program.
@@ -42,6 +54,9 @@ func (sess *session) buildEngine() {
 		LoopCheck: true,
 		Table:     true,
 		MaxSteps:  sess.srv.opts.MaxSteps,
+		// Span emission is handled by the session (it stamps wall-clock
+		// duration and owns slow-transaction reporting), not an engine sink.
+		Trace: sess.tracing(),
 	}
 	if sess.srv.opts.MaxGoalTime > 0 {
 		opts.Watch = func(*db.DB) error {
@@ -67,7 +82,11 @@ func (sess *session) serve() {
 		if err := readFrame(r, &req, sess.srv.opts.MaxFrame); err != nil {
 			break // EOF, deadline, or protocol garbage: drop the session
 		}
+		began := time.Now()
 		resp := sess.handle(&req)
+		if h := sess.srv.stats.verbLat[req.Op]; h != nil {
+			h.Observe(time.Since(began).Microseconds())
+		}
 		if err := writeFrame(w, resp); err != nil {
 			break
 		}
@@ -108,6 +127,8 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleExec(req)
 	case OpQuery:
 		return sess.handleQuery(req)
+	case OpTrace:
+		return sess.handleTrace(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -185,13 +206,55 @@ func (sess *session) handleBegin() *Response {
 	return &Response{OK: true, Version: sess.version}
 }
 
+// addEngineStats folds a finished goal's engine statistics and the session
+// replica's database counter delta into the server-wide aggregates.
+func (sess *session) addEngineStats(st engine.Stats, before db.Counters) {
+	s := &sess.srv.stats
+	s.engineSteps.Add(st.Steps)
+	s.engineUnifs.Add(st.Unifications)
+	s.engineTable.Add(st.TableHits)
+	after := sess.d.Counters()
+	s.dbLookups.Add(after.Lookups - before.Lookups)
+	s.dbIndexHits.Add(after.IndexHits - before.IndexHits)
+	s.dbScans.Add(after.Scans - before.Scans)
+	s.dbRebuilds.Add(after.OrderRebuilds - before.OrderRebuilds)
+}
+
+// finishSpans stamps wall-clock duration onto a traced goal's span tree,
+// remembers it for TRACE dump, forwards it to the configured sink, and
+// writes the slow-transaction report when the goal blew the threshold.
+func (sess *session) finishSpans(sp *obs.Span, elapsed time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.DurUs = elapsed.Microseconds()
+	sess.lastSpan = sp
+	if sink := sess.srv.opts.TraceSink; sink != nil {
+		sink.Emit(sp)
+	}
+	if slow := sess.srv.opts.SlowTxn; slow > 0 && elapsed >= slow {
+		sess.srv.stats.slowTxns.Add(1)
+		sess.srv.opts.Logger.Warn("slow transaction",
+			"goal", sp.Label,
+			"elapsed", elapsed,
+			"threshold", slow,
+			"steps", sp.Steps,
+			"spans", "\n"+sp.Tree())
+	}
+}
+
 // runGoal executes one parsed goal inside the open transaction, recording
 // reads into the transaction's read set.
 func (sess *session) runGoal(g ast.Goal) (*engine.Result, *Response) {
-	sess.deadline = time.Now().Add(sess.srv.opts.MaxGoalTime)
+	began := time.Now()
+	sess.deadline = began.Add(sess.srv.opts.MaxGoalTime)
+	before := sess.d.Counters()
 	sess.d.SetReadHook(sess.rs.observe)
 	res, _, err := sess.eng.ProveDelta(g, sess.d)
 	sess.d.SetReadHook(nil)
+	if res != nil {
+		sess.addEngineStats(res.Stats, before)
+	}
 	if err != nil {
 		var wv *engine.WatchViolation
 		switch {
@@ -209,6 +272,7 @@ func (sess *session) runGoal(g ast.Goal) (*engine.Result, *Response) {
 		sess.srv.stats.noProof.Add(1)
 		return nil, fail(CodeNoProof, "no execution of the goal commits")
 	}
+	sess.finishSpans(res.Spans, time.Since(began))
 	return res, nil
 }
 
@@ -347,8 +411,9 @@ func (sess *session) handleQuery(req *Request) *Response {
 		defer sess.d.SetReadHook(nil)
 	}
 	sess.deadline = time.Now().Add(sess.srv.opts.MaxGoalTime)
+	before := sess.d.Counters()
 	var sols []map[string]string
-	_, err := sess.eng.Enumerate(g, sess.d, req.Max, func(b map[string]term.Term) bool {
+	res, err := sess.eng.Enumerate(g, sess.d, req.Max, func(b map[string]term.Term) bool {
 		m := bindingsWire(b)
 		if m == nil {
 			m = map[string]string{}
@@ -356,6 +421,9 @@ func (sess *session) handleQuery(req *Request) *Response {
 		sols = append(sols, m)
 		return true
 	})
+	if res != nil {
+		sess.addEngineStats(res.Stats, before)
+	}
 	if err != nil {
 		var wv *engine.WatchViolation
 		if errors.As(err, &wv) && errors.Is(wv.Cause, errGoalTime) {
@@ -369,4 +437,26 @@ func (sess *session) handleQuery(req *Request) *Response {
 		return fail(CodeInternal, "%v", err)
 	}
 	return &Response{OK: true, Solutions: sols}
+}
+
+// handleTrace toggles session-level tracing or dumps the span tree of the
+// most recent successfully proved goal.
+func (sess *session) handleTrace(req *Request) *Response {
+	switch req.Arg {
+	case "on":
+		sess.traceOn = true
+		sess.buildEngine()
+		return &Response{OK: true}
+	case "off":
+		sess.traceOn = false
+		sess.buildEngine()
+		return &Response{OK: true}
+	case "", "dump":
+		if sess.lastSpan == nil {
+			return fail(CodeBadRequest, "no traced goal yet (TRACE on, then RUN/EXEC a goal)")
+		}
+		return &Response{OK: true, Trace: sess.lastSpan}
+	default:
+		return fail(CodeBadRequest, "TRACE takes on, off, or dump; got %q", req.Arg)
+	}
 }

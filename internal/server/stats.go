@@ -1,13 +1,18 @@
 package server
 
 import (
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // serverStats is the live counter set; StatsSnapshot is its wire form.
+// Scalar counters are atomics (read by the metrics registry through
+// CounterFunc at scrape time); latency distributions live in lock-free
+// obs.Histograms — recording a commit latency is two atomic adds, replacing
+// the old 4096-entry ring that copied and sorted under a mutex on every
+// STATS call.
 type serverStats struct {
 	sessionsOpen  atomic.Int64
 	sessionsTotal atomic.Int64
@@ -15,48 +20,84 @@ type serverStats struct {
 	txnsBegun     atomic.Int64
 	commits       atomic.Int64
 	aborts        atomic.Int64 // explicit ABORTs + failed EXECs
-	conflicts     atomic.Int64 // commit validations lost
+	conflicts     atomic.Int64 // commit validations lost (all causes)
+	conflictStale atomic.Int64 // cause: replica older than the pruned log
+	conflictRW    atomic.Int64 // cause: read/write overlap with a winner
 	retries       atomic.Int64 // server-side EXEC retries
 	noProof       atomic.Int64 // goals with no committing execution
 	budgetHits    atomic.Int64 // step/time budget exhaustions
+	slowTxns      atomic.Int64 // goals slower than Options.SlowTxn
+	fsyncs        atomic.Int64 // WAL fsyncs performed at commit
 
-	// Commit latencies (µs) in a bounded ring; quantiles are computed over
-	// whatever the ring currently holds.
-	latMu   sync.Mutex
-	lat     [4096]int64
-	latLen  int
-	latNext int
+	// Engine and database work, aggregated per served goal.
+	engineSteps atomic.Int64
+	engineUnifs atomic.Int64
+	engineTable atomic.Int64
+	dbLookups   atomic.Int64
+	dbIndexHits atomic.Int64
+	dbScans     atomic.Int64
+	dbRebuilds  atomic.Int64
+	deltaOps    atomic.Int64 // write-set sizes of committed transactions
+
+	commitLat *obs.Histogram
+	fsyncLat  *obs.Histogram
+	verbLat   map[string]*obs.Histogram // fixed verb set, built at init
+}
+
+// statVerbs is the fixed set of per-verb latency series.
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace}
+
+// init creates the histograms and registers every instrument with reg.
+func (st *serverStats) init(reg *obs.Registry) {
+	st.commitLat = reg.Histogram("td_commit_latency_us",
+		"end-to-end commit latency (validation + apply + WAL) in microseconds")
+	st.fsyncLat = reg.Histogram("td_fsync_latency_us",
+		"WAL flush+fsync latency at commit in microseconds")
+	st.verbLat = make(map[string]*obs.Histogram, len(statVerbs))
+	for _, v := range statVerbs {
+		st.verbLat[v] = reg.HistogramL("td_request_latency_us",
+			"request handling latency by protocol verb in microseconds", `verb="`+v+`"`)
+	}
+
+	cf := func(name, help string, v *atomic.Int64) { reg.CounterFunc(name, help, v.Load) }
+	reg.GaugeFunc("td_sessions_open", "currently served sessions", st.sessionsOpen.Load)
+	cf("td_sessions_total", "sessions ever admitted", &st.sessionsTotal)
+	cf("td_sessions_rejected_total", "connections refused by admission control", &st.rejected)
+	cf("td_txns_begun_total", "transactions opened (BEGIN + EXEC attempts)", &st.txnsBegun)
+	cf("td_commits_total", "transactions committed", &st.commits)
+	cf("td_aborts_total", "transactions aborted", &st.aborts)
+	reg.CounterFuncL("td_conflicts_total", "commit validations lost, by cause",
+		`cause="read_write"`, st.conflictRW.Load)
+	reg.CounterFuncL("td_conflicts_total", "commit validations lost, by cause",
+		`cause="stale_replica"`, st.conflictStale.Load)
+	cf("td_retries_total", "server-side EXEC conflict retries", &st.retries)
+	cf("td_no_proof_total", "goals with no committing execution", &st.noProof)
+	cf("td_budget_hits_total", "step/time budget exhaustions", &st.budgetHits)
+	cf("td_slow_txns_total", "goals slower than the slow-transaction threshold", &st.slowTxns)
+	cf("td_fsyncs_total", "WAL fsyncs performed at commit", &st.fsyncs)
+	cf("td_engine_steps_total", "derivation steps across served goals", &st.engineSteps)
+	cf("td_engine_unifications_total", "head-unification attempts across served goals", &st.engineUnifs)
+	cf("td_engine_table_hits_total", "failure-table prunings across served goals", &st.engineTable)
+	cf("td_db_lookups_total", "ground point lookups across session replicas", &st.dbLookups)
+	cf("td_db_index_hits_total", "scans served by the first-argument index", &st.dbIndexHits)
+	cf("td_db_scans_total", "full relation scans", &st.dbScans)
+	cf("td_db_order_rebuilds_total", "deterministic scan-order cache rebuilds", &st.dbRebuilds)
+	cf("td_delta_ops_total", "tuples written by committed transactions", &st.deltaOps)
 }
 
 func (st *serverStats) recordCommitLatency(d time.Duration) {
-	us := d.Microseconds()
-	st.latMu.Lock()
-	st.lat[st.latNext] = us
-	st.latNext = (st.latNext + 1) % len(st.lat)
-	if st.latLen < len(st.lat) {
-		st.latLen++
-	}
-	st.latMu.Unlock()
+	st.commitLat.Observe(d.Microseconds())
 }
 
-// quantiles returns the p50 and p99 commit latencies in microseconds.
+// quantiles returns the p50 and p99 commit latencies in microseconds
+// (bucket upper bounds: ~2x resolution, O(buckets), allocation-free).
 func (st *serverStats) quantiles() (p50, p99 int64) {
-	st.latMu.Lock()
-	sample := make([]int64, st.latLen)
-	copy(sample, st.lat[:st.latLen])
-	st.latMu.Unlock()
-	if len(sample) == 0 {
-		return 0, 0
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	at := func(q float64) int64 {
-		i := int(q * float64(len(sample)-1))
-		return sample[i]
-	}
-	return at(0.50), at(0.99)
+	return st.commitLat.Quantile(0.50), st.commitLat.Quantile(0.99)
 }
 
-// StatsSnapshot is the STATS response payload.
+// StatsSnapshot is the STATS response payload. Fields present since PR 1
+// keep their JSON names verbatim; observability additions are new keys only
+// (omitted when zero), so PR-1 clients keep decoding the payload unchanged.
 type StatsSnapshot struct {
 	SessionsOpen  int64  `json:"sessions_open"`
 	SessionsTotal int64  `json:"sessions_total"`
@@ -74,4 +115,19 @@ type StatsSnapshot struct {
 	CommitP50Us   int64  `json:"commit_p50_us"`
 	CommitP99Us   int64  `json:"commit_p99_us"`
 	UptimeMs      int64  `json:"uptime_ms"`
+
+	// Added with the observability layer (PR 3).
+	ConflictCauses     map[string]int64 `json:"conflict_causes,omitempty"`
+	VerbP99Us          map[string]int64 `json:"verb_p99_us,omitempty"`
+	FsyncP99Us         int64            `json:"fsync_p99_us,omitempty"`
+	Fsyncs             int64            `json:"fsyncs,omitempty"`
+	SlowTxns           int64            `json:"slow_txns,omitempty"`
+	EngineSteps        int64            `json:"engine_steps,omitempty"`
+	EngineUnifications int64            `json:"engine_unifications,omitempty"`
+	EngineTableHits    int64            `json:"engine_table_hits,omitempty"`
+	DBLookups          int64            `json:"db_lookups,omitempty"`
+	DBIndexHits        int64            `json:"db_index_hits,omitempty"`
+	DBScans            int64            `json:"db_scans,omitempty"`
+	DBOrderRebuilds    int64            `json:"db_order_rebuilds,omitempty"`
+	DeltaOps           int64            `json:"delta_ops,omitempty"`
 }

@@ -9,6 +9,7 @@ package td
 import (
 	"net"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -26,6 +27,12 @@ type (
 	ServerError = server.Error
 	// ServerExecResult reports a one-shot EXEC transaction.
 	ServerExecResult = server.ExecResult
+	// Span is one node of a structured execution trace (see docs/OBSERVABILITY.md).
+	Span = obs.Span
+	// SpanSink receives span trees of traced transactions.
+	SpanSink = obs.Sink
+	// MetricsRegistry holds metric series and renders Prometheus text.
+	MetricsRegistry = obs.Registry
 )
 
 // NewServer builds a transaction service. With both SnapshotPath and
