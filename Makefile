@@ -18,12 +18,11 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# The pre-merge gate: static checks, the full test suite, and the
-# race-instrumented run of the concurrency-heavy packages (the server and
-# the database, which the interner and scan caches sit under, plus the
-# lock-free metrics/histogram layer).
-check:
-	$(GO) vet ./...
+# The pre-merge gate: static checks (go vet + tdvet), the full test suite,
+# and the race-instrumented run of the concurrency-heavy packages (the
+# server and the database, which the interner and scan caches sit under,
+# plus the lock-free metrics/histogram layer).
+check: vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/server ./internal/db ./internal/term ./internal/obs
 
@@ -79,10 +78,12 @@ suite:
 suite-quick:
 	$(GO) run ./cmd/tdbench -quick
 
-# Build and smoke-run every example program.
+# Build and smoke-run every example program (directories without Go files,
+# like examples/programs/ with its plain .td corpus, are skipped).
 examples:
 	$(GO) build ./examples/...
 	@set -e; for d in examples/*/; do \
+		ls $$d*.go >/dev/null 2>&1 || continue; \
 		echo "== $$d"; \
 		$(GO) run ./$$d; \
 	done
@@ -105,8 +106,14 @@ demo:
 fmt:
 	gofmt -w .
 
+# Static analysis: go vet over the Go code, tdvet (with warnings promoted
+# to errors) over every shipped TD program. Intentional full-TD
+# demonstrations carry % tdvet:ignore pragmas in the source.
+TD_PROGRAMS := $(shell find testdata examples -name '*.td')
+
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/tdvet -q -Werror $(TD_PROGRAMS)
 
 clean:
 	$(GO) clean ./...

@@ -492,6 +492,9 @@ func statsCmd(args []string) error {
 	if st.SlowTxns > 0 {
 		fmt.Printf("slow txns: %d\n", st.SlowTxns)
 	}
+	if st.VetRejects > 0 {
+		fmt.Printf("vet rejections: %d\n", st.VetRejects)
+	}
 	return nil
 }
 

@@ -1,0 +1,114 @@
+// Command tdvet runs the TD static analyzer over .td program files and
+// reports diagnostics in the conventional file:line:col compiler format,
+// or as JSON for tooling.
+//
+// Exit codes, for CI:
+//
+//	0  no error-severity diagnostics (warnings allowed unless -Werror)
+//	1  error-severity diagnostics found (or warnings, under -Werror)
+//	2  usage, read, or parse failure
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fileReport is the per-file JSON payload emitted under -json.
+type fileReport struct {
+	File       string                `json:"file"`
+	Fragment   string                `json:"fragment"`
+	Complexity string                `json:"complexity"`
+	Diags      []analysis.Diagnostic `json:"diagnostics"`
+	Suppressed int                   `json:"suppressed,omitempty"`
+	ParseError string                `json:"parse_error,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	werror := fs.Bool("Werror", false, "treat warnings as errors (exit 1)")
+	quiet := fs.Bool("q", false, "suppress info-severity diagnostics")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tdvet [flags] file.td ...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	var reports []fileReport
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tdvet: %v\n", err)
+			return 2
+		}
+		rep, err := analysis.VetSource(string(data))
+		if err != nil {
+			if *jsonOut {
+				reports = append(reports, fileReport{File: path, ParseError: err.Error()})
+			} else {
+				fmt.Fprintf(stderr, "%s:%v\n", path, err)
+			}
+			exit = 2
+			continue
+		}
+		fr := fileReport{
+			File:       path,
+			Fragment:   rep.Fragment,
+			Complexity: rep.Complexity,
+			Diags:      rep.Diags,
+			Suppressed: rep.Suppressed,
+		}
+		if *quiet {
+			kept := fr.Diags[:0]
+			for _, d := range fr.Diags {
+				if d.Sev != analysis.SevInfo {
+					kept = append(kept, d)
+				}
+			}
+			fr.Diags = kept
+		}
+		reports = append(reports, fr)
+		for _, d := range fr.Diags {
+			switch d.Sev {
+			case analysis.SevError:
+				exit = max(exit, 1)
+			case analysis.SevWarning:
+				if *werror {
+					exit = max(exit, 1)
+				}
+			}
+		}
+		if !*jsonOut {
+			for _, d := range fr.Diags {
+				fmt.Fprintf(stdout, "%s:%s\n", path, d)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(stderr, "tdvet: %v\n", err)
+			return 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(args ...string) (exit int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	exit = run(args, &out, &errb)
+	return exit, out.String(), errb.String()
+}
+
+func TestCleanProgramExitsZero(t *testing.T) {
+	exit, stdout, stderr := runCLI(filepath.Join("testdata", "clean.td"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", exit, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[fragment]") {
+		t.Errorf("expected the fragment info line, got:\n%s", stdout)
+	}
+}
+
+func TestWarningsExitZeroWithoutWerror(t *testing.T) {
+	path := filepath.Join("testdata", "warnbug.td")
+	exit, stdout, _ := runCLI(path)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0 (warnings are not errors by default)\n%s", exit, stdout)
+	}
+	if !strings.Contains(stdout, "[arity]") || !strings.Contains(stdout, "[unused-pred]") {
+		t.Errorf("expected arity and unused-pred warnings, got:\n%s", stdout)
+	}
+	// Diagnostics are prefixed with the file path, compiler style.
+	if !strings.Contains(stdout, path+":") {
+		t.Errorf("diagnostics should be prefixed with the file path:\n%s", stdout)
+	}
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	exit, stdout, _ := runCLI("-Werror", filepath.Join("testdata", "warnbug.td"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 under -Werror\n%s", exit, stdout)
+	}
+}
+
+func TestErrorDiagnosticsExitOne(t *testing.T) {
+	exit, stdout, _ := runCLI(filepath.Join("testdata", "errbug.td"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", exit, stdout)
+	}
+	if !strings.Contains(stdout, "error:") || !strings.Contains(stdout, "[safety]") {
+		t.Errorf("expected a safety error, got:\n%s", stdout)
+	}
+	// 4:20 is del.item(Y) in errbug.td — the literal, not the clause head.
+	if !strings.Contains(stdout, ":4:20:") {
+		t.Errorf("expected the diagnostic at 4:20, got:\n%s", stdout)
+	}
+}
+
+func TestQuietDropsInfo(t *testing.T) {
+	exit, stdout, _ := runCLI("-q", filepath.Join("testdata", "clean.td"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0", exit)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("-q on a clean program should print nothing, got:\n%s", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	exit, stdout, _ := runCLI("-json", filepath.Join("testdata", "errbug.td"), filepath.Join("testdata", "clean.td"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d file reports, want 2", len(reports))
+	}
+	var sawSafety bool
+	for _, d := range reports[0].Diags {
+		if d.ID == "safety" && d.Line == 4 && d.Col == 20 {
+			sawSafety = true
+		}
+	}
+	if !sawSafety {
+		t.Errorf("JSON report missing the 4:20 safety diagnostic: %+v", reports[0].Diags)
+	}
+	if reports[1].Fragment == "" || reports[1].Complexity == "" {
+		t.Errorf("clean report missing fragment classification: %+v", reports[1])
+	}
+}
+
+func TestMissingFileExitsTwo(t *testing.T) {
+	exit, _, stderr := runCLI(filepath.Join("testdata", "no-such-file.td"))
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2", exit)
+	}
+	if !strings.Contains(stderr, "tdvet:") {
+		t.Errorf("expected a tdvet-prefixed read error, got:\n%s", stderr)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	exit, _, stderr := runCLI()
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2", exit)
+	}
+	if !strings.Contains(stderr, "usage: tdvet") {
+		t.Errorf("expected usage text, got:\n%s", stderr)
+	}
+}
+
+func TestParseErrorExitsTwo(t *testing.T) {
+	// warnbug.td parses; use a file with a syntax error via JSON to check
+	// the parse_error field as well.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.td")
+	if err := os.WriteFile(bad, []byte("p( :- ."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exit, stdout, _ := runCLI("-json", bad)
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2", exit)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(reports) != 1 || reports[0].ParseError == "" {
+		t.Errorf("expected a parse_error report, got: %+v", reports)
+	}
+}

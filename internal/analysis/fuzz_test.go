@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+// FuzzVet feeds arbitrary source through parse + vet: on any
+// parser-accepted input the analyzer must not panic and every diagnostic
+// must carry a valid 1-based position. The seeds mirror the parser's own
+// fuzz corpus plus lint-triggering shapes.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		"",
+		"p(a).",
+		"r(X) :- p(X), del.p(X), ins.q(X).",
+		"w :- a, (b | c), d.",
+		"m :- iso(t1) | iso(t2).",
+		"q :- empty.busy, X > 3, add(X, 1, Y).",
+		"?- p(X), ins.q(X).",
+		"% comment\np(a). /* block */ p(b).",
+		`msg("string with \"escape\").`,
+		"deep :- ((((a)))).",
+		"neg(-5).",
+		"r :- ins. p(a).",
+		"x :- a | b | c | d | e.",
+		":-",
+		"p(",
+		"ins.p",
+		"p(a)q",
+		// Lint-triggering shapes.
+		"spin :- ins.tick | spin.\n?- spin.",
+		"grow :- ins.node, grow, ins.edge.\n?- grow.",
+		"bad(X) :- p(X), del.p(Y).\np(a).\n?- bad(a).",
+		"oops :- ins.flag, empty.flag.\n?- oops.",
+		"go :- nope(X), ins.log(X). % tdvet:ignore undefined-pred\n?- go.",
+		"% tdvet:ignore\np(a, b).\np(a).\n?- p(X).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rep, err := VetSource(src)
+		if err != nil {
+			return // parse errors are the parser fuzzer's problem
+		}
+		if rep == nil {
+			t.Fatal("nil report without error")
+		}
+		for _, d := range rep.Diags {
+			if d.Line < 1 || d.Col < 1 {
+				t.Errorf("diagnostic %q has invalid position %d:%d", d.ID, d.Line, d.Col)
+			}
+			if d.ID == "" || d.Msg == "" {
+				t.Errorf("diagnostic with empty ID or message: %+v", d)
+			}
+		}
+		if rep.Fragment == "" || rep.Complexity == "" {
+			t.Errorf("report missing fragment classification: %+v", rep)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGolden runs every testdata/*.td fixture through VetSource and compares
+// the rendered diagnostics against the paired .want file. Each fixture
+// exercises one pass. Regenerate the expectations with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analysis -run TestGolden
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.td"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden fixtures in testdata/")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".td")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := VetSource(string(src))
+			if err != nil {
+				t.Fatalf("VetSource(%s): %v", file, err)
+			}
+			var b strings.Builder
+			for _, d := range rep.Diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			if rep.Suppressed > 0 {
+				fmt.Fprintf(&b, "suppressed: %d\n", rep.Suppressed)
+			}
+			got := b.String()
+
+			wantFile := strings.TrimSuffix(file, ".td") + ".want"
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(wantFile, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(wantFile)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenPositionsValid double-checks that every fixture diagnostic has a
+// 1-based position — the same invariant FuzzVet enforces on arbitrary input.
+func TestGoldenPositionsValid(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.td"))
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VetSource(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range rep.Diags {
+			if d.Line < 1 || d.Col < 1 {
+				t.Errorf("%s: diagnostic %q has invalid position %d:%d", file, d.ID, d.Line, d.Col)
+			}
+		}
+	}
+}

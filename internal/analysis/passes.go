@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Paper citations attached to diagnostics, one per lint family.
+const (
+	citeSafety   = "Section 2: elementary updates execute on ground tuples"
+	citeDerived  = "Section 3: derived predicates are defined by rules, not stored tuples"
+	citeRecConc  = "Theorem 4.4, Corollary 4.6: recursion through '|' makes committing RE-complete"
+	citeBounded  = "Section 5: fully bounded TD restricts recursion to sequential iteration"
+	citeEntail   = "Section 2: a transaction commits only if some execution path succeeds"
+	citeFragment = "Theorems 4.4-4.7, Section 5"
+)
+
+// ---------------------------------------------------------------- safety --
+
+// varset tracks variables known bound at the current point of a
+// left-to-right scan (sideways information passing).
+type varset map[int64]bool
+
+func (s varset) add(t term.Term) {
+	if t.IsVar() {
+		s[t.VarID()] = true
+	}
+}
+
+func (s varset) has(t term.Term) bool { return !t.IsVar() || s[t.VarID()] }
+
+func (s varset) clone() varset {
+	out := make(varset, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// passSafety is the position-aware counterpart of ast.CheckSafety: scan
+// each body left to right; a variable is bound if it occurred in the rule
+// head, an earlier query/call, or an arithmetic output. Updates and
+// builtin inputs reached with a possibly-unbound variable are errors.
+// Concurrent branches only see bindings made before the composition.
+func (v *vetter) passSafety() {
+	for _, r := range v.prog.Rules {
+		bound := varset{}
+		for _, t := range r.Head.Vars(nil) {
+			bound.add(t)
+		}
+		v.safeGoal(r.Body, bound)
+	}
+	for _, q := range v.prog.Queries {
+		v.safeGoal(q, varset{})
+	}
+}
+
+func (v *vetter) safeGoal(g ast.Goal, bound varset) {
+	switch g := g.(type) {
+	case *ast.Lit:
+		if g.Op == ast.OpCall && ast.IsBuiltinName(g.Atom.Pred) {
+			// Un-analyzed program: builtin still in call form.
+			v.safeBuiltin(&ast.Builtin{Name: g.Atom.Pred, Args: g.Atom.Args, Pos: g.Pos}, bound)
+			return
+		}
+		switch g.Op {
+		case ast.OpQuery, ast.OpCall:
+			// Queries bind by matching tuples; calls are assumed to bind
+			// (the engine's runtime groundness check backstops).
+			for _, t := range g.Atom.Args {
+				bound.add(t)
+			}
+		case ast.OpIns, ast.OpDel:
+			for _, t := range g.Atom.Args {
+				if !bound.has(t) {
+					v.diag(g.Pos, SevError, LintSafety,
+						fmt.Sprintf("variable %s may be unbound at %s; bind it with an earlier query in the sequence", t, g),
+						citeSafety)
+				}
+			}
+		}
+	case *ast.Builtin:
+		v.safeBuiltin(g, bound)
+	case *ast.Seq:
+		for _, sub := range g.Goals {
+			v.safeGoal(sub, bound)
+		}
+	case *ast.Conc:
+		// Interleaving order is not statically known: a binding made in a
+		// sibling branch cannot be relied on. After the composition all
+		// branches have succeeded, so all their bindings hold.
+		after := bound.clone()
+		for _, sub := range g.Goals {
+			branch := bound.clone()
+			v.safeGoal(sub, branch)
+			for k := range branch {
+				after[k] = true
+			}
+		}
+		for k := range after {
+			bound[k] = true
+		}
+	case *ast.Iso:
+		v.safeGoal(g.Body, bound)
+	}
+}
+
+func (v *vetter) safeBuiltin(b *ast.Builtin, bound varset) {
+	if b.Name == "eq" && len(b.Args) == 2 {
+		// eq can bind either side; at least one side must be bound.
+		if !bound.has(b.Args[0]) && !bound.has(b.Args[1]) {
+			v.diag(b.Pos, SevError, LintSafety,
+				fmt.Sprintf("both sides of %s may be unbound", b), citeSafety)
+		}
+		bound.add(b.Args[0])
+		bound.add(b.Args[1])
+		return
+	}
+	inputs := b.Args
+	var output *term.Term
+	if isArith(b.Name) && len(b.Args) == 3 {
+		inputs = b.Args[:2]
+		output = &b.Args[2]
+	}
+	for _, t := range inputs {
+		if !bound.has(t) {
+			v.diag(b.Pos, SevError, LintSafety,
+				fmt.Sprintf("variable %s may be unbound at builtin %s", t, b), citeSafety)
+		}
+	}
+	if output != nil {
+		bound.add(*output)
+	}
+}
+
+func isArith(name string) bool {
+	switch name {
+	case "add", "sub", "mul", "div", "mod":
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------------- undefined-pred --
+
+// passUndefined flags reads of predicates that have no rules, no facts,
+// and are never inserted anywhere: such a query can never succeed against
+// any database this program builds.
+func (v *vetter) passUndefined() {
+	check := func(g ast.Goal) {
+		ast.Walk(g, func(sub ast.Goal) bool {
+			l, ok := sub.(*ast.Lit)
+			if !ok {
+				return true
+			}
+			k := litKey(l.Atom)
+			if ast.IsBuiltinName(k.pred) {
+				return true
+			}
+			read := l.Op == ast.OpQuery || (l.Op == ast.OpCall && !v.derived[k])
+			if read && !v.hasFacts[k] && !v.inserted[k] {
+				v.diag(l.Pos, SevWarning, LintUndefinedPred,
+					fmt.Sprintf("%s has no rules, no facts, and is never inserted; this query can never succeed", k), "")
+			}
+			return true
+		})
+	}
+	for _, r := range v.prog.Rules {
+		check(r.Body)
+	}
+	for _, q := range v.prog.Queries {
+		check(q)
+	}
+}
+
+// ------------------------------------------- unused-pred and dead-clause --
+
+// passUnusedAndDead reports derived predicates that are never called
+// (unused-pred) and clauses of called-but-unreachable predicates
+// (dead-clause: no path from any ?- query reaches them). Both lints are
+// meaningful only when the program declares its entry points, so they are
+// skipped for programs without ?- directives (rulebase libraries).
+func (v *vetter) passUnusedAndDead() {
+	if len(v.prog.Queries) == 0 {
+		return
+	}
+	called := make(map[predKey]bool)
+	note := func(g ast.Goal) {
+		ast.Walk(g, func(sub ast.Goal) bool {
+			if l, ok := sub.(*ast.Lit); ok && (l.Op == ast.OpCall || l.Op == ast.OpQuery) {
+				called[litKey(l.Atom)] = true
+			}
+			return true
+		})
+	}
+	for _, r := range v.prog.Rules {
+		note(r.Body)
+	}
+	// Reachability: BFS over the call graph from the predicates the ?-
+	// queries invoke.
+	reach := make([]bool, len(v.nodes))
+	var queue []int
+	for _, q := range v.prog.Queries {
+		note(q)
+		ast.Walk(q, func(sub ast.Goal) bool {
+			if l, ok := sub.(*ast.Lit); ok {
+				if idx, ok := v.nodeIdx[litKey(l.Atom)]; ok && !reach[idx] {
+					reach[idx] = true
+					queue = append(queue, idx)
+				}
+			}
+			return true
+		})
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range v.edges[x] {
+			if !reach[w] {
+				reach[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	reported := make(map[predKey]bool)
+	for _, r := range v.prog.Rules {
+		k := litKey(r.Head)
+		idx := v.nodeIdx[k]
+		if reach[idx] {
+			continue
+		}
+		if !called[k] {
+			if !reported[k] {
+				reported[k] = true
+				v.diag(r.Pos, SevWarning, LintUnusedPred,
+					fmt.Sprintf("derived predicate %s is never called", k), "")
+			}
+			continue
+		}
+		v.diag(r.Pos, SevWarning, LintDeadClause,
+			fmt.Sprintf("clause of %s is unreachable from every ?- query", k), "")
+	}
+}
+
+// ----------------------------------------------------------------- arity --
+
+// passArity flags one predicate name used at several arities (arity is
+// part of predicate identity, so this is almost always a typo) and
+// builtins invoked with the wrong argument count.
+func (v *vetter) passArity() {
+	first := make(map[predKey]ast.Pos)
+	byName := make(map[string][]predKey) // arities per name, first-seen order
+	note := func(a term.Atom, pos ast.Pos) {
+		if ast.IsBuiltinName(a.Pred) {
+			return
+		}
+		k := litKey(a)
+		if _, seen := first[k]; seen {
+			return
+		}
+		first[k] = pos
+		byName[k.pred] = append(byName[k.pred], k)
+	}
+	noteGoal := func(g ast.Goal) {
+		ast.Walk(g, func(sub ast.Goal) bool {
+			switch sub := sub.(type) {
+			case *ast.Lit:
+				note(sub.Atom, sub.Pos)
+			case *ast.Builtin:
+				if want, ok := ast.BuiltinArity(sub.Name); ok && len(sub.Args) != want {
+					v.diag(sub.Pos, SevWarning, LintArity,
+						fmt.Sprintf("builtin %s expects %d arguments, got %d", sub.Name, want, len(sub.Args)), "")
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range v.prog.Rules {
+		note(r.Head, r.Pos)
+		noteGoal(r.Body)
+	}
+	for i, f := range v.prog.Facts {
+		var pos ast.Pos
+		if i < len(v.prog.FactPos) {
+			pos = v.prog.FactPos[i]
+		}
+		note(f, pos)
+	}
+	for _, q := range v.prog.Queries {
+		noteGoal(q)
+	}
+	for _, keys := range byName {
+		for _, k := range keys[1:] {
+			v.diag(first[k], SevWarning, LintArity,
+				fmt.Sprintf("%s is also used with arity %d; arity is part of predicate identity", k, keys[0].arity), "")
+		}
+	}
+}
+
+// -------------------------------------------------------- update-derived --
+
+// passUpdateDerived flags ins/del whose target is a derived (rule-defined)
+// or builtin predicate. The parser's Analyze already hard-rejects these in
+// parsed programs; the pass makes Vet self-contained for programmatically
+// built programs.
+func (v *vetter) passUpdateDerived() {
+	check := func(g ast.Goal) {
+		ast.Walk(g, func(sub ast.Goal) bool {
+			l, ok := sub.(*ast.Lit)
+			if !ok || (l.Op != ast.OpIns && l.Op != ast.OpDel) {
+				return true
+			}
+			k := litKey(l.Atom)
+			switch {
+			case ast.IsBuiltinName(k.pred):
+				v.diag(l.Pos, SevError, LintUpdateDerived,
+					fmt.Sprintf("%s.%s: cannot update builtin predicate", l.Op, l.Atom), citeDerived)
+			case v.derived[k]:
+				v.diag(l.Pos, SevError, LintUpdateDerived,
+					fmt.Sprintf("%s.%s: cannot update derived predicate %s", l.Op, l.Atom, k), citeDerived)
+			}
+			return true
+		})
+	}
+	for _, r := range v.prog.Rules {
+		check(r.Body)
+	}
+	for _, q := range v.prog.Queries {
+		check(q)
+	}
+}
+
+// -------------------------------------------------- recursion-under-conc --
+
+// passRecursionUnderConc flags the exact literal that closes a recursion
+// cycle inside a concurrent composition: each loop iteration can spawn a
+// fresh concurrent process, so the process count is unbounded by the goal
+// and committing becomes undecidable.
+func (v *vetter) passRecursionUnderConc() {
+	for _, r := range v.prog.Rules {
+		from := v.nodeIdx[litKey(r.Head)]
+		if !v.inCycle[from] {
+			continue
+		}
+		v.scanConcRecursion(from, litKey(r.Head), r.Body, false)
+	}
+}
+
+func (v *vetter) scanConcRecursion(from int, head predKey, g ast.Goal, underConc bool) {
+	switch g := g.(type) {
+	case *ast.Lit:
+		if underConc && v.isRecursiveCall(from, g) {
+			v.diag(g.Pos, SevError, LintRecursionConc,
+				fmt.Sprintf("recursive call to %s under '|' in clause %s: each iteration may spawn a new concurrent process", litKey(g.Atom), head),
+				citeRecConc)
+		}
+	case *ast.Seq:
+		for _, sub := range g.Goals {
+			v.scanConcRecursion(from, head, sub, underConc)
+		}
+	case *ast.Conc:
+		for _, sub := range g.Goals {
+			v.scanConcRecursion(from, head, sub, true)
+		}
+	case *ast.Iso:
+		v.scanConcRecursion(from, head, g.Body, underConc)
+	}
+}
+
+// ------------------------------------------------------ unbounded-update --
+
+// passUnboundedUpdate flags updates inside clauses whose recursion is not
+// sequential tail recursion. Tail recursion is iteration — the number of
+// updates per pass is fixed by the clause — but non-tail recursion (or
+// recursion under | / iso) stacks update work per recursive descent, so
+// the total update count is not bounded by the goal: the program falls
+// out of the fully bounded fragment.
+func (v *vetter) passUnboundedUpdate() {
+	for _, r := range v.prog.Rules {
+		from := v.nodeIdx[litKey(r.Head)]
+		if !v.inCycle[from] || !v.hasNonTailRecursion(from, r.Body, true) {
+			continue
+		}
+		head := litKey(r.Head)
+		ast.Walk(r.Body, func(sub ast.Goal) bool {
+			if l, ok := sub.(*ast.Lit); ok && (l.Op == ast.OpIns || l.Op == ast.OpDel) {
+				v.diag(l.Pos, SevWarning, LintUnboundedUpdate,
+					fmt.Sprintf("%s.%s executes in non-tail-recursive clause %s; update count is not bounded by the goal", l.Op, l.Atom.Pred, head),
+					citeBounded)
+			}
+			return true
+		})
+	}
+}
+
+// hasNonTailRecursion reports whether the body contains an intra-SCC
+// recursive call outside sequential tail position (mirroring the
+// placement analysis in internal/fragments).
+func (v *vetter) hasNonTailRecursion(from int, g ast.Goal, tail bool) bool {
+	switch g := g.(type) {
+	case *ast.Lit:
+		return !tail && v.isRecursiveCall(from, g)
+	case *ast.Seq:
+		for i, sub := range g.Goals {
+			if v.hasNonTailRecursion(from, sub, tail && i == len(g.Goals)-1) {
+				return true
+			}
+		}
+	case *ast.Conc:
+		for _, sub := range g.Goals {
+			if v.hasNonTailRecursion(from, sub, false) {
+				return true
+			}
+		}
+	case *ast.Iso:
+		return v.hasNonTailRecursion(from, g.Body, false)
+	}
+	return false
+}
+
+// ---------------------------------------------------------- never-commit --
+
+// pstate is what the never-commit scan knows about one base relation at a
+// point in a sequential execution.
+type pstate uint8
+
+const (
+	stEmpty    pstate = iota + 1 // a successful empty.p proved p empty
+	stNonEmpty                   // an ins.p or successful query proved p non-empty
+)
+
+// dbstate maps predicate names (emptiness is per name, not per arity in
+// the surface syntax) to what is known about them. Absent = unknown.
+type dbstate map[string]pstate
+
+// passNeverCommit finds bodies that provably fail on every execution
+// path: an emptiness test conjoined after a required insertion, or a
+// query after a successful emptiness test, with nothing in between that
+// could change the relation. A transaction whose body cannot succeed
+// never commits, so the clause is dead weight that still burns prover
+// budget at run time.
+func (v *vetter) passNeverCommit() {
+	for _, r := range v.prog.Rules {
+		v.commitScan(r.Body, dbstate{}, nil, false)
+	}
+	for _, q := range v.prog.Queries {
+		v.commitScan(q, dbstate{}, nil, false)
+	}
+}
+
+// commitScan walks g left to right, updating st. hazard names relations a
+// sibling concurrent branch updates (its interleaved ins/del can
+// invalidate our knowledge between any two steps); muteAll is set when a
+// sibling calls a derived predicate, which may update anything.
+func (v *vetter) commitScan(g ast.Goal, st dbstate, hazard map[string]bool, muteAll bool) {
+	switch g := g.(type) {
+	case *ast.Lit:
+		name := g.Atom.Pred
+		switch g.Op {
+		case ast.OpIns:
+			st[name] = stNonEmpty
+		case ast.OpDel:
+			delete(st, name) // p may or may not still hold other tuples
+		case ast.OpQuery:
+			if st[name] == stEmpty && !muteAll && !hazard[name] {
+				v.diag(g.Pos, SevWarning, LintNeverCommit,
+					fmt.Sprintf("query %s follows a successful empty.%s with no intervening insertion; this body can never succeed", g, name),
+					citeEntail)
+			}
+			st[name] = stNonEmpty
+		case ast.OpCall:
+			if ast.IsBuiltinName(name) {
+				return
+			}
+			if v.derived[litKey(g.Atom)] {
+				clear(st) // the called transaction may update anything
+			} else {
+				// Behaves as a base-relation query.
+				if st[name] == stEmpty && !muteAll && !hazard[name] {
+					v.diag(g.Pos, SevWarning, LintNeverCommit,
+						fmt.Sprintf("query %s follows a successful empty.%s with no intervening insertion; this body can never succeed", g, name),
+						citeEntail)
+				}
+				st[name] = stNonEmpty
+			}
+		}
+	case *ast.Empty:
+		if st[g.Pred] == stNonEmpty && !muteAll && !hazard[g.Pred] {
+			v.diag(g.Pos, SevWarning, LintNeverCommit,
+				fmt.Sprintf("empty.%s follows ins.%s with no intervening deletion; this body can never succeed", g.Pred, g.Pred),
+				citeEntail)
+		}
+		st[g.Pred] = stEmpty
+	case *ast.Seq:
+		for _, sub := range g.Goals {
+			v.commitScan(sub, st, hazard, muteAll)
+		}
+	case *ast.Conc:
+		for i, sub := range g.Goals {
+			sibHazard, sibMute := v.siblingUpdates(g.Goals, i)
+			for k := range hazard {
+				sibHazard[k] = true
+			}
+			v.commitScan(sub, dbstate{}, sibHazard, muteAll || sibMute)
+		}
+		clear(st) // branches updated in some interleaved order
+	case *ast.Iso:
+		// Isolation: the body runs atomically, so no sibling interleaving
+		// can break sequential reasoning inside it.
+		v.commitScan(g.Body, dbstate{}, nil, false)
+		clear(st)
+	}
+}
+
+// siblingUpdates collects the relation names every branch other than skip
+// may update, and whether any such branch calls a derived predicate
+// (which may update anything).
+func (v *vetter) siblingUpdates(branches []ast.Goal, skip int) (map[string]bool, bool) {
+	names := make(map[string]bool)
+	muteAll := false
+	for i, b := range branches {
+		if i == skip {
+			continue
+		}
+		ast.Walk(b, func(sub ast.Goal) bool {
+			if l, ok := sub.(*ast.Lit); ok {
+				switch l.Op {
+				case ast.OpIns, ast.OpDel:
+					names[l.Atom.Pred] = true
+				case ast.OpCall:
+					if v.derived[litKey(l.Atom)] {
+						muteAll = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return names, muteAll
+}

@@ -15,6 +15,34 @@ import (
 	"repro/internal/term"
 )
 
+// Pos is a source position: 1-based line and column of the token that
+// started a node. The zero Pos marks nodes built programmatically rather
+// than by the parser.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p carries a real source position.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// PosError is a program-validation error anchored to the source position of
+// the offending construct. Programmatically built programs (zero Pos) fall
+// back to the bare message.
+type PosError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *PosError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+	}
+	return e.Msg
+}
+
 // Goal is a TD goal formula (the body of a rule, or a top-level transaction
 // invocation).
 type Goal interface {
@@ -55,12 +83,14 @@ func (op AtomOp) String() string {
 type Lit struct {
 	Op   AtomOp
 	Atom term.Atom
+	Pos  Pos
 }
 
 // Empty is the emptiness test empty.p: it succeeds iff relation p holds no
 // tuples. It is TD's bounded form of negation on base relations.
 type Empty struct {
 	Pred string
+	Pos  Pos
 }
 
 // Builtin is an evaluable predicate over constants: comparisons
@@ -69,6 +99,7 @@ type Empty struct {
 type Builtin struct {
 	Name string
 	Args []term.Term
+	Pos  Pos
 }
 
 // Seq is sequential composition: execute Goals left to right, threading the
@@ -87,6 +118,7 @@ type Conc struct {
 // sibling processes — atomically, as far as the rest of the goal can tell.
 type Iso struct {
 	Body Goal
+	Pos  Pos
 }
 
 func (True) isGoal()     {}
@@ -229,13 +261,14 @@ func Vars(g Goal, dst []term.Term) []term.Term {
 }
 
 // Rename returns a copy of g with every variable renamed through rn.
-// Shared structure without variables is reused.
+// Shared structure without variables is reused. Source positions are
+// preserved on the copies.
 func Rename(g Goal, rn *term.Renaming) Goal {
 	switch g := g.(type) {
 	case True:
 		return g
 	case *Lit:
-		return &Lit{Op: g.Op, Atom: rn.Atom(g.Atom)}
+		return &Lit{Op: g.Op, Atom: rn.Atom(g.Atom), Pos: g.Pos}
 	case *Empty:
 		return g
 	case *Builtin:
@@ -243,7 +276,7 @@ func Rename(g Goal, rn *term.Renaming) Goal {
 		for i, a := range g.Args {
 			args[i] = rn.Term(a)
 		}
-		return &Builtin{Name: g.Name, Args: args}
+		return &Builtin{Name: g.Name, Args: args, Pos: g.Pos}
 	case *Seq:
 		goals := make([]Goal, len(g.Goals))
 		for i, sub := range g.Goals {
@@ -257,7 +290,7 @@ func Rename(g Goal, rn *term.Renaming) Goal {
 		}
 		return &Conc{Goals: goals}
 	case *Iso:
-		return &Iso{Body: Rename(g.Body, rn)}
+		return &Iso{Body: Rename(g.Body, rn), Pos: g.Pos}
 	default:
 		panic(fmt.Sprintf("ast: Rename: unknown goal %T", g))
 	}

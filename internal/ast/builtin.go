@@ -16,6 +16,13 @@ var builtinArity = map[string]int{
 }
 
 // IsBuiltinName reports whether name denotes an evaluable builtin predicate.
+// BuiltinArity returns the required arity of builtin name, and whether name
+// is a builtin at all.
+func BuiltinArity(name string) (int, bool) {
+	n, ok := builtinArity[name]
+	return n, ok
+}
+
 func IsBuiltinName(name string) bool {
 	_, ok := builtinArity[name]
 	return ok

@@ -9,10 +9,22 @@ import (
 )
 
 // Rule is a TD rule head :- body. The head predicate becomes a derived
-// predicate ("transaction name" in the paper's terminology).
+// predicate ("transaction name" in the paper's terminology). Pos is the
+// source position of the head token (zero for programmatic rules).
 type Rule struct {
 	Head term.Atom
 	Body Goal
+	Pos  Pos
+}
+
+// Pragma is one "% tdvet:ignore [lint-id ...]" comment directive collected
+// by the parser. It suppresses static-analysis diagnostics reported on its
+// own line or on the line directly below (so a pragma can trail the
+// offending clause or sit on its own line above it). An empty IDs list
+// suppresses every lint on those lines.
+type Pragma struct {
+	Line int
+	IDs  []string
 }
 
 // Program is a parsed TD program: a rulebase plus the facts that form the
@@ -20,6 +32,14 @@ type Rule struct {
 type Program struct {
 	Rules []Rule
 	Facts []term.Atom
+
+	// FactPos holds the source position of each fact, parallel to Facts
+	// (empty for programmatically built programs).
+	FactPos []Pos
+
+	// Pragmas holds the tdvet:ignore directives found in comments, in
+	// source order. The analyzer consumes them; execution ignores them.
+	Pragmas []Pragma
 
 	// Queries holds the goals of "?- goal." directives, in source order.
 	// They are not part of the rulebase; runners execute them in sequence.
@@ -47,6 +67,30 @@ func predKey(pred string, arity int) predArity {
 	return predArity{pred: pred, arity: arity}
 }
 
+// factPos returns the source position of fact i, or the zero Pos when the
+// program was built without the parser.
+func (p *Program) factPos(i int) Pos {
+	if i < len(p.FactPos) {
+		return p.FactPos[i]
+	}
+	return Pos{}
+}
+
+// analyzeErr anchors a validation error at pos when the program carries
+// source positions, falling back to the clause-index phrasing that
+// programmatically built programs get (rule < 0 means a standalone goal or
+// a fact index depending on context).
+func analyzeErr(pos Pos, index int, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if pos.IsValid() {
+		return &PosError{Pos: pos, Msg: msg}
+	}
+	if index >= 0 {
+		return fmt.Errorf("clause %d: %s", index, msg)
+	}
+	return &PosError{Msg: msg}
+}
+
 // Analyze resolves parse-time ambiguity (call vs query), builds rule
 // indexes, and validates the program. It must be called once after
 // construction and before execution; the parser does this automatically.
@@ -63,7 +107,7 @@ func (p *Program) Analyze() error {
 	p.arities = make(map[string][]int)
 	for i, r := range p.Rules {
 		if IsBuiltinName(r.Head.Pred) {
-			return fmt.Errorf("rule %d: cannot define builtin predicate %s", i, r.Head.Pred)
+			return analyzeErr(r.Pos, i, "cannot define builtin predicate %s", r.Head.Pred)
 		}
 		k := predKey(r.Head.Pred, len(r.Head.Args))
 		p.derived[k] = true
@@ -71,13 +115,13 @@ func (p *Program) Analyze() error {
 	}
 	for i, f := range p.Facts {
 		if !f.IsGround() {
-			return fmt.Errorf("fact %d (%s): facts must be ground", i, f)
+			return analyzeErr(p.factPos(i), i, "fact %s must be ground", f)
 		}
 		if IsBuiltinName(f.Pred) {
-			return fmt.Errorf("fact %d: builtin predicate %s cannot be stored", i, f.Pred)
+			return analyzeErr(p.factPos(i), i, "builtin predicate %s cannot be stored", f.Pred)
 		}
 		if p.derived[predKey(f.Pred, len(f.Args))] {
-			return fmt.Errorf("fact %d: predicate %s is derived (has rules) and cannot appear as a fact", i, f.Pred)
+			return analyzeErr(p.factPos(i), i, "predicate %s is derived (has rules) and cannot appear as a fact", f.Pred)
 		}
 	}
 	var err error
@@ -144,17 +188,17 @@ func (p *Program) resolveGoal(g Goal, rule int, err *error) Goal {
 		switch g.Op {
 		case OpCall:
 			if IsBuiltinName(g.Atom.Pred) {
-				return &Builtin{Name: g.Atom.Pred, Args: g.Atom.Args}
+				return &Builtin{Name: g.Atom.Pred, Args: g.Atom.Args, Pos: g.Pos}
 			}
 			if !p.derived[k] {
-				return &Lit{Op: OpQuery, Atom: g.Atom}
+				return &Lit{Op: OpQuery, Atom: g.Atom, Pos: g.Pos}
 			}
 		case OpIns, OpDel:
 			if p.derived[k] {
-				*err = fmt.Errorf("rule %d: %s.%s: cannot update derived predicate", rule, g.Op, g.Atom)
+				*err = analyzeErr(g.Pos, rule, "%s.%s: cannot update derived predicate", g.Op, g.Atom)
 			}
 			if IsBuiltinName(g.Atom.Pred) {
-				*err = fmt.Errorf("rule %d: cannot update builtin predicate %s", rule, g.Atom.Pred)
+				*err = analyzeErr(g.Pos, rule, "cannot update builtin predicate %s", g.Atom.Pred)
 			}
 		}
 		return g

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
 	"repro/internal/obs"
@@ -74,6 +75,14 @@ type Options struct {
 	// offending path (enable Trace to populate it). The verification
 	// package uses this to check invariants over ALL reachable states.
 	Watch func(d *db.DB) error
+	// Vet runs the tdvet static analyzer (internal/analysis) over the
+	// program once, at construction time. Error-severity diagnostics
+	// (unsafe updates, recursion through '|', updates on derived
+	// predicates) make every Prove-family call fail immediately with the
+	// *analysis.VetError; the full report stays available through
+	// Diagnostics either way. The analysis runs only in New — nothing is
+	// added to the prove hot path.
+	Vet bool
 }
 
 // Default limits.
@@ -242,6 +251,11 @@ type Engine struct {
 	// built a fresh one (an observability instrument for the PR 2 pooling).
 	poolHits   atomic.Int64
 	poolMisses atomic.Int64
+	// vet holds the load-time analysis report when Options.Vet is on;
+	// vetErr is its error form when the report carries error-severity
+	// diagnostics, and fails every Prove-family call.
+	vet    *analysis.Report
+	vetErr error
 }
 
 // PoolStats reports how many searches reused the pooled scratch state vs
@@ -260,7 +274,12 @@ func New(prog *ast.Program, opts Options) *Engine {
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = DefaultMaxDepth
 	}
-	return &Engine{prog: prog, opts: opts, idx: compileClauses(prog)}
+	e := &Engine{prog: prog, opts: opts, idx: compileClauses(prog)}
+	if opts.Vet {
+		e.vet = analysis.Vet(prog)
+		e.vetErr = e.vet.Err()
+	}
+	return e
 }
 
 // DefaultOptions are the options used by convenience constructors: pruning
@@ -275,10 +294,26 @@ func NewDefault(prog *ast.Program) *Engine { return New(prog, DefaultOptions()) 
 // Program returns the engine's program.
 func (e *Engine) Program() *ast.Program { return e.prog }
 
+// VetReport returns the load-time analysis report, or nil when the engine
+// was built without Options.Vet.
+func (e *Engine) VetReport() *analysis.Report { return e.vet }
+
+// Diagnostics returns the load-time analysis diagnostics, or nil when the
+// engine was built without Options.Vet.
+func (e *Engine) Diagnostics() []analysis.Diagnostic {
+	if e.vet == nil {
+		return nil
+	}
+	return e.vet.Diags
+}
+
 // Prove searches for a successful execution of goal starting from d.
 // On success, d is left in the final state of the witness execution; on
 // failure (or error) d is rolled back to its initial state.
 func (e *Engine) Prove(goal ast.Goal, d *db.DB) (*Result, error) {
+	if e.vetErr != nil {
+		return nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, err
@@ -326,6 +361,9 @@ func (e *Engine) Prove(goal ast.Goal, d *db.DB) (*Result, error) {
 // exhausts the space without cutoffs. The step budget still bounds total
 // work across iterations.
 func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, error) {
+	if e.vetErr != nil {
+		return nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, err
@@ -388,6 +426,9 @@ func (e *Engine) ProveID(goal ast.Goal, d *db.DB, startDepth int) (*Result, erro
 // (max <= 0 means all). Each solution carries the answer bindings and a
 // clone of the final database. d itself is always rolled back.
 func (e *Engine) Solutions(goal ast.Goal, d *db.DB, max int) ([]Solution, *Result, error) {
+	if e.vetErr != nil {
+		return nil, nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, nil, err

@@ -23,6 +23,9 @@ import (
 // agree with Prove's up to the choice among successful executions. The
 // step budget is shared across workers.
 func (e *Engine) ProvePar(goal ast.Goal, d *db.DB, workers int) (*Result, error) {
+	if e.vetErr != nil {
+		return nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,9 @@ import (
 // at entry (changes from earlier ProveDelta calls on the same trail are
 // untouched).
 func (e *Engine) ProveDelta(goal ast.Goal, d *db.DB) (*Result, []db.Op, error) {
+	if e.vetErr != nil {
+		return nil, nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, nil, err
@@ -61,6 +64,9 @@ func (e *Engine) ProveDelta(goal ast.Goal, d *db.DB) (*Result, []db.Op, error) {
 // rolls d back afterwards. Unlike Solutions it does not clone final
 // database states, so it is the right shape for query serving.
 func (e *Engine) Enumerate(goal ast.Goal, d *db.DB, max int, emit func(map[string]term.Term) bool) (*Result, error) {
+	if e.vetErr != nil {
+		return nil, e.vetErr
+	}
 	goal, err := e.prog.ResolveGoal(goal)
 	if err != nil {
 		return nil, err

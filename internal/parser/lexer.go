@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/ast"
 )
 
 // tokKind enumerates lexical token kinds.
@@ -104,6 +106,10 @@ type lexer struct {
 	pos  int
 	line int
 	col  int
+
+	// pragmas collects "tdvet:ignore" comment directives as they are
+	// skipped; the parser copies them onto the Program for the analyzer.
+	pragmas []ast.Pragma
 }
 
 func newLexer(src string) *lexer {
@@ -146,14 +152,12 @@ func (lx *lexer) skipSpaceAndComments() {
 		switch {
 		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
 			lx.advance()
-		case c == '%':
+		case c == '%', c == '/' && lx.peekByteAt(1) == '/':
+			line, start := lx.line, lx.pos
 			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
 				lx.advance()
 			}
-		case c == '/' && lx.peekByteAt(1) == '/':
-			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
-				lx.advance()
-			}
+			lx.notePragma(lx.src[start:lx.pos], line)
 		case c == '/' && lx.peekByteAt(1) == '*':
 			lx.advance()
 			lx.advance()
@@ -169,6 +173,38 @@ func (lx *lexer) skipSpaceAndComments() {
 			return
 		}
 	}
+}
+
+// pragmaMarker introduces a lint-suppression directive inside a line
+// comment: "% tdvet:ignore" (all lints) or "% tdvet:ignore id ..." (the
+// named lints only). See ast.Pragma for the suppression scope.
+const pragmaMarker = "tdvet:ignore"
+
+// notePragma records a tdvet:ignore directive found in the comment text.
+func (lx *lexer) notePragma(comment string, line int) {
+	i := strings.Index(comment, pragmaMarker)
+	if i < 0 {
+		return
+	}
+	var ids []string
+	for _, f := range strings.Fields(comment[i+len(pragmaMarker):]) {
+		if !isLintID(f) {
+			break // prose after the directive, not a lint id
+		}
+		ids = append(ids, f)
+	}
+	lx.pragmas = append(lx.pragmas, ast.Pragma{Line: line, IDs: ids})
+}
+
+// isLintID matches analyzer lint identifiers: lowercase words with dashes.
+func isLintID(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-') {
+			return false
+		}
+	}
+	return len(s) > 0 && s[0] >= 'a' && s[0] <= 'z'
 }
 
 func isIdentStart(c byte) bool { return c >= 'a' && c <= 'z' }

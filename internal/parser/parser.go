@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
@@ -34,7 +35,12 @@ func Parse(src string) (*ast.Program, error) {
 		}
 	}
 	prog.VarHigh = p.nextVar
+	prog.Pragmas = p.lx.pragmas
 	if err := prog.Analyze(); err != nil {
+		var pe *ast.PosError
+		if errors.As(err, &pe) && pe.Pos.IsValid() {
+			return nil, &Error{Line: pe.Pos.Line, Col: pe.Pos.Col, Msg: pe.Msg}
+		}
 		return nil, err
 	}
 	return prog, nil
@@ -146,6 +152,7 @@ func (p *parser) statement(prog *ast.Program) error {
 		prog.Queries = append(prog.Queries, g)
 		return p.expect(tokDot)
 	}
+	headPos := ast.Pos{Line: p.tok.line, Col: p.tok.col}
 	head, err := p.atom()
 	if err != nil {
 		return err
@@ -153,9 +160,11 @@ func (p *parser) statement(prog *ast.Program) error {
 	switch p.tok.kind {
 	case tokDot:
 		if !head.IsGround() {
-			return p.errHere("fact %s must be ground", head)
+			return &Error{Line: headPos.Line, Col: headPos.Col,
+				Msg: fmt.Sprintf("fact %s must be ground", head)}
 		}
 		prog.Facts = append(prog.Facts, head)
+		prog.FactPos = append(prog.FactPos, headPos)
 		return p.advance()
 	case tokImplies:
 		if err := p.advance(); err != nil {
@@ -165,7 +174,7 @@ func (p *parser) statement(prog *ast.Program) error {
 		if err != nil {
 			return err
 		}
-		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body})
+		prog.Rules = append(prog.Rules, ast.Rule{Head: head, Body: body, Pos: headPos})
 		return p.expect(tokDot)
 	default:
 		return p.errHere("expected '.' or ':-' after %s, found %s", head, p.tok.kind)
@@ -218,8 +227,10 @@ func (p *parser) seqGoal() (ast.Goal, error) {
 	return ast.NewSeq(goals...), nil
 }
 
-// unary parses one operand of a composition.
+// unary parses one operand of a composition. Every atomic node it builds
+// carries the source position of its first token.
 func (p *parser) unary() (ast.Goal, error) {
+	pos := ast.Pos{Line: p.tok.line, Col: p.tok.col}
 	switch p.tok.kind {
 	case tokLParen:
 		if err := p.advance(); err != nil {
@@ -243,13 +254,13 @@ func (p *parser) unary() (ast.Goal, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Lit{Op: op, Atom: term.Atom{Pred: pred, Args: args}}, nil
+		return &ast.Lit{Op: op, Atom: term.Atom{Pred: pred, Args: args}, Pos: pos}, nil
 	case tokEmptyDot:
 		pred := p.tok.text
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		return &ast.Empty{Pred: pred}, nil
+		return &ast.Empty{Pred: pred, Pos: pos}, nil
 	case tokIdent:
 		if p.tok.text == "true" {
 			if err := p.advance(); err != nil {
@@ -276,7 +287,7 @@ func (p *parser) unary() (ast.Goal, error) {
 				if err := p.expect(tokRParen); err != nil {
 					return nil, err
 				}
-				return &ast.Iso{Body: body}, nil
+				return &ast.Iso{Body: body, Pos: pos}, nil
 			}
 		}
 		a, err := p.atom()
@@ -286,22 +297,23 @@ func (p *parser) unary() (ast.Goal, error) {
 		// A bare symbol followed by a comparison operator is the left side
 		// of an infix builtin: amt > 0 etc.
 		if p.tok.kind == tokOp && len(a.Args) == 0 {
-			return p.comparison(term.NewSym(a.Pred))
+			return p.comparison(term.NewSym(a.Pred), pos)
 		}
-		return &ast.Lit{Op: ast.OpCall, Atom: a}, nil
+		return &ast.Lit{Op: ast.OpCall, Atom: a, Pos: pos}, nil
 	case tokVar, tokInt, tokString:
 		left, err := p.simpleTerm()
 		if err != nil {
 			return nil, err
 		}
-		return p.comparison(left)
+		return p.comparison(left, pos)
 	default:
 		return nil, p.errHere("expected a goal, found %s", p.tok.kind)
 	}
 }
 
 // comparison parses `left OP right` where OP was looked up in the lexer.
-func (p *parser) comparison(left term.Term) (ast.Goal, error) {
+// pos is the position of the left operand, anchoring the whole comparison.
+func (p *parser) comparison(left term.Term, pos ast.Pos) (ast.Goal, error) {
 	if p.tok.kind != tokOp {
 		return nil, p.errHere("expected comparison operator after %s, found %s", left, p.tok.kind)
 	}
@@ -313,7 +325,7 @@ func (p *parser) comparison(left term.Term) (ast.Goal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.Builtin{Name: name, Args: []term.Term{left, right}}, nil
+	return &ast.Builtin{Name: name, Args: []term.Term{left, right}, Pos: pos}, nil
 }
 
 // atom := ident optionalArgs

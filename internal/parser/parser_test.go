@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -322,6 +323,92 @@ func TestErrorPositions(t *testing.T) {
 	}
 	if perr.Line != 2 {
 		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+
+	// Semantic errors in multi-line clause bodies must point at the
+	// offending literal, not the clause head (regression: Analyze-time
+	// errors used to carry no position at all).
+	_, err = Parse("r2 :- true.\nr :- q(a),\n    ins.r2.")
+	perr, ok = err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Line != 3 {
+		t.Errorf("derived-update error line = %d, want 3 (the ins.r2 literal)", perr.Line)
+	}
+	if perr.Col != 5 {
+		t.Errorf("derived-update error col = %d, want 5", perr.Col)
+	}
+
+	// Non-ground facts are reported at the fact's own head token.
+	_, err = Parse("p(a).\n\nq(X).")
+	perr, ok = err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Line != 3 || perr.Col != 1 {
+		t.Errorf("non-ground fact error at %d:%d, want 3:1", perr.Line, perr.Col)
+	}
+}
+
+func TestLiteralPositions(t *testing.T) {
+	prog, err := Parse("p(a).\nr(X) :- p(X),\n    del.p(X), X > 0.\n?- r(a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if r.Pos != (ast.Pos{Line: 2, Col: 1}) {
+		t.Errorf("rule head pos = %v, want 2:1", r.Pos)
+	}
+	if len(prog.FactPos) != 1 || prog.FactPos[0] != (ast.Pos{Line: 1, Col: 1}) {
+		t.Errorf("fact pos = %v, want [1:1]", prog.FactPos)
+	}
+	seq, ok := r.Body.(*ast.Seq)
+	if !ok {
+		t.Fatalf("body type %T", r.Body)
+	}
+	wants := []ast.Pos{{Line: 2, Col: 9}, {Line: 3, Col: 5}, {Line: 3, Col: 15}}
+	for i, g := range seq.Goals {
+		var got ast.Pos
+		switch g := g.(type) {
+		case *ast.Lit:
+			got = g.Pos
+		case *ast.Builtin:
+			got = g.Pos
+		default:
+			t.Fatalf("goal %d type %T", i, g)
+		}
+		if got != wants[i] {
+			t.Errorf("literal %d pos = %v, want %v", i, got, wants[i])
+		}
+	}
+}
+
+func TestPragmaCollection(t *testing.T) {
+	src := "p(a). % tdvet:ignore unused-pred\n" +
+		"% tdvet:ignore\n" +
+		"q(b).\n" +
+		"// tdvet:ignore safety dead-clause (trailing prose)\n" +
+		"% a plain comment\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ast.Pragma{
+		{Line: 1, IDs: []string{"unused-pred"}},
+		{Line: 2, IDs: nil},
+		{Line: 4, IDs: []string{"safety", "dead-clause"}},
+	}
+	if len(prog.Pragmas) != len(want) {
+		t.Fatalf("pragmas = %+v, want %+v", prog.Pragmas, want)
+	}
+	for i, pr := range prog.Pragmas {
+		if pr.Line != want[i].Line || !slices.Equal(pr.IDs, want[i].IDs) {
+			t.Errorf("pragma %d = %+v, want %+v", i, pr, want[i])
+		}
 	}
 }
 

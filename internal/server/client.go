@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/obs"
 )
 
@@ -184,4 +185,15 @@ func (c *Client) TraceDump() (*obs.Span, error) {
 		return nil, err
 	}
 	return resp.Trace, nil
+}
+
+// Vet statically analyzes a program server-side without loading it,
+// returning the tdvet diagnostics and the program's fragment
+// classification. A parse failure is returned as a CodeParse *Error.
+func (c *Client) Vet(program string) ([]analysis.Diagnostic, string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpVet, Program: program})
+	if err != nil {
+		return nil, "", err
+	}
+	return resp.Diagnostics, resp.Fragment, nil
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,7 @@ const (
 	OpStats  = "STATS"  // server counters
 	OpPing   = "PING"   // liveness
 	OpTrace  = "TRACE"  // toggle execution tracing / dump the last span tree
+	OpVet    = "VET"    // statically analyze a program without loading it
 )
 
 // Error codes carried in Response.Code.
@@ -47,6 +49,7 @@ const (
 	CodeBusy       = "busy"        // admission control rejected the session
 	CodeShutdown   = "shutdown"    // server is shutting down
 	CodeInternal   = "internal"    // unexpected server-side failure
+	CodeVet        = "vet"         // static analysis rejected the program
 )
 
 // Request is one client frame.
@@ -80,6 +83,11 @@ type Response struct {
 	// Trace answers TRACE dump: the span tree of the session's most
 	// recent successfully proved goal.
 	Trace *obs.Span `json:"trace,omitempty"`
+	// Diagnostics answers VET, and accompanies a LOAD rejected with
+	// CodeVet: the static-analysis findings for the submitted program.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+	// Fragment is the paper-fragment classification reported by VET.
+	Fragment string `json:"fragment,omitempty"`
 }
 
 // Frame format: a 4-byte big-endian payload length followed by a JSON

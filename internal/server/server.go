@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
 	"repro/internal/obs"
@@ -63,6 +64,11 @@ type Options struct {
 	TraceSink obs.Sink
 	// Logger receives slow-transaction reports. Default slog.Default().
 	Logger *slog.Logger
+	// NoVet disables load-time static analysis of uploaded programs. By
+	// default LOAD rejects programs whose tdvet report carries
+	// error-severity diagnostics (unsafe updates, recursion through '|');
+	// the VET verb works either way.
+	NoVet bool
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +139,11 @@ func New(opts Options) (*Server, error) {
 	prog, err := parser.Parse(opts.Program)
 	if err != nil {
 		return nil, fmt.Errorf("server: initial program: %w", err)
+	}
+	if !opts.NoVet {
+		if verr := analysis.Vet(prog).Err(); verr != nil {
+			return nil, fmt.Errorf("server: initial program: %w", verr)
+		}
 	}
 	s := &Server{
 		opts:     opts,
@@ -531,6 +542,7 @@ func (s *Server) Stats() StatsSnapshot {
 		DBScans:            s.stats.dbScans.Load(),
 		DBOrderRebuilds:    s.stats.dbRebuilds.Load(),
 		DeltaOps:           s.stats.deltaOps.Load(),
+		VetRejects:         s.stats.vetRejects.Load(),
 	}
 	if stale, rw := s.stats.conflictStale.Load(), s.stats.conflictRW.Load(); stale > 0 || rw > 0 {
 		snap.ConflictCauses = map[string]int64{}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
 	"repro/internal/engine"
@@ -129,6 +130,8 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleQuery(req)
 	case OpTrace:
 		return sess.handleTrace(req)
+	case OpVet:
+		return sess.handleVet(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -148,6 +151,16 @@ func (sess *session) handleLoad(req *Request) *Response {
 	for _, f := range prog.Facts {
 		if !f.IsGround() {
 			return fail(CodeParse, "fact %s is not ground", f)
+		}
+	}
+	if !sess.srv.opts.NoVet {
+		rep := analysis.Vet(prog)
+		if rep.Err() != nil {
+			sess.srv.stats.vetRejects.Add(1)
+			resp := fail(CodeVet, "program rejected by static analysis: %v", rep.Err())
+			resp.Diagnostics = rep.Diags
+			resp.Fragment = rep.Fragment
+			return resp
 		}
 	}
 	sess.prog = prog
@@ -437,6 +450,18 @@ func (sess *session) handleQuery(req *Request) *Response {
 		return fail(CodeInternal, "%v", err)
 	}
 	return &Response{OK: true, Solutions: sols}
+}
+
+// handleVet statically analyzes a program without installing it: the
+// server-side twin of the tdvet CLI, returning the same diagnostics for
+// the same source. It never touches the session's loaded program or the
+// shared database.
+func (sess *session) handleVet(req *Request) *Response {
+	rep, err := analysis.VetSource(req.Program)
+	if err != nil {
+		return fail(CodeParse, "program: %v", err)
+	}
+	return &Response{OK: true, Diagnostics: rep.Diags, Fragment: rep.Fragment}
 }
 
 // handleTrace toggles session-level tracing or dumps the span tree of the

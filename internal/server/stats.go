@@ -28,6 +28,7 @@ type serverStats struct {
 	budgetHits    atomic.Int64 // step/time budget exhaustions
 	slowTxns      atomic.Int64 // goals slower than Options.SlowTxn
 	fsyncs        atomic.Int64 // WAL fsyncs performed at commit
+	vetRejects    atomic.Int64 // LOADs refused by static analysis
 
 	// Engine and database work, aggregated per served goal.
 	engineSteps atomic.Int64
@@ -45,7 +46,7 @@ type serverStats struct {
 }
 
 // statVerbs is the fixed set of per-verb latency series.
-var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace}
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet}
 
 // init creates the histograms and registers every instrument with reg.
 func (st *serverStats) init(reg *obs.Registry) {
@@ -75,6 +76,7 @@ func (st *serverStats) init(reg *obs.Registry) {
 	cf("td_budget_hits_total", "step/time budget exhaustions", &st.budgetHits)
 	cf("td_slow_txns_total", "goals slower than the slow-transaction threshold", &st.slowTxns)
 	cf("td_fsyncs_total", "WAL fsyncs performed at commit", &st.fsyncs)
+	cf("td_vet_rejections_total", "programs refused at LOAD by static analysis", &st.vetRejects)
 	cf("td_engine_steps_total", "derivation steps across served goals", &st.engineSteps)
 	cf("td_engine_unifications_total", "head-unification attempts across served goals", &st.engineUnifs)
 	cf("td_engine_table_hits_total", "failure-table prunings across served goals", &st.engineTable)
@@ -130,4 +132,7 @@ type StatsSnapshot struct {
 	DBScans            int64            `json:"db_scans,omitempty"`
 	DBOrderRebuilds    int64            `json:"db_order_rebuilds,omitempty"`
 	DeltaOps           int64            `json:"delta_ops,omitempty"`
+
+	// Added with the static analyzer (PR 4).
+	VetRejects int64 `json:"vet_rejects,omitempty"`
 }

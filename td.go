@@ -37,6 +37,7 @@
 package td
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
 	"repro/internal/engine"
@@ -90,6 +91,21 @@ type (
 	Fragment = fragments.Fragment
 	// SafetyIssue is a static safety warning.
 	SafetyIssue = ast.SafetyIssue
+	// Diagnostic is one tdvet static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// VetReport is the full result of vetting a program.
+	VetReport = analysis.Report
+	// VetError is the error form of a report with error-severity findings.
+	VetError = analysis.VetError
+	// Severity ranks diagnostics (SevInfo, SevWarning, SevError).
+	Severity = analysis.Severity
+)
+
+// Diagnostic severities.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
 )
 
 // Fragment labels, from most to least restricted.
@@ -204,6 +220,16 @@ func ClassifyGoal(p *Program, g Goal) FragmentReport { return fragments.AnalyzeG
 // CheckSafety statically flags updates and builtins that may execute with
 // unbound variables.
 func CheckSafety(p *Program) []SafetyIssue { return ast.CheckSafety(p) }
+
+// Vet runs the tdvet static analyzer: position-aware, clause- and
+// literal-granular lints (safety, recursion through '|', dead clauses,
+// never-committing bodies, ...) plus the fragment classification. Use
+// EngineOptions.Vet to make an engine reject error-severity programs at
+// load time.
+func Vet(p *Program) *VetReport { return analysis.Vet(p) }
+
+// VetSource parses src and vets the program.
+func VetSource(src string) (*VetReport, error) { return analysis.VetSource(src) }
 
 // Run is the one-shot convenience: parse src, build the database from its
 // facts, prove goal, and return the result together with the final
