@@ -11,6 +11,7 @@ package td_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -286,28 +287,41 @@ func BenchmarkProveVsParWide(b *testing.B) {
 // reports commits/sec and the conflict rate (validation losses per commit)
 // alongside the usual ns/op.
 func BenchmarkServerThroughput(b *testing.B) {
-	const accounts = 8
-	var sb strings.Builder
-	for i := 0; i < accounts; i++ {
-		fmt.Fprintf(&sb, "account(acct%d, 100).\n", i)
-	}
-	sb.WriteString(`
-withdraw(Amt, A) :- account(A, B), B >= Amt, del.account(A, B),
-                    sub(B, Amt, C), ins.account(A, C).
-deposit(Amt, A)  :- account(A, B), del.account(A, B),
-                    add(B, Amt, C), ins.account(A, C).
-transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
-`)
-	benchServerThroughput(b, sb.String(), accounts, td.ServerOptions{})
+	benchServerThroughput(b, benchBankAccounts, func(b *testing.B) td.ServerOptions {
+		return td.ServerOptions{}
+	})
 }
 
 // BenchmarkServerThroughputTraced is BenchmarkServerThroughput with
 // server-side tracing forced on and every transaction's span tree emitted
 // to a ring sink — the full-observability cost of the service path.
 func BenchmarkServerThroughputTraced(b *testing.B) {
-	const accounts = 8
+	benchServerThroughput(b, benchBankAccounts, func(b *testing.B) td.ServerOptions {
+		return td.ServerOptions{Trace: true, TraceSink: obs.NewRingSink(64)}
+	})
+}
+
+// BenchmarkServerThroughputDurable is BenchmarkServerThroughput with a real
+// snapshot + WAL and an fsync per acknowledged commit — the configuration
+// the group-commit pipeline exists for. Each sub-benchmark gets fresh store
+// files. The fsync floor dominates ns/op here; the number to watch is
+// commits/sec scaling with the client count.
+func BenchmarkServerThroughputDurable(b *testing.B) {
+	benchServerThroughput(b, benchBankAccounts, func(b *testing.B) td.ServerOptions {
+		dir := b.TempDir()
+		return td.ServerOptions{
+			SnapshotPath: filepath.Join(dir, "td.snap"),
+			WALPath:      filepath.Join(dir, "td.wal"),
+		}
+	})
+}
+
+const benchBankAccounts = 8
+
+// benchBankProgram builds the contended-bank rulebase with n seed accounts.
+func benchBankProgram(n int) string {
 	var sb strings.Builder
-	for i := 0; i < accounts; i++ {
+	for i := 0; i < n; i++ {
 		fmt.Fprintf(&sb, "account(acct%d, 100).\n", i)
 	}
 	sb.WriteString(`
@@ -317,14 +331,15 @@ deposit(Amt, A)  :- account(A, B), del.account(A, B),
                     add(B, Amt, C), ins.account(A, C).
 transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).
 `)
-	benchServerThroughput(b, sb.String(), accounts,
-		td.ServerOptions{Trace: true, TraceSink: obs.NewRingSink(64)})
+	return sb.String()
 }
 
-func benchServerThroughput(b *testing.B, program string, accounts int, opts td.ServerOptions) {
-	opts.Program = program
+func benchServerThroughput(b *testing.B, accounts int, mkOpts func(b *testing.B) td.ServerOptions) {
+	program := benchBankProgram(accounts)
 	for _, clients := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			opts := mkOpts(b)
+			opts.Program = program
 			srv, err := td.NewServer(opts)
 			if err != nil {
 				b.Fatal(err)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson [-label post] [-merge old.json]
+//	go run ./cmd/benchjson -compare [-threshold 10] old.json new.json
 //
 // Each benchmark line becomes an object keyed by benchmark name with
 // ns_per_op, bytes_per_op, allocs_per_op, iterations, and any extra custom
@@ -11,6 +12,12 @@
 // labels are preserved and this run is added (or replaced) under -label:
 // that is how BENCH_PR2.json keeps a frozen "baseline" section next to the
 // current "post" numbers.
+//
+// With -compare, two committed documents are diffed instead: every
+// benchmark under every label the two share gets a ns/op delta line, and
+// the command exits 1 if any regressed by more than -threshold percent —
+// wired as `make bench-compare` so a perf PR can gate on its predecessor's
+// committed numbers.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,7 +43,13 @@ type benchResult struct {
 func main() {
 	label := flag.String("label", "post", "top-level key to store this run under")
 	merge := flag.String("merge", "", "existing JSON document to merge into (other labels kept)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: -compare old.json new.json")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 
 	results, meta := parseBench(os.Stdin)
 	if len(results) == 0 {
@@ -66,6 +80,77 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+// benchDoc is the committed JSON document shape: label -> run.
+type benchDoc map[string]struct {
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// runCompare diffs ns/op between two committed documents across every
+// (label, benchmark) pair they share. Returns the process exit code:
+// 0 clean, 1 when any shared benchmark regressed past the threshold,
+// 2 on usage or file errors.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold pct] old.json new.json")
+		return 2
+	}
+	docs := make([]benchDoc, 2)
+	for i, path := range args {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		if err := json.Unmarshal(raw, &docs[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	old, cur := docs[0], docs[1]
+
+	var labels []string
+	for label := range old {
+		if _, ok := cur[label]; ok {
+			labels = append(labels, label)
+		}
+	}
+	sort.Strings(labels)
+
+	shared, regressed := 0, 0
+	for _, label := range labels {
+		var names []string
+		for name, o := range old[label].Benchmarks {
+			if _, ok := cur[label].Benchmarks[name]; ok && o.NsPerOp > 0 {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			o := old[label].Benchmarks[name]
+			n := cur[label].Benchmarks[name]
+			delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressed++
+			}
+			fmt.Printf("%-14s %-50s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
+				label, name, o.NsPerOp, n.NsPerOp, delta, mark)
+			shared++
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: the two documents share no benchmarks")
+		return 2
+	}
+	if regressed > 0 {
+		fmt.Printf("%d of %d shared benchmarks regressed more than %.0f%%\n", regressed, shared, threshold)
+		return 1
+	}
+	fmt.Printf("no regression beyond %.0f%% across %d shared benchmarks\n", threshold, shared)
+	return 0
 }
 
 // parseBench reads go-test benchmark output, returning results keyed by

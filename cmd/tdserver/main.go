@@ -150,6 +150,8 @@ func serveCmd(args []string) error {
 		goalTime    = fs.Duration("goal-time", 0, "per-goal wall-clock budget (0 = default)")
 		idle        = fs.Duration("idle", 0, "per-connection idle timeout (0 = default)")
 		nosync      = fs.Bool("nosync", false, "skip fsync on commit (throughput over durability)")
+		maxBatch    = fs.Int("commit.maxbatch", 0, "max commits per group-commit fsync batch (0 = default)")
+		maxDelay    = fs.Duration("commit.maxdelay", 0, "how long the flusher waits for more committers before fsyncing (0 = fsync immediately)")
 		obsAddr     = fs.String("obs.addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 		obsSlow     = fs.Duration("obs.slowtxn", 0, "log the span tree of any goal slower than this (0 = off)")
 		obsTrace    = fs.Bool("obs.trace", false, "trace every session's goals (TRACE dump works without opting in)")
@@ -164,16 +166,18 @@ func serveCmd(args []string) error {
 	defer stopProf()
 
 	opts := td.ServerOptions{
-		SnapshotPath: *snap,
-		WALPath:      *wal,
-		MaxSessions:  *maxSessions,
-		MaxSteps:     *maxSteps,
-		MaxGoalTime:  *goalTime,
-		IdleTimeout:  *idle,
-		NoSync:       *nosync,
-		Trace:        *obsTrace,
-		SlowTxn:      *obsSlow,
-		Logger:       slog.Default(),
+		SnapshotPath:   *snap,
+		WALPath:        *wal,
+		MaxSessions:    *maxSessions,
+		MaxSteps:       *maxSteps,
+		MaxGoalTime:    *goalTime,
+		IdleTimeout:    *idle,
+		NoSync:         *nosync,
+		CommitMaxBatch: *maxBatch,
+		CommitMaxDelay: *maxDelay,
+		Trace:          *obsTrace,
+		SlowTxn:        *obsSlow,
+		Logger:         slog.Default(),
 	}
 	if *obsJSONL != "" {
 		sink, err := obs.OpenJSONL(*obsJSONL)

@@ -130,6 +130,10 @@ type relation struct {
 	// deterministic (term-compare) order.
 	order  [][]term.Term
 	sorted bool
+	// free recycles the last emptied index bucket. Delete-then-reinsert
+	// churn on a single-row bucket (the transactional update idiom) would
+	// otherwise allocate a bucket and its map on every round trip.
+	free *ibucket
 	// seedLo/seedHi are the fingerprint prefix hashes of (pred, arity),
 	// computed once so per-tuple hashing only folds the argument codes.
 	seedLo uint64
@@ -349,6 +353,7 @@ func (d *DB) removeRow(r *relation, key string, stored []term.Term) {
 			b.order = nil
 			if len(b.rows) == 0 {
 				delete(r.index, c)
+				r.free = b
 			}
 		}
 	}
@@ -365,7 +370,11 @@ func (d *DB) addRow(r *relation, key string, stored []term.Term) {
 		c := stored[0].Code()
 		b := r.index[c]
 		if b == nil {
-			b = &ibucket{rows: make(map[string][]term.Term)}
+			if b = r.free; b != nil {
+				r.free = nil
+			} else {
+				b = &ibucket{rows: make(map[string][]term.Term)}
+			}
 			r.index[c] = b
 		}
 		b.rows[key] = stored
@@ -693,10 +702,27 @@ type Op struct {
 	Insert bool // false = delete
 	Pred   string
 	Row    []term.Term
+
+	// storeKey caches the in-memory storage key (term.AppendKey codes, valid
+	// only within this process) when the op was extracted from an undo trail,
+	// which already materialized it. Empty for hand-built ops. A non-empty
+	// storeKey also marks Row as an immutably-stored row that Apply may
+	// share instead of copying. NOT the canonical portable key — see Key.
+	storeKey string
+	// canon memoizes Key: a commit needs each op's canonical key three
+	// times (conflict keys, frozen view, WAL record).
+	canon string
 }
 
-// Key returns the canonical tuple key of the op's row (term.KeyOf).
-func (o Op) Key() string { return term.KeyOf(o.Row) }
+// Key returns the canonical tuple key of the op's row (term.KeyOf) — the
+// portable encoding used by the WAL and the snapshot, not the interned
+// in-memory storage key.
+func (o *Op) Key() string {
+	if o.canon == "" {
+		o.canon = term.KeyOf(o.Row)
+	}
+	return o.canon
+}
 
 func (o Op) String() string {
 	verb := "del"
@@ -716,21 +742,54 @@ func (d *DB) DeltaSince(mark int) []Op {
 	}
 	out := make([]Op, 0, len(d.trail)-mark)
 	for _, c := range d.trail[mark:] {
-		out = append(out, Op{Insert: c.insert, Pred: c.rel.pred, Row: c.row})
+		out = append(out, Op{Insert: c.insert, Pred: c.rel.pred, Row: c.row, storeKey: c.key})
 	}
 	return out
 }
 
 // Apply performs ops in order (through the trail, so the batch can still be
-// undone from a prior Mark).
+// undone from a prior Mark). Ops carrying a cached storage key (i.e.
+// extracted by DeltaSince) take an allocation-free path: the stored row and
+// its key are shared, not copied — stored rows are immutable everywhere, so
+// sharing them across replicas is safe. This is the replica catch-up hot
+// path: with N concurrent committers every commit replays the other N-1
+// write sets.
 func (d *DB) Apply(ops []Op) {
-	for _, o := range ops {
-		if o.Insert {
-			d.Insert(o.Pred, o.Row)
-		} else {
-			d.Delete(o.Pred, o.Row)
-		}
+	for i := range ops {
+		d.ApplyOne(&ops[i])
 	}
+}
+
+// ApplyOne performs a single op through the trail, reporting whether the
+// database changed (set semantics make repeats no-ops).
+func (d *DB) ApplyOne(o *Op) bool {
+	if o.storeKey == "" {
+		if o.Insert {
+			return d.Insert(o.Pred, o.Row)
+		}
+		return d.Delete(o.Pred, o.Row)
+	}
+	d.cnt.Lookups++
+	if o.Insert {
+		r := d.rel(o.Pred, len(o.Row), true)
+		if _, ok := r.rows[o.storeKey]; ok {
+			return false
+		}
+		d.addRow(r, o.storeKey, o.Row)
+		d.trail = append(d.trail, change{rel: r, key: o.storeKey, row: o.Row, insert: true})
+		return true
+	}
+	r := d.rel(o.Pred, len(o.Row), false)
+	if r == nil {
+		return false
+	}
+	tr, ok := r.rows[o.storeKey]
+	if !ok {
+		return false
+	}
+	d.removeRow(r, tr.key, tr.row)
+	d.trail = append(d.trail, change{rel: r, key: tr.key, row: tr.row, insert: false})
+	return true
 }
 
 // Atoms returns every tuple as a ground atom, sorted.

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package db
+
+import "os"
+
+// fdatasync falls back to a full fsync where the data-only variant is not
+// available.
+func fdatasync(f *os.File) error { return f.Sync() }

@@ -40,13 +40,26 @@ const (
 var ErrCorrupt = errors.New("db: corrupt persistent file")
 
 // WAL is an append-only operation log. Its methods are safe for concurrent
-// use: appends from multiple goroutines are serialized by an internal
-// mutex (the bufio.Writer underneath is not itself thread-safe).
+// use.
+//
+// Appending and syncing are deliberately split: Append buffers a record and
+// returns its end offset (a byte LSN), Sync makes everything appended so
+// far durable in one write+fsync. A group committer can therefore batch
+// many appends under a single fsync and acknowledge every commit whose LSN
+// the sync covered. The two sides are double-buffered: Sync swaps the
+// append buffer out under the short buffer mutex and performs the write
+// and fsync holding only the sync mutex, so appends (which sit on the
+// server's commit critical section) never wait behind an in-flight fsync.
 type WAL struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	len int64
+	mu      sync.Mutex // guards buf/scratch/len/synced/err
+	f       *os.File
+	buf     []byte // records appended since the last buffer swap
+	scratch []byte // spare buffer recycled by Sync
+	len     int64  // total appended bytes (file + buf)
+	synced  int64  // durable through this offset
+	err     error  // sticky write failure: the log is broken past synced
+
+	syncMu sync.Mutex // serializes write+fsync; never blocks Append
 }
 
 // OpenWAL opens (creating if needed) the log at path and positions for
@@ -78,34 +91,76 @@ func OpenWAL(path string) (*WAL, error) {
 		return nil, err
 	}
 	size, _ := f.Seek(0, io.SeekCurrent)
-	return &WAL{f: f, w: bufio.NewWriter(f), len: size}, nil
+	return &WAL{f: f, len: size, synced: size}, nil
 }
 
-// Append writes one operation record. insert=false means delete.
-func (w *WAL) Append(insert bool, pred string, arity int, key string) error {
+// Append buffers one operation record and returns the log length after it —
+// the record's byte LSN. insert=false means delete. The record is not
+// durable until a Sync whose returned offset reaches the LSN.
+func (w *WAL) Append(insert bool, pred string, arity int, key string) (int64, error) {
 	rec := encodeRecord(insert, pred, arity, key)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n, err := w.w.Write(rec)
-	w.len += int64(n)
-	return err
+	if w.err != nil {
+		return w.len, w.err
+	}
+	w.buf = append(w.buf, rec...)
+	w.len += int64(len(rec))
+	return w.len, nil
 }
 
-// Sync flushes buffered records and fsyncs the file.
-func (w *WAL) Sync() error {
+// Sync writes buffered records to the file and fsyncs it, returning the
+// byte offset the log is now durable through: every record whose Append
+// LSN is at or below it survived. Appends proceed concurrently — only the
+// buffer swap takes the append mutex; the write and fsync do not.
+func (w *WAL) Sync() (int64, error) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.err != nil {
+		defer w.mu.Unlock()
+		return w.synced, w.err
+	}
+	target := w.len
+	data := w.buf
+	w.buf = w.scratch[:0]
+	w.scratch = nil
+	w.mu.Unlock()
+
+	var err error
+	if len(data) > 0 {
+		_, err = w.f.Write(data)
+	}
+	if err == nil {
+		err = fdatasync(w.f)
+	}
+
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
+	if err != nil {
+		// A partial write may have torn the tail; the log is unusable past
+		// the last full sync. Poison it rather than risk interleaving
+		// later appends after the gap.
+		w.err = err
+		return w.synced, err
 	}
-	return w.f.Sync()
+	w.scratch = data[:0]
+	if target > w.synced {
+		w.synced = target
+	}
+	return w.synced, nil
+}
+
+// Synced returns the byte offset the log is known durable through.
+func (w *WAL) Synced() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.synced
 }
 
 // Close flushes and closes the log.
 func (w *WAL) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
+	if _, err := w.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}
@@ -144,26 +199,29 @@ type record struct {
 }
 
 // readRecords decodes records until EOF or the first torn/corrupt record
-// (which is silently treated as the end of the usable log).
-func readRecords(r *bufio.Reader) []record {
+// (which is silently treated as the end of the usable log). The second
+// result is the byte length of the valid prefix read.
+func readRecords(r *bufio.Reader) ([]record, int64) {
 	var out []record
+	var n int64
 	for {
-		rec, ok := readOne(r)
+		rec, size, ok := readOne(r)
 		if !ok {
-			return out
+			return out, n
 		}
 		out = append(out, rec)
+		n += size
 	}
 }
 
-func readOne(r *bufio.Reader) (record, bool) {
+func readOne(r *bufio.Reader) (record, int64, bool) {
 	var raw []byte
 	op, err := r.ReadByte()
 	if err != nil {
-		return record{}, false
+		return record{}, 0, false
 	}
 	if op != 'I' && op != 'D' {
-		return record{}, false
+		return record{}, 0, false
 	}
 	raw = append(raw, op)
 	readU := func() (uint64, bool) {
@@ -183,32 +241,32 @@ func readOne(r *bufio.Reader) (record, bool) {
 	}
 	predLen, ok := readU()
 	if !ok {
-		return record{}, false
+		return record{}, 0, false
 	}
 	pred, ok := readN(predLen)
 	if !ok {
-		return record{}, false
+		return record{}, 0, false
 	}
 	arity, ok := readU()
 	if !ok {
-		return record{}, false
+		return record{}, 0, false
 	}
 	keyLen, ok := readU()
 	if !ok {
-		return record{}, false
+		return record{}, 0, false
 	}
 	key, ok := readN(keyLen)
 	if !ok {
-		return record{}, false
+		return record{}, 0, false
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-		return record{}, false
+		return record{}, 0, false
 	}
 	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(raw) {
-		return record{}, false
+		return record{}, 0, false
 	}
-	return record{insert: op == 'I', pred: pred, arity: int(arity), key: key}, true
+	return record{insert: op == 'I', pred: pred, arity: int(arity), key: key}, int64(len(raw)) + 4, true
 }
 
 // teeReader lets ReadUvarint consume bytes while recording them for the CRC.
@@ -273,7 +331,8 @@ func ReadSnapshot(path string, opts ...Option) (*DB, error) {
 		return nil, fmt.Errorf("%w: %s is not a TD snapshot", ErrCorrupt, path)
 	}
 	d := New(opts...)
-	if err := applyRecords(d, readRecords(r)); err != nil {
+	recs, _ := readRecords(r)
+	if err := applyRecords(d, recs); err != nil {
 		return nil, err
 	}
 	d.ResetTrail()
@@ -283,28 +342,36 @@ func ReadSnapshot(path string, opts ...Option) (*DB, error) {
 // ReplayWAL applies the operations logged at path on top of d. It returns
 // the number of records applied; a torn tail is ignored.
 func ReplayWAL(d *DB, path string) (int, error) {
+	n, _, err := replayWAL(d, path)
+	return n, err
+}
+
+// replayWAL is ReplayWAL plus the byte length of the valid log prefix
+// (including the magic header), so recovery can truncate a torn tail
+// before appending new records after it.
+func replayWAL(d *DB, path string) (int, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
 	hdr := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil // empty/truncated log: nothing to replay
+			return 0, 0, nil // empty/truncated log: nothing to replay
 		}
-		return 0, err
+		return 0, 0, err
 	}
 	if string(hdr) != walMagic {
-		return 0, fmt.Errorf("%w: %s is not a TD WAL", ErrCorrupt, path)
+		return 0, 0, fmt.Errorf("%w: %s is not a TD WAL", ErrCorrupt, path)
 	}
-	recs := readRecords(r)
+	recs, bytes := readRecords(r)
 	if err := applyRecords(d, recs); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	d.ResetTrail()
-	return len(recs), nil
+	return len(recs), int64(len(walMagic)) + bytes, nil
 }
 
 func applyRecords(d *DB, recs []record) error {
@@ -335,6 +402,7 @@ type Store struct {
 	snapPath string
 	walPath  string
 	wal      *WAL
+	syncHook func() error // test-only fault injection; see SetSyncHook
 }
 
 // OpenStore recovers (or initializes) a persistent database: load the
@@ -350,9 +418,19 @@ func OpenStore(snapPath, walPath string, opts ...Option) (*Store, error) {
 	} else {
 		d = New(opts...)
 	}
-	if _, err := os.Stat(walPath); err == nil {
-		if _, err := ReplayWAL(d, walPath); err != nil {
+	if info, err := os.Stat(walPath); err == nil {
+		_, valid, err := replayWAL(d, walPath)
+		if err != nil {
 			return nil, err
+		}
+		// A crash mid-flush can leave a torn record at the tail. Replay
+		// stopped before it; truncate so records appended from now on land
+		// directly after the valid prefix instead of behind unreadable
+		// garbage (which the next replay would stop at, losing them).
+		if valid > 0 && valid < info.Size() {
+			if err := os.Truncate(walPath, valid); err != nil {
+				return nil, err
+			}
 		}
 	}
 	wal, err := OpenWAL(walPath)
@@ -370,7 +448,8 @@ func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
 		return false, nil
 	}
 	s.DB.ResetTrail()
-	return true, s.wal.Append(true, pred, len(row), term.KeyOf(row))
+	_, err := s.wal.Append(true, pred, len(row), term.KeyOf(row))
+	return true, err
 }
 
 // Delete deletes and logs a tuple; no-ops are not logged.
@@ -381,40 +460,72 @@ func (s *Store) Delete(pred string, row []term.Term) (bool, error) {
 		return false, nil
 	}
 	s.DB.ResetTrail()
-	return true, s.wal.Append(false, pred, len(row), term.KeyOf(row))
+	_, err := s.wal.Append(false, pred, len(row), term.KeyOf(row))
+	return true, err
 }
 
 // ApplyOps applies and logs a batch of operations as one unit, holding the
 // store lock for the whole batch so no other appender interleaves with it.
-// Per-op no-ops (set semantics) are not logged. It does not sync; call
-// Commit to make the batch durable.
-func (s *Store) ApplyOps(ops []Op) error {
+// Per-op no-ops (set semantics) are not logged. It does not sync; the
+// returned byte LSN is the WAL length after the batch — the batch is
+// durable once a Sync covers it (or after Commit).
+func (s *Store) ApplyOps(ops []Op) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, o := range ops {
-		var changed bool
-		if o.Insert {
-			changed = s.DB.Insert(o.Pred, o.Row)
-		} else {
-			changed = s.DB.Delete(o.Pred, o.Row)
-		}
-		if !changed {
+	lsn := s.wal.Size()
+	for i := range ops {
+		o := &ops[i]
+		if !s.DB.ApplyOne(o) {
 			continue
 		}
-		if err := s.wal.Append(o.Insert, o.Pred, len(o.Row), o.Key()); err != nil {
+		end, err := s.wal.Append(o.Insert, o.Pred, len(o.Row), o.Key())
+		if err != nil {
 			s.DB.ResetTrail()
-			return err
+			return lsn, err
 		}
+		lsn = end
 	}
 	s.DB.ResetTrail()
-	return nil
+	return lsn, nil
+}
+
+// Sync makes all logged operations durable (flush + fsync), returning the
+// byte LSN the WAL is now durable through. It deliberately does NOT hold
+// the store mutex across the fsync: ApplyOps (the commit critical section)
+// must never queue behind an in-flight sync.
+func (s *Store) Sync() (int64, error) {
+	s.mu.Lock()
+	hook := s.syncHook
+	s.mu.Unlock()
+	if hook != nil {
+		if err := hook(); err != nil {
+			return s.wal.Synced(), err
+		}
+	}
+	return s.wal.Sync()
+}
+
+// SyncedLSN returns the byte offset the WAL is known durable through.
+func (s *Store) SyncedLSN() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Synced()
+}
+
+// SetSyncHook installs a fault-injection hook, called before every Sync
+// and Commit; a non-nil error is returned instead of syncing, leaving the
+// buffered WAL tail unflushed — a crashed disk, as far as callers can
+// tell. Testing only.
+func (s *Store) SetSyncHook(h func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncHook = h
 }
 
 // Commit makes all logged operations durable (flush + fsync).
 func (s *Store) Commit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.wal.Sync()
+	_, err := s.Sync()
+	return err
 }
 
 // WALSize returns the WAL length in bytes, including buffered data.
@@ -428,7 +539,7 @@ func (s *Store) WALSize() int64 {
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.wal.Sync(); err != nil {
+	if _, err := s.wal.Sync(); err != nil {
 		return err
 	}
 	if err := WriteSnapshot(s.DB, s.snapPath); err != nil {
@@ -452,7 +563,7 @@ func (s *Store) Checkpoint() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.wal.Sync(); err != nil {
+	if _, err := s.wal.Sync(); err != nil {
 		s.wal.Close()
 		return err
 	}

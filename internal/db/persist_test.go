@@ -136,7 +136,7 @@ func TestWALAppendReplay(t *testing.T) {
 		{true, "q", []term.Term{term.NewInt(1), term.NewInt(2)}},
 	}
 	for _, op := range ops {
-		if err := w.Append(op.insert, op.pred, len(op.row), term.KeyOf(op.row)); err != nil {
+		if _, err := w.Append(op.insert, op.pred, len(op.row), term.KeyOf(op.row)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -163,7 +163,7 @@ func TestWALTornTailIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := w.Append(true, "p", 1, term.KeyOf([]term.Term{term.NewInt(int64(i))})); err != nil {
+		if _, err := w.Append(true, "p", 1, term.KeyOf([]term.Term{term.NewInt(int64(i))})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -398,7 +398,7 @@ func TestStoreConcurrentHammer(t *testing.T) {
 						{Insert: true, Pred: "tmp", Row: []term.Term{me, n}},
 						{Insert: false, Pred: "tmp", Row: []term.Term{me, n}},
 					}
-					if err := s.ApplyOps(ops); err != nil {
+					if _, err := s.ApplyOps(ops); err != nil {
 						t.Error(err)
 						return
 					}

@@ -254,6 +254,53 @@ func (f FrozenDB) Insert(pred string, row []term.Term) FrozenDB {
 	return out
 }
 
+// ApplyOps returns a version with the ops applied in order. Equivalent to
+// chaining Insert/Delete, but the relation directory is copied once per
+// batch instead of once per op — this runs under the server's head lock on
+// every commit. Ops extracted from an undo trail (non-empty storeKey) carry
+// rows that are immutable everywhere, so they are shared rather than copied.
+func (f FrozenDB) ApplyOps(ops []Op) FrozenDB {
+	if len(ops) == 0 {
+		return f
+	}
+	rels := make(map[predArity2]*pnode, len(f.rels)+1)
+	for k, v := range f.rels {
+		rels[k] = v
+	}
+	out := FrozenDB{rels: rels, size: f.size, lo: f.lo, hi: f.hi}
+	for _, o := range ops {
+		pa := predArity2{o.Pred, len(o.Row)}
+		key := term.KeyOf(o.Row)
+		if o.Insert {
+			stored := o.Row
+			if o.storeKey == "" {
+				stored = append([]term.Term(nil), o.Row...)
+			}
+			newRoot, added := pmSet(rels[pa], pmapHash(key), 0, key, stored)
+			if !added {
+				continue
+			}
+			rels[pa] = newRoot
+			out.size++
+		} else {
+			newRoot, removed := pmDel(rels[pa], pmapHash(key), 0, key)
+			if !removed {
+				continue
+			}
+			if newRoot == nil {
+				delete(rels, pa)
+			} else {
+				rels[pa] = newRoot
+			}
+			out.size--
+		}
+		lo, hi := tupleHash(o.Pred, len(o.Row), o.Row)
+		out.lo ^= lo
+		out.hi ^= hi
+	}
+	return out
+}
+
 // Delete returns a version with pred(row) absent (set semantics).
 func (f FrozenDB) Delete(pred string, row []term.Term) FrozenDB {
 	pa := predArity2{pred, len(row)}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/term"
+)
+
+// Allocation regression guards for the commit critical section. Everything
+// here runs under the head lock on every commit, so per-commit garbage
+// directly serializes the pipeline.
+
+// pruneLocked must not copy the commit log on the steady-state path: with
+// a laggard session pinning the window, appending a record and pruning
+// advances the live-window offset in place. (The amortized compaction copy
+// is excluded by keeping the dead prefix below its threshold.)
+func TestPruneLockedAllocs(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// One laggard keeps an 8-entry live window so pruning never empties
+	// the log, and the clog has capacity to append without growing.
+	laggard := &session{srv: s}
+	ops := []db.Op{{Insert: true, Pred: "p", Row: []term.Term{term.NewInt(1)}}}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clog = make([]commitRecord, 0, 4096)
+	next := s.version.Load()
+	n := testing.AllocsPerRun(500, func() {
+		next++
+		s.version.Store(next)
+		s.clog = append(s.clog, commitRecord{version: next, ops: ops})
+		if next > 8 {
+			laggard.version = next - 8
+			s.sessions[laggard] = laggard.version
+		}
+		s.pruneLocked()
+		if len(s.clog) == cap(s.clog) {
+			// Reset before append would reallocate; not counted as the
+			// steady state under test.
+			live := s.clog[s.clogLo:]
+			s.clog = s.clog[:copy(s.clog[:cap(s.clog)], live)]
+			s.clogLo = 0
+		}
+	})
+	delete(s.sessions, laggard) // it has no conn for Close to close
+	if n > 1 {
+		t.Errorf("append+prune steady state: %v allocs/op, want <= 1", n)
+	}
+}

@@ -1,0 +1,244 @@
+package server
+
+// Group commit: durability is decoupled from the logical commit. A commit
+// appends its WAL records under the head lock (stage 1 of the pipeline,
+// which fixes the version order and therefore the WAL order), then waits
+// OUTSIDE every lock for the flusher goroutine to cover its LSN (stage 2).
+// The flusher batches all records appended since the last sync into one
+// flush+fsync and wakes every waiter the sync covered, so N concurrent
+// committers share one fsync instead of queueing for N.
+//
+// The WAL-before-ack invariant holds per batch: a committer's LSN is
+// registered only after its records are appended (both under the head
+// lock), and the flusher reads the batch target after being woken, so the
+// fsync that acknowledges a commit always covers its records. A sync
+// failure is sticky: every pending and future commit is refused rather
+// than acknowledged non-durably or applied to a state that can no longer
+// be persisted.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// gcWaiter is one committer parked until a sync covers its LSN.
+type gcWaiter struct {
+	lsn uint64
+	ch  chan error
+}
+
+// groupCommit is the flusher state shared between committers and the
+// flusher goroutine. LSNs are commit versions: appends happen in version
+// order under the server's head lock, so "synced through version v" means
+// every record of every commit <= v is durable.
+type groupCommit struct {
+	store    syncer
+	stats    *serverStats
+	maxBatch int
+	maxDelay time.Duration
+
+	mu        sync.Mutex
+	appended  uint64 // highest LSN whose WAL records are appended
+	synced    uint64 // highest LSN covered by a completed fsync
+	err       error  // sticky sync failure; poisons all future commits
+	waiters   []gcWaiter
+	lastBatch uint64 // commits covered by the previous fsync (hysteresis)
+
+	wake chan struct{} // 1-buffered doorbell
+	quit chan struct{}
+	done chan struct{}
+}
+
+// syncer is the slice of db.Store the flusher needs (swappable in tests).
+type syncer interface {
+	Commit() error
+}
+
+func newGroupCommit(store syncer, stats *serverStats, maxBatch int, maxDelay time.Duration) *groupCommit {
+	g := &groupCommit{
+		store:    store,
+		stats:    stats,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go g.run()
+	return g
+}
+
+// noteAppend records that the WAL now holds every record through lsn.
+// Callers hold the server head lock, so lsn is monotone. Safe on a nil
+// receiver (no-op without a flusher).
+func (g *groupCommit) noteAppend(lsn uint64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if lsn > g.appended {
+		g.appended = lsn
+	}
+	g.mu.Unlock()
+}
+
+// failed returns the sticky sync error, if any. Safe on a nil receiver
+// (in-memory and NoSync servers have no flusher).
+func (g *groupCommit) failed() error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// waitDurable blocks until a sync covers lsn, returning the sync error if
+// the batch (or a previous one) failed. The fast path — an overlapping
+// batch already synced past lsn — takes only the flusher mutex.
+func (g *groupCommit) waitDurable(lsn uint64) error {
+	g.mu.Lock()
+	if g.err != nil {
+		err := g.err
+		g.mu.Unlock()
+		return err
+	}
+	if g.synced >= lsn {
+		g.mu.Unlock()
+		return nil
+	}
+	w := gcWaiter{lsn: lsn, ch: make(chan error, 1)}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default: // a wakeup is already pending; the flusher will see us
+	}
+	return <-w.ch
+}
+
+// close drains the flusher: one final flush covers any appended tail, then
+// the goroutine exits. Safe on a nil receiver.
+func (g *groupCommit) close() {
+	if g == nil {
+		return
+	}
+	close(g.quit)
+	<-g.done
+}
+
+func (g *groupCommit) run() {
+	defer close(g.done)
+	for {
+		select {
+		case <-g.quit:
+			g.flush()
+			return
+		case <-g.wake:
+		}
+		g.mu.Lock()
+		engage := g.maxDelay > 0 && (g.lastBatch >= 2 || len(g.waiters) >= 2)
+		g.mu.Unlock()
+		if engage {
+			g.accumulate()
+		}
+		g.flush()
+	}
+}
+
+// accumulate holds the flusher back so more committers can join the batch,
+// flushing at quiescence rather than after a fixed delay. Quiescence is
+// detected in scheduler rounds, not timers (sub-millisecond timers fire
+// arbitrarily late on a saturated machine): each Gosched lets every
+// runnable session run to its next blocking point — for a session mid
+// commit, that is waitDurable registration — so a few consecutive rounds
+// with no new registrations mean every in-flight commit has joined the
+// batch. Idle connections leave the run queue empty and the rounds return
+// immediately. maxBatch pending or maxDelay elapsed ends the wait early.
+//
+// The caller only engages accumulation when the previous fsync covered two
+// or more commits (or two are already pending), so a lone committer never
+// pays the wait: its commits flush immediately, and one single-commit
+// flush resets the hysteresis.
+func (g *groupCommit) accumulate() {
+	deadline := time.Now().Add(g.maxDelay)
+	g.mu.Lock()
+	last := len(g.waiters)
+	g.mu.Unlock()
+	for idle := 0; last < g.maxBatch && idle < 3; {
+		if !time.Now().Before(deadline) {
+			return
+		}
+		runtime.Gosched()
+		g.mu.Lock()
+		n := len(g.waiters)
+		g.mu.Unlock()
+		if n == last {
+			idle++
+		} else {
+			idle, last = 0, n
+		}
+	}
+}
+
+// flush makes everything appended so far durable with one fsync and
+// settles every waiter the sync covered. On error it poisons the group:
+// all pending and future commits fail.
+func (g *groupCommit) flush() {
+	g.mu.Lock()
+	target := g.appended
+	prev := g.synced
+	if g.err != nil {
+		woken := g.waiters
+		g.waiters = nil
+		err := g.err
+		g.mu.Unlock()
+		for _, w := range woken {
+			w.ch <- err
+		}
+		return
+	}
+	if target == prev && len(g.waiters) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+
+	start := time.Now()
+	err := g.store.Commit() // flush + fsync
+
+	g.mu.Lock()
+	var woken, kept []gcWaiter
+	if err != nil {
+		g.err = err
+		woken = g.waiters
+		g.waiters = nil
+	} else {
+		g.synced = target
+		for _, w := range g.waiters {
+			if w.lsn <= target {
+				woken = append(woken, w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		g.waiters = kept
+	}
+	g.mu.Unlock()
+
+	if err == nil {
+		g.stats.fsyncLat.Observe(time.Since(start).Microseconds())
+		g.stats.fsyncs.Add(1)
+		if covered := target - prev; covered > 0 {
+			g.stats.groupCommits.Add(1)
+			g.stats.batchSize.Observe(int64(covered))
+			g.mu.Lock()
+			g.lastBatch = covered
+			g.mu.Unlock()
+		}
+	}
+	for _, w := range woken {
+		w.ch <- err
+	}
+}

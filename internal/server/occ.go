@@ -14,7 +14,7 @@ package server
 // ones.
 
 import (
-	"fmt"
+	"strconv"
 
 	"repro/internal/db"
 	"repro/internal/term"
@@ -37,7 +37,20 @@ func newReadSet() *readSet {
 	}
 }
 
-func relName(pred string, arity int) string { return fmt.Sprintf("%s/%d", pred, arity) }
+// reset empties the read set for reuse, keeping the map storage. Sessions
+// run one transaction at a time, so a single read set per session can be
+// recycled instead of allocating four maps per attempt.
+func (rs *readSet) reset() *readSet {
+	clear(rs.preds)
+	clear(rs.rels)
+	clear(rs.prefixes)
+	clear(rs.keys)
+	return rs
+}
+
+// relName builds the "pred/arity" conflict key. It runs for every read
+// observation and every write of every commit, so no fmt machinery.
+func relName(pred string, arity int) string { return pred + "/" + strconv.Itoa(arity) }
 
 // observe is the db.ReadHook target.
 func (rs *readSet) observe(kind db.ReadKind, pred string, arity int, key string) {
@@ -67,6 +80,8 @@ type wkey struct {
 
 // commitRecord is one entry of the in-memory commit log: the write set of a
 // committed transaction, at a version, with pre-computed conflict keys.
+// Records are immutable once appended to the log — commit validation scans
+// a snapshot of the log with the head lock released.
 type commitRecord struct {
 	version uint64
 	ops     []db.Op
@@ -75,7 +90,8 @@ type commitRecord struct {
 
 func newCommitRecord(version uint64, ops []db.Op) commitRecord {
 	rec := commitRecord{version: version, ops: ops, writes: make([]wkey, len(ops))}
-	for i, o := range ops {
+	for i := range ops {
+		o := &ops[i]
 		rel := relName(o.Pred, len(o.Row))
 		w := wkey{pred: o.Pred, rel: rel, key: rel + "|" + o.Key()}
 		if len(o.Row) > 0 {

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -42,9 +43,22 @@ type Options struct {
 	// MaxRetries bounds server-side EXEC retries after commit conflicts.
 	// Default 16.
 	MaxRetries int
-	// NoSync skips the per-commit fsync (the WAL is still written in
+	// NoSync skips commit durability entirely (the WAL is still written in
 	// order; a crash may lose the buffered tail). For benchmarks.
 	NoSync bool
+	// CommitMaxBatch caps how many pending committers the group-commit
+	// flusher accumulates before forcing a WAL sync (only consulted while
+	// CommitMaxDelay holds the flusher back). Default 64.
+	CommitMaxBatch int
+	// CommitMaxDelay bounds how long the flusher may hold a batch open for
+	// more committers to join before syncing. The wait is adaptive: the
+	// flusher extends it only while new commits keep arriving and flushes
+	// at the first quiet interval, and it engages at all only after a
+	// multi-commit batch (so a lone committer always syncs immediately).
+	// Zero means the 2ms default; negative disables accumulation — the
+	// flusher syncs as soon as it is free, and batching only emerges while
+	// an fsync is in flight.
+	CommitMaxDelay time.Duration
 	// MaxFrame bounds accepted request frames. Default DefaultMaxFrame.
 	MaxFrame int
 	// MaxLog bounds the in-memory commit log used to catch session
@@ -87,6 +101,14 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 16
 	}
+	if o.CommitMaxBatch == 0 {
+		o.CommitMaxBatch = 64
+	}
+	if o.CommitMaxDelay == 0 {
+		o.CommitMaxDelay = 2 * time.Millisecond
+	} else if o.CommitMaxDelay < 0 {
+		o.CommitMaxDelay = 0
+	}
 	if o.MaxFrame == 0 {
 		o.MaxFrame = DefaultMaxFrame
 	}
@@ -117,14 +139,27 @@ type Server struct {
 	sem   chan struct{}
 
 	// mu guards the shared head state: the authoritative database, the
-	// version counter, the commit log, and the session registry.
-	mu       sync.Mutex
-	head     *db.DB
-	store    *db.Store // nil in memory-only mode
-	frozen   db.FrozenDB
-	version  uint64
-	floor    uint64 // the commit log covers versions (floor, version]
+	// commit log, and the session registry. version is atomic so the
+	// commonest question — "has anything committed since my replica's
+	// version?" — needs no lock; it is only written under mu.
+	mu      sync.Mutex
+	head    *db.DB
+	store   *db.Store    // nil in memory-only mode
+	group   *groupCommit // nil in memory-only or NoSync mode
+	frozen  db.FrozenDB
+	version atomic.Uint64
+	floor   uint64 // the live commit log covers versions (floor, version]
+
+	// The commit log is an append-only slice plus a live-window offset:
+	// clog[clogLo:] is the live log; entries below clogLo are dead but
+	// never overwritten. Records are immutable once appended, so commit
+	// validation can snapshot the slice header under mu and scan it after
+	// releasing the lock while other committers append, prune (advance
+	// clogLo), or compact (copy the live window into a fresh array).
+	// Versions are contiguous: clog[clogLo].version == floor+1, so the
+	// records newer than version v start at index clogLo + (v - floor).
 	clog     []commitRecord
+	clogLo   int
 	sessions map[*session]uint64 // session -> replica version
 	closed   bool
 
@@ -208,6 +243,9 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.frozen = db.FreezeDB(s.head)
+	if s.store != nil && !opts.NoSync {
+		s.group = newGroupCommit(s.store, &s.stats, opts.CommitMaxBatch, opts.CommitMaxDelay)
+	}
 	return s, nil
 }
 
@@ -229,7 +267,7 @@ func (s *Server) installFacts(facts []term.Atom) error {
 		ops[i] = db.Op{Insert: true, Pred: f.Pred, Row: f.Args}
 	}
 	if s.store != nil {
-		if err := s.store.ApplyOps(ops); err != nil {
+		if _, err := s.store.ApplyOps(ops); err != nil {
 			return err
 		}
 		return s.store.Commit()
@@ -328,7 +366,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 		srv:     s,
 		conn:    conn,
 		d:       s.head.Clone(),
-		version: s.version,
+		version: s.version.Load(),
 		prog:    s.prog,
 		varHigh: s.prog.VarHigh,
 	}
@@ -346,133 +384,207 @@ func (s *Server) dropSession(sess *session) {
 }
 
 // syncSession brings a session's replica up to the current head version.
+// The fast path — nothing committed since the replica's version — is a
+// single atomic load, so current sessions never touch the head lock here.
 func (s *Server) syncSession(sess *session) {
+	if s.version.Load() == sess.version {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.catchUpLocked(sess)
 }
 
+// clogIndexLocked returns the index of the first commit-log record with
+// version > v. Versions are contiguous, so this is O(1) arithmetic, not a
+// scan. Callers ensure v >= s.floor.
+func (s *Server) clogIndexLocked(v uint64) int {
+	return s.clogLo + int(v-s.floor)
+}
+
 // catchUpLocked applies the commit log suffix the session has not seen, or
 // performs a full resync when the log no longer reaches back far enough.
 func (s *Server) catchUpLocked(sess *session) {
-	if sess.version == s.version {
+	head := s.version.Load()
+	if sess.version == head {
 		return
 	}
 	if sess.version < s.floor {
 		sess.d = s.head.Clone()
 	} else {
-		for _, rec := range s.clog {
-			if rec.version > sess.version {
-				sess.d.Apply(rec.ops)
-			}
+		for i := s.clogIndexLocked(sess.version); i < len(s.clog); i++ {
+			sess.d.Apply(s.clog[i].ops)
 		}
 		sess.d.ResetTrail()
 	}
-	sess.version = s.version
-	s.sessions[sess] = sess.version
+	sess.version = head
+	s.sessions[sess] = head
 }
 
 // commit validates a transaction's read/write sets against everything that
 // committed after the session's replica version and, on success, applies
-// the write set to the shared database, appends it to the WAL (syncing
-// before acknowledging unless NoSync), and advances the version. On
-// conflict it returns errConflict without touching shared state; the
-// session must roll its replica back and resync.
+// the write set to the shared database, appends it to the WAL, and waits
+// for the group-commit flusher to make it durable before returning (unless
+// NoSync). On conflict it returns errConflict without touching shared
+// state; the session must roll its replica back and resync.
+//
+// The commit path is a three-stage pipeline:
+//
+//  1. Backward validation runs against an immutable snapshot of the commit
+//     log taken under a short lock — the O(history) conflict scan happens
+//     with the lock RELEASED, concurrent with other committers.
+//  2. A second short lock re-validates only the records that committed
+//     during stage 1 (usually none), applies the write set to the head,
+//     appends the WAL records (buffered, not synced), assigns the commit
+//     its LSN (the new version), and catches the replica up.
+//  3. The committer waits, lock-free, for the flusher goroutine to cover
+//     its LSN with a batched WAL fsync (WAL-before-ack per batch: the
+//     sync that acknowledges a commit always covers its records).
 //
 // The session's replica must already contain exactly ops on top of its
 // version; on success it is caught up to the new head in place.
 func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error) {
 	started := time.Now()
-	mine := newCommitRecord(0, ops).writes
+	rec := newCommitRecord(0, ops) // conflict keys, built outside every lock
+
+	// Stage 1a: snapshot the validation view.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return 0, errShutdown
+	}
+	if err := s.group.failed(); err != nil {
+		// A WAL sync failed earlier: refuse to apply state that can no
+		// longer be made durable.
+		s.mu.Unlock()
+		return 0, err
 	}
 	if sess.version < s.floor {
 		// History needed for validation was pruned: conservatively abort.
+		s.mu.Unlock()
 		s.stats.conflicts.Add(1)
 		s.stats.conflictStale.Add(1)
 		return 0, errConflict
 	}
-	for _, rec := range s.clog {
-		if rec.version <= sess.version {
-			continue
-		}
-		if rec.conflictsWith(rs, mine) {
+	view := s.clog[s.clogIndexLocked(sess.version):len(s.clog):len(s.clog)]
+	snapVer := s.version.Load()
+	s.mu.Unlock()
+
+	// Stage 1b: validate against committed history without the lock.
+	for i := range view {
+		if view[i].conflictsWith(rs, rec.writes) {
 			s.stats.conflicts.Add(1)
 			s.stats.conflictRW.Add(1)
 			return 0, errConflict
 		}
 	}
-	prev := sess.version
-	if s.store != nil {
-		if err := s.store.ApplyOps(ops); err != nil {
-			return 0, err
+
+	// Stage 2: re-validate the delta that committed meanwhile, then apply.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, errShutdown
+	}
+	if snapVer < s.floor {
+		// The delta was pruned while we validated: conservatively abort.
+		s.mu.Unlock()
+		s.stats.conflicts.Add(1)
+		s.stats.conflictStale.Add(1)
+		return 0, errConflict
+	}
+	delta := s.clog[s.clogIndexLocked(snapVer):]
+	for i := range delta {
+		if delta[i].conflictsWith(rs, rec.writes) {
+			s.mu.Unlock()
+			s.stats.conflicts.Add(1)
+			s.stats.conflictRW.Add(1)
+			return 0, errConflict
 		}
-		if !s.opts.NoSync {
-			fsyncStart := time.Now()
-			if err := s.store.Commit(); err != nil {
-				return 0, err
-			}
-			s.stats.fsyncLat.Observe(time.Since(fsyncStart).Microseconds())
-			s.stats.fsyncs.Add(1)
+	}
+	if s.store != nil {
+		if _, err := s.store.ApplyOps(ops); err != nil {
+			s.mu.Unlock()
+			return 0, err
 		}
 	} else {
 		s.head.Apply(ops)
 		s.head.ResetTrail()
 	}
-	for _, o := range ops {
-		if o.Insert {
-			s.frozen = s.frozen.Insert(o.Pred, o.Row)
-		} else {
-			s.frozen = s.frozen.Delete(o.Pred, o.Row)
-		}
+	s.frozen = s.frozen.ApplyOps(ops)
+	lsn := snapVer + uint64(len(delta)) + 1
+	s.version.Store(lsn)
+	rec.version = lsn
+	s.clog = append(s.clog, rec)
+	// Cap the delta slice so later appends by other committers stay out of
+	// reach; the committer folds it into its replica after the lock drops.
+	delta = delta[:len(delta):len(delta)]
+	sess.version = lsn
+	s.sessions[sess] = lsn
+	s.pruneLocked()
+	s.group.noteAppend(lsn)
+	s.mu.Unlock()
+
+	// The committer's replica holds (its old version + ops); fold in the
+	// concurrent but non-overlapping writes it validated against — view
+	// covers (old, snapVer], delta covers (snapVer, lsn) — making it equal
+	// to the new head. sess.d is session-private, so this runs outside the
+	// head lock; the record slices stay valid even if pruning compacts the
+	// log meanwhile, because compaction copies into a fresh array and the
+	// records themselves are immutable.
+	for i := range view {
+		sess.d.Apply(view[i].ops)
 	}
-	s.version++
-	s.clog = append(s.clog, newCommitRecord(s.version, ops))
-	// The committer's replica holds (prev + ops); fold in the concurrent
-	// but non-overlapping writes it validated against, making it equal to
-	// the new head.
-	for _, rec := range s.clog {
-		if rec.version > prev && rec.version < s.version {
-			sess.d.Apply(rec.ops)
-		}
+	for i := range delta {
+		sess.d.Apply(delta[i].ops)
 	}
 	sess.d.ResetTrail()
-	sess.version = s.version
-	s.sessions[sess] = sess.version
-	s.pruneLocked()
+
+	// Stage 3: wait for a batched WAL sync to cover the LSN.
+	if s.group != nil {
+		if err := s.group.waitDurable(lsn); err != nil {
+			return 0, err
+		}
+	}
 	s.stats.commits.Add(1)
 	s.stats.deltaOps.Add(int64(len(ops)))
 	s.stats.recordCommitLatency(time.Since(started))
-	return s.version, nil
+	return lsn, nil
 }
 
 // pruneLocked drops commit-log entries every live replica has already
 // applied, and enforces the MaxLog cap (stranding laggards, who will full
-// resync).
+// resync). Pruning only advances the live-window offset — no copying, no
+// allocation; dead entries are reclaimed by an occasional compaction into
+// a fresh array (entries are never overwritten in place, because commit
+// validation may still be scanning a snapshot of the old array outside the
+// lock).
 func (s *Server) pruneLocked() {
-	min := s.version
+	min := s.version.Load()
 	for _, v := range s.sessions {
 		if v < min {
 			min = v
 		}
 	}
-	i := 0
-	for i < len(s.clog) && s.clog[i].version <= min {
-		i++
+	lo := s.clogLo
+	for lo < len(s.clog) && s.clog[lo].version <= min {
+		lo++
 	}
-	if keep := len(s.clog) - i; keep > s.opts.MaxLog {
-		i = len(s.clog) - s.opts.MaxLog
+	if keep := len(s.clog) - lo; keep > s.opts.MaxLog {
+		lo = len(s.clog) - s.opts.MaxLog
 	}
-	if i > 0 {
-		s.clog = append([]commitRecord(nil), s.clog[i:]...)
-	}
-	if len(s.clog) > 0 {
-		s.floor = s.clog[0].version - 1
+	s.clogLo = lo
+	if lo < len(s.clog) {
+		s.floor = s.clog[lo].version - 1
 	} else {
-		s.floor = s.version
+		s.floor = s.version.Load()
+	}
+	// Compact once the dead prefix dominates: amortized O(1) per commit.
+	if lo > 64 && lo*2 >= len(s.clog) {
+		live := len(s.clog) - lo
+		fresh := make([]commitRecord, live, live+live/2+16)
+		copy(fresh, s.clog[lo:])
+		s.clog = fresh
+		s.clogLo = 0
 	}
 }
 
@@ -484,12 +596,8 @@ func (s *Server) Snapshot() db.FrozenDB {
 	return s.frozen
 }
 
-// Version returns the current commit version.
-func (s *Server) Version() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.version
-}
+// Version returns the current commit version (lock-free).
+func (s *Server) Version() uint64 { return s.version.Load() }
 
 // Checkpoint writes a snapshot file and truncates the WAL (durable mode
 // only). Safe to call while serving: commits are excluded for the duration.
@@ -506,7 +614,7 @@ func (s *Server) Checkpoint() error {
 func (s *Server) Stats() StatsSnapshot {
 	p50, p99 := s.stats.quantiles()
 	s.mu.Lock()
-	version := s.version
+	version := s.version.Load()
 	size := s.head.Size()
 	var walBytes int64
 	if s.store != nil {
@@ -543,6 +651,9 @@ func (s *Server) Stats() StatsSnapshot {
 		DBOrderRebuilds:    s.stats.dbRebuilds.Load(),
 		DeltaOps:           s.stats.deltaOps.Load(),
 		VetRejects:         s.stats.vetRejects.Load(),
+
+		GroupCommits:   s.stats.groupCommits.Load(),
+		CommitBatchP99: s.stats.batchSize.Quantile(0.99),
 	}
 	if stale, rw := s.stats.conflictStale.Load(), s.stats.conflictRW.Load(); stale > 0 || rw > 0 {
 		snap.ConflictCauses = map[string]int64{}
@@ -588,6 +699,9 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
+	// Sessions have unwound, so no commit is waiting on the flusher; drain
+	// it (one final sync covers any appended tail), then close the store.
+	s.group.close()
 	if s.store != nil {
 		return s.store.Close()
 	}

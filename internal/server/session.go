@@ -34,7 +34,8 @@ type session struct {
 
 	inTxn     bool
 	beginMark int
-	rs        *readSet
+	rs        *readSet  // active transaction's read set (nil outside one)
+	rsBuf     *readSet  // recycled storage; see freshReadSet
 	deadline  time.Time // wall-clock bound for the currently running goal
 
 	traceOn  bool      // session-level TRACE on/off toggle
@@ -47,6 +48,17 @@ type session struct {
 func (sess *session) tracing() bool {
 	o := &sess.srv.opts
 	return sess.traceOn || o.Trace || o.SlowTxn > 0 || o.TraceSink != nil
+}
+
+// freshReadSet returns an empty read set, recycling the session's map
+// storage: a session runs one transaction at a time, and the read set is
+// only read synchronously inside commit, so reuse across attempts is safe.
+func (sess *session) freshReadSet() *readSet {
+	if sess.rsBuf == nil {
+		sess.rsBuf = newReadSet()
+		return sess.rsBuf
+	}
+	return sess.rsBuf.reset()
 }
 
 // buildEngine (re)builds the session engine for the current program.
@@ -177,7 +189,7 @@ func (sess *session) handleLoad(req *Request) *Response {
 func (sess *session) commitFacts(facts []term.Atom) *Response {
 	for attempt := 0; ; attempt++ {
 		sess.srv.syncSession(sess)
-		rs := newReadSet()
+		rs := sess.freshReadSet()
 		mark := sess.d.Mark()
 		sess.d.SetReadHook(rs.observe)
 		for _, f := range facts {
@@ -214,7 +226,7 @@ func (sess *session) handleBegin() *Response {
 	sess.varHigh = sess.prog.VarHigh
 	sess.inTxn = true
 	sess.beginMark = sess.d.Mark()
-	sess.rs = newReadSet()
+	sess.rs = sess.freshReadSet()
 	sess.srv.stats.txnsBegun.Add(1)
 	return &Response{OK: true, Version: sess.version}
 }
@@ -376,7 +388,7 @@ func (sess *session) handleExec(req *Request) *Response {
 	for attempt := 0; ; attempt++ {
 		sess.srv.syncSession(sess)
 		sess.srv.stats.txnsBegun.Add(1)
-		sess.rs = newReadSet()
+		sess.rs = sess.freshReadSet()
 		mark := sess.d.Mark()
 		res, errResp := sess.runGoal(g)
 		if errResp != nil {

@@ -27,7 +27,8 @@ type serverStats struct {
 	noProof       atomic.Int64 // goals with no committing execution
 	budgetHits    atomic.Int64 // step/time budget exhaustions
 	slowTxns      atomic.Int64 // goals slower than Options.SlowTxn
-	fsyncs        atomic.Int64 // WAL fsyncs performed at commit
+	fsyncs        atomic.Int64 // WAL fsyncs performed by the flusher
+	groupCommits  atomic.Int64 // WAL sync batches that made >=1 commit durable
 	vetRejects    atomic.Int64 // LOADs refused by static analysis
 
 	// Engine and database work, aggregated per served goal.
@@ -42,6 +43,7 @@ type serverStats struct {
 
 	commitLat *obs.Histogram
 	fsyncLat  *obs.Histogram
+	batchSize *obs.Histogram            // commits made durable per WAL sync
 	verbLat   map[string]*obs.Histogram // fixed verb set, built at init
 }
 
@@ -54,6 +56,8 @@ func (st *serverStats) init(reg *obs.Registry) {
 		"end-to-end commit latency (validation + apply + WAL) in microseconds")
 	st.fsyncLat = reg.Histogram("td_fsync_latency_us",
 		"WAL flush+fsync latency at commit in microseconds")
+	st.batchSize = reg.Histogram("td_commit_batch_size",
+		"commits made durable per group-commit WAL sync")
 	st.verbLat = make(map[string]*obs.Histogram, len(statVerbs))
 	for _, v := range statVerbs {
 		st.verbLat[v] = reg.HistogramL("td_request_latency_us",
@@ -76,6 +80,7 @@ func (st *serverStats) init(reg *obs.Registry) {
 	cf("td_budget_hits_total", "step/time budget exhaustions", &st.budgetHits)
 	cf("td_slow_txns_total", "goals slower than the slow-transaction threshold", &st.slowTxns)
 	cf("td_fsyncs_total", "WAL fsyncs performed at commit", &st.fsyncs)
+	cf("td_group_commits_total", "group-commit WAL sync batches covering at least one commit", &st.groupCommits)
 	cf("td_vet_rejections_total", "programs refused at LOAD by static analysis", &st.vetRejects)
 	cf("td_engine_steps_total", "derivation steps across served goals", &st.engineSteps)
 	cf("td_engine_unifications_total", "head-unification attempts across served goals", &st.engineUnifs)
@@ -135,4 +140,8 @@ type StatsSnapshot struct {
 
 	// Added with the static analyzer (PR 4).
 	VetRejects int64 `json:"vet_rejects,omitempty"`
+
+	// Added with the group-commit pipeline (PR 5).
+	GroupCommits   int64 `json:"group_commits,omitempty"`
+	CommitBatchP99 int64 `json:"commit_batch_p99,omitempty"`
 }
