@@ -26,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/sim"
+	"repro/internal/term"
 	"repro/internal/workflow"
 )
 
@@ -382,5 +383,73 @@ func benchServerThroughput(b *testing.B, accounts int, mkOpts func(b *testing.B)
 				b.ReportMetric(float64(st.Conflicts)/float64(st.Commits), "conflicts/commit")
 			}
 		})
+	}
+}
+
+// BenchmarkRecovery measures cold-start recovery time as a function of
+// history length, with and without an incremental checkpoint near the
+// tail. The workload churns a fixed-size live state (each commit deletes
+// the oldest fact and inserts a new one), so the snapshot stays small and
+// constant while the WAL history grows. Without a checkpoint, boot replays
+// the whole history and the time grows linearly; with one, replay is the
+// constant ~100-commit suffix and the time stays flat no matter how much
+// history precedes it — the bounded recovery the checkpoint subsystem
+// exists for. The "replayed" metric is the op-record count recovery
+// actually applied.
+func BenchmarkRecovery(b *testing.B) {
+	const live = 100   // live facts, fixed across history sizes
+	const suffix = 100 // commits past the checkpoint, fixed across sizes
+	for _, history := range []int{1000, 5000, 20000} {
+		for _, ckpt := range []bool{false, true} {
+			name := fmt.Sprintf("history%d/nockpt", history)
+			if ckpt {
+				name = fmt.Sprintf("history%d/ckpt", history)
+			}
+			b.Run(name, func(b *testing.B) {
+				dir := b.TempDir()
+				snap := filepath.Join(dir, "td.snap")
+				wal := filepath.Join(dir, "td.wal")
+				s, err := db.OpenStore(snap, wal)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < history; i++ {
+					ops := []db.Op{{Insert: true, Pred: "mark", Row: []term.Term{term.NewInt(int64(i))}}}
+					if i >= live {
+						ops = append([]db.Op{{Pred: "mark", Row: []term.Term{term.NewInt(int64(i - live))}}}, ops...)
+					}
+					if _, err := s.ApplyOps(ops); err != nil {
+						b.Fatal(err)
+					}
+					if ckpt && i == history-suffix {
+						if err := s.Commit(); err != nil {
+							b.Fatal(err)
+						}
+						if err := s.CheckpointFrom(db.FreezeDB(s.DB), s.LastLSN()); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+
+				var replayed int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := db.OpenStore(snap, wal)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := s.DB.Count("mark", 1); got != live {
+						b.Fatalf("recovered %d marks, want %d", got, live)
+					}
+					replayed = s.Recovery().ReplayedRecords
+					s.Close()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(replayed), "replayed")
+			})
+		}
 	}
 }

@@ -22,18 +22,26 @@
 //	-steps N      step budget (prover) / op budget (simulator)
 //	-seed N       simulator scheduling seed
 //	-timeout D    simulator timeout (e.g. 30s)
+//
+// Operator modes (no program argument; see docs/PERSISTENCE.md):
+//
+//	-wal file       dump a server write-ahead log (v1 or v2 framing)
+//	-manifest file  dump a snapshot's manifest (format, LSN, record count)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	td "repro"
+	"repro/internal/db"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/term"
 )
 
 func main() {
@@ -50,8 +58,28 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "simulator timeout")
 		interactive = flag.Bool("i", false, "interactive REPL after loading the program")
 		parWorkers  = flag.Int("par", 0, "parallel proof search with N workers (prover only)")
+		walDump     = flag.String("wal", "", "dump a server write-ahead log and exit")
+		manDump     = flag.String("manifest", "", "dump a snapshot manifest and exit")
 	)
 	flag.Parse()
+	if *walDump != "" || *manDump != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: tdlog -wal file.wal | tdlog -manifest file.snap")
+			os.Exit(2)
+		}
+		var err error
+		if *manDump != "" {
+			err = dumpManifest(os.Stdout, *manDump)
+		}
+		if err == nil && *walDump != "" {
+			err = dumpWAL(os.Stdout, *walDump)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tdlog:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *interactive {
 		if flag.NArg() > 1 {
 			fmt.Fprintln(os.Stderr, "usage: tdlog -i [program.td]")
@@ -213,5 +241,51 @@ func run(path, goalSrc string, opt options) error {
 	if opt.dumpDB {
 		fmt.Print(d)
 	}
+	return nil
+}
+
+// dumpWAL prints a server write-ahead log entry by entry: operations with
+// their decoded atoms, commit boundaries with their LSNs. Both the legacy
+// v1 framing (no boundaries) and the current v2 framing are readable; a
+// torn or corrupt tail ends the dump cleanly, mirroring what recovery
+// would replay.
+func dumpWAL(w io.Writer, path string) error {
+	ops, commits := 0, 0
+	version, err := db.ScanWAL(path, func(e db.WALEntry) bool {
+		if e.Boundary {
+			commits++
+			fmt.Fprintf(w, "commit lsn=%d\n", e.LSN)
+			return true
+		}
+		ops++
+		verb := "del"
+		if e.Insert {
+			verb = "ins"
+		}
+		row, derr := term.DecodeKey(e.Key)
+		if derr != nil {
+			fmt.Fprintf(w, "  %s %s/%d (undecodable key)\n", verb, e.Pred, e.Arity)
+			return true
+		}
+		fmt.Fprintf(w, "  %s %s\n", verb, term.Atom{Pred: e.Pred, Args: row})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wal: v%d framing, %d op record(s), %d commit boundar%s\n",
+		version, ops, commits, map[bool]string{true: "y", false: "ies"}[commits == 1])
+	return nil
+}
+
+// dumpManifest prints a snapshot's manifest (v1 snapshots predate
+// manifests and are scanned to count records, reporting LSN 0).
+func dumpManifest(w io.Writer, path string) error {
+	man, err := db.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snapshot: format v%d, lsn %d, %d record(s)\n",
+		man.FormatVersion, man.LSN, man.Records)
 	return nil
 }

@@ -116,6 +116,8 @@ func main() {
 		err = queryCmd(os.Args[2:])
 	case "stats":
 		err = statsCmd(os.Args[2:])
+	case "checkpoint":
+		err = checkpointCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -135,7 +137,8 @@ func usage() {
   tdserver bank  [-addr :7090] [-clients 8] [-txns 50] [-accounts 4]
   tdserver exec  [-addr :7090] goal
   tdserver query [-addr :7090] [-max N] goal
-  tdserver stats [-addr :7090]`)
+  tdserver stats [-addr :7090]
+  tdserver checkpoint [-addr :7090]`)
 }
 
 func serveCmd(args []string) error {
@@ -152,6 +155,9 @@ func serveCmd(args []string) error {
 		nosync      = fs.Bool("nosync", false, "skip fsync on commit (throughput over durability)")
 		maxBatch    = fs.Int("commit.maxbatch", 0, "max commits per group-commit fsync batch (0 = default)")
 		maxDelay    = fs.Duration("commit.maxdelay", 0, "how long the flusher waits for more committers before fsyncing (0 = fsync immediately)")
+		ckptEvery   = fs.Duration("checkpoint.interval", 0, "background checkpoint cadence (0 = no timer; CHECKPOINT verb always works)")
+		ckptWAL     = fs.Int64("checkpoint.walsize", 0, "checkpoint when the WAL exceeds this many bytes (0 = no size trigger)")
+		histWindow  = fs.Int("history.window", 0, "commit versions retained for ASOF/CHANGES (0 = default 256, negative = none)")
 		obsAddr     = fs.String("obs.addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 		obsSlow     = fs.Duration("obs.slowtxn", 0, "log the span tree of any goal slower than this (0 = off)")
 		obsTrace    = fs.Bool("obs.trace", false, "trace every session's goals (TRACE dump works without opting in)")
@@ -166,18 +172,21 @@ func serveCmd(args []string) error {
 	defer stopProf()
 
 	opts := td.ServerOptions{
-		SnapshotPath:   *snap,
-		WALPath:        *wal,
-		MaxSessions:    *maxSessions,
-		MaxSteps:       *maxSteps,
-		MaxGoalTime:    *goalTime,
-		IdleTimeout:    *idle,
-		NoSync:         *nosync,
-		CommitMaxBatch: *maxBatch,
-		CommitMaxDelay: *maxDelay,
-		Trace:          *obsTrace,
-		SlowTxn:        *obsSlow,
-		Logger:         slog.Default(),
+		SnapshotPath:       *snap,
+		WALPath:            *wal,
+		MaxSessions:        *maxSessions,
+		MaxSteps:           *maxSteps,
+		MaxGoalTime:        *goalTime,
+		IdleTimeout:        *idle,
+		NoSync:             *nosync,
+		CommitMaxBatch:     *maxBatch,
+		CommitMaxDelay:     *maxDelay,
+		CheckpointInterval: *ckptEvery,
+		CheckpointWALSize:  *ckptWAL,
+		HistoryWindow:      *histWindow,
+		Trace:              *obsTrace,
+		SlowTxn:            *obsSlow,
+		Logger:             slog.Default(),
 	}
 	if *obsJSONL != "" {
 		sink, err := obs.OpenJSONL(*obsJSONL)
@@ -499,6 +508,29 @@ func statsCmd(args []string) error {
 	if st.VetRejects > 0 {
 		fmt.Printf("vet rejections: %d\n", st.VetRejects)
 	}
+	if st.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d (p99=%dus)\n", st.Checkpoints, st.CheckpointP99Us)
+	}
+	if st.RecoveryReplayed > 0 {
+		fmt.Printf("recovery: %d WAL records replayed at boot\n", st.RecoveryReplayed)
+	}
+	return nil
+}
+
+func checkpointCmd(args []string) error {
+	fs := flag.NewFlagSet("checkpoint", flag.ExitOnError)
+	addr := fs.String("addr", ":7090", "server address")
+	fs.Parse(args)
+	cl, err := td.DialServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	lsn, err := cl.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed at lsn %d\n", lsn)
 	return nil
 }
 

@@ -14,6 +14,7 @@ package db
 import (
 	"hash/fnv"
 	"math/bits"
+	"sort"
 
 	"repro/internal/term"
 )
@@ -333,6 +334,31 @@ func (f FrozenDB) withRel(pa predArity2, root *pnode) FrozenDB {
 		rels[pa] = root
 	}
 	return FrozenDB{rels: rels, size: f.size, lo: f.lo, hi: f.hi}
+}
+
+// Range visits every tuple, relations ordered by (pred, arity) so the
+// visit order is deterministic for identical contents; within a relation
+// the order is trie order. Stops early when fn returns false. key is the
+// canonical tuple key (term.KeyOf of row). The checkpointer streams a
+// frozen view to disk through this without materializing anything.
+func (f FrozenDB) Range(fn func(pred string, arity int, key string, row []term.Term) bool) {
+	pas := make([]predArity2, 0, len(f.rels))
+	for pa := range f.rels {
+		pas = append(pas, pa)
+	}
+	sort.Slice(pas, func(i, j int) bool {
+		if pas[i].pred != pas[j].pred {
+			return pas[i].pred < pas[j].pred
+		}
+		return pas[i].arity < pas[j].arity
+	})
+	for _, pa := range pas {
+		if !pmRange(f.rels[pa], func(key string, val []term.Term) bool {
+			return fn(pa.pred, pa.arity, key, val)
+		}) {
+			return
+		}
+	}
 }
 
 // Count returns the tuple count of pred/arity.

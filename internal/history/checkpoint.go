@@ -1,0 +1,108 @@
+package history
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// CheckpointPolicy says when the background checkpointer fires. Zero
+// fields disable that trigger; with both zero the loop never fires on its
+// own (manual CHECKPOINT still works).
+type CheckpointPolicy struct {
+	// Interval checkpoints on a wall-clock cadence.
+	Interval time.Duration
+	// WALSize checkpoints whenever the log grows past this many bytes.
+	WALSize int64
+}
+
+func (p CheckpointPolicy) enabled() bool { return p.Interval > 0 || p.WALSize > 0 }
+
+// Checkpointer is the background policy loop: it watches the WAL length
+// and the clock and calls run — the server's incremental checkpoint, which
+// snapshots a frozen view off the commit path — when the policy says so.
+// Failures are logged and retried on the next trigger; a checkpoint is an
+// optimization, never a correctness requirement.
+type Checkpointer struct {
+	policy  CheckpointPolicy
+	walSize func() int64
+	run     func() error
+	log     *slog.Logger
+	poll    time.Duration // trigger evaluation cadence (tests shorten it)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+// NewCheckpointer wires a policy to the server's checkpoint entry points.
+// walSize reports the current log length; run performs one checkpoint.
+func NewCheckpointer(policy CheckpointPolicy, walSize func() int64, run func() error, log *slog.Logger) *Checkpointer {
+	if log == nil {
+		log = slog.Default()
+	}
+	poll := time.Second
+	if policy.Interval > 0 && policy.Interval < poll {
+		poll = policy.Interval
+	}
+	return &Checkpointer{
+		policy:  policy,
+		walSize: walSize,
+		run:     run,
+		log:     log,
+		poll:    poll,
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the loop; a disabled policy makes Start a no-op (Stop
+// still returns immediately).
+func (c *Checkpointer) Start() {
+	c.startOnce.Do(func() {
+		if !c.policy.enabled() {
+			close(c.done)
+			return
+		}
+		go c.loop()
+	})
+}
+
+// Stop shuts the loop down and waits for any in-flight checkpoint to
+// finish (the store keeps the files consistent regardless; the wait just
+// keeps shutdown orderly).
+func (c *Checkpointer) Stop() {
+	c.stopOnce.Do(func() { close(c.quit) })
+	<-c.done
+}
+
+func (c *Checkpointer) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+		}
+		fire := false
+		if c.policy.Interval > 0 && time.Since(last) >= c.policy.Interval {
+			fire = true
+		}
+		if c.policy.WALSize > 0 && c.walSize() >= c.policy.WALSize {
+			fire = true
+		}
+		if !fire {
+			continue
+		}
+		if err := c.run(); err != nil {
+			c.log.Warn("checkpoint failed", "err", err)
+		}
+		// Reset the cadence either way: a failing store should not be
+		// hammered every poll tick.
+		last = time.Now()
+	}
+}

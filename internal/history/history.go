@@ -1,0 +1,155 @@
+// Package history is the server's LSN-addressed view of the recent past.
+//
+// Every commit already carries a log sequence number (its commit version);
+// this package retains a bounded window of recent versions — each one an
+// O(1)-forked frozen snapshot plus the op delta that produced it — and
+// serves two read surfaces over it:
+//
+//   - At(lsn): the database as of a historical commit (point-in-time
+//     reads, the server's ASOF verb),
+//   - Since(lsn): the exact committed op stream after an LSN (the CHANGES
+//     verb — the changefeed primitive follower catch-up and event rules
+//     will consume).
+//
+// It also houses the Checkpointer, the background policy loop that bounds
+// recovery by periodically snapshotting a frozen view and truncating the
+// WAL behind it.
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/db"
+)
+
+// ErrOutOfWindow reports an LSN older than the retained window.
+var ErrOutOfWindow = errors.New("history: LSN evicted from the retained window")
+
+// ErrFuture reports an LSN newer than the newest committed version.
+var ErrFuture = errors.New("history: LSN not committed yet")
+
+// Delta is one commit's effective write set, stamped with its LSN.
+type Delta struct {
+	LSN uint64
+	Ops []db.Op
+}
+
+// entry is one retained version: the state AFTER commit lsn, plus the ops
+// that produced it (nil for the window's base version).
+type entry struct {
+	lsn  uint64
+	ops  []db.Op
+	snap db.FrozenDB
+}
+
+// Window retains the last cap committed versions. All methods are safe for
+// concurrent use; frozen snapshots are immutable, so readers never block
+// appenders beyond the short index lock.
+type Window struct {
+	mu      sync.Mutex
+	cap     int
+	entries []entry // ascending LSN; entries[0] is the window base
+}
+
+// NewWindow builds a window whose base version is base at baseLSN (the
+// recovered state at boot, or the empty database at LSN 0). cap bounds the
+// number of retained versions after the base; cap <= 0 disables retention
+// beyond the base being replaced on every append (a 1-deep window).
+func NewWindow(cap int, baseLSN uint64, base db.FrozenDB) *Window {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Window{cap: cap, entries: []entry{{lsn: baseLSN, snap: base}}}
+}
+
+// Append records the version after commit lsn. ops is the commit's
+// effective write set (retained, not copied — callers hand over ownership);
+// snap is the frozen state after applying it. Appends must carry strictly
+// increasing LSNs; violations are rejected with an error rather than
+// corrupting the index.
+func (w *Window) Append(lsn uint64, ops []db.Op, snap db.FrozenDB) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if last := w.entries[len(w.entries)-1].lsn; lsn <= last {
+		return fmt.Errorf("history: non-monotonic append: %d after %d", lsn, last)
+	}
+	w.entries = append(w.entries, entry{lsn: lsn, ops: ops, snap: snap})
+	if len(w.entries) > w.cap+1 {
+		// Evict the oldest; shift rather than ring-index — the window is
+		// small (hundreds) and appends are one per commit.
+		n := copy(w.entries, w.entries[len(w.entries)-(w.cap+1):])
+		for i := n; i < len(w.entries); i++ {
+			w.entries[i] = entry{} // release evicted snapshots and ops
+		}
+		w.entries = w.entries[:n]
+	}
+	return nil
+}
+
+// Bounds returns the oldest and newest retained LSNs. ASOF serves any LSN
+// in [oldest, newest]; CHANGES serves any since-LSN in the same range.
+func (w *Window) Bounds() (oldest, newest uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.entries[0].lsn, w.entries[len(w.entries)-1].lsn
+}
+
+// At returns the frozen database as of commit lsn — the newest retained
+// version at or below it (LSN sequences may skip numbers; the state at a
+// skipped LSN is the state of the last commit before it). Returns
+// ErrOutOfWindow below the window base and ErrFuture above the newest
+// commit. The second result is the LSN of the version actually served.
+func (w *Window) At(lsn uint64) (db.FrozenDB, uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn < w.entries[0].lsn {
+		return db.FrozenDB{}, 0, fmt.Errorf("%w: as-of %d, window starts at %d", ErrOutOfWindow, lsn, w.entries[0].lsn)
+	}
+	if newest := w.entries[len(w.entries)-1].lsn; lsn > newest {
+		return db.FrozenDB{}, 0, fmt.Errorf("%w: as-of %d, newest commit is %d", ErrFuture, lsn, newest)
+	}
+	// Binary search for the greatest entry LSN <= lsn.
+	lo, hi := 0, len(w.entries)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if w.entries[mid].lsn <= lsn {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return w.entries[lo].snap, w.entries[lo].lsn, nil
+}
+
+// Since returns the deltas of every commit with LSN strictly greater than
+// lsn, in commit order — the exact op stream that takes the state at lsn
+// to the current state. Returns ErrOutOfWindow when lsn predates the
+// window base (commits between lsn and the base have been evicted, so the
+// stream would be incomplete) and ErrFuture when lsn exceeds the newest
+// commit. Since(newest) returns an empty slice: a caught-up consumer.
+func (w *Window) Since(lsn uint64) ([]Delta, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn < w.entries[0].lsn {
+		return nil, fmt.Errorf("%w: since %d, window starts at %d", ErrOutOfWindow, lsn, w.entries[0].lsn)
+	}
+	if newest := w.entries[len(w.entries)-1].lsn; lsn > newest {
+		return nil, fmt.Errorf("%w: since %d, newest commit is %d", ErrFuture, lsn, newest)
+	}
+	out := []Delta{}
+	for _, e := range w.entries {
+		if e.lsn > lsn {
+			out = append(out, Delta{LSN: e.lsn, Ops: e.ops})
+		}
+	}
+	return out, nil
+}
+
+// Len returns the number of retained versions, base included.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}

@@ -1,0 +1,238 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/term"
+)
+
+// mark builds the singleton write set {ins mark(n)}.
+func markOps(n int64) []db.Op {
+	return []db.Op{{Insert: true, Pred: "mark", Row: []term.Term{term.NewInt(n)}}}
+}
+
+// grow builds a window whose base is the empty database at baseLSN and
+// appends commits mark(1)..mark(n) at LSNs baseLSN+1..baseLSN+n, freezing
+// the growing database after each.
+func grow(t *testing.T, cap int, baseLSN uint64, n int) *Window {
+	t.Helper()
+	d := db.New()
+	w := NewWindow(cap, baseLSN, db.FreezeDB(d))
+	for i := 1; i <= n; i++ {
+		ops := markOps(int64(i))
+		d.Apply(ops)
+		if err := w.Append(baseLSN+uint64(i), ops, db.FreezeDB(d)); err != nil {
+			t.Fatalf("Append(%d): %v", baseLSN+uint64(i), err)
+		}
+	}
+	return w
+}
+
+func TestWindowAt(t *testing.T) {
+	w := grow(t, 16, 10, 5) // base LSN 10, commits 11..15
+
+	for lsn := uint64(10); lsn <= 15; lsn++ {
+		snap, served, err := w.At(lsn)
+		if err != nil {
+			t.Fatalf("At(%d): %v", lsn, err)
+		}
+		if served != lsn {
+			t.Fatalf("At(%d) served %d, want exact hit", lsn, served)
+		}
+		want := int(lsn - 10)
+		if got := snap.Count("mark", 1); got != want {
+			t.Fatalf("At(%d): %d mark facts, want %d", lsn, got, want)
+		}
+	}
+
+	if _, _, err := w.At(9); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("At(9) = %v, want ErrOutOfWindow", err)
+	}
+	if _, _, err := w.At(16); !errors.Is(err, ErrFuture) {
+		t.Fatalf("At(16) = %v, want ErrFuture", err)
+	}
+}
+
+// At on a skipped LSN serves the newest version at or below it.
+func TestWindowAtSkippedLSN(t *testing.T) {
+	d := db.New()
+	w := NewWindow(8, 0, db.FreezeDB(d))
+	d.Apply(markOps(1))
+	if err := w.Append(3, markOps(1), db.FreezeDB(d)); err != nil { // LSNs 1,2 skipped
+		t.Fatal(err)
+	}
+	d.Apply(markOps(2))
+	if err := w.Append(7, markOps(2), db.FreezeDB(d)); err != nil {
+		t.Fatal(err)
+	}
+	for lsn, want := range map[uint64]uint64{0: 0, 1: 0, 2: 0, 3: 3, 4: 3, 6: 3, 7: 7} {
+		_, served, err := w.At(lsn)
+		if err != nil {
+			t.Fatalf("At(%d): %v", lsn, err)
+		}
+		if served != want {
+			t.Fatalf("At(%d) served %d, want %d", lsn, served, want)
+		}
+	}
+}
+
+func TestWindowSince(t *testing.T) {
+	w := grow(t, 16, 0, 4) // commits 1..4
+
+	for since := uint64(0); since <= 4; since++ {
+		deltas, err := w.Since(since)
+		if err != nil {
+			t.Fatalf("Since(%d): %v", since, err)
+		}
+		if got, want := len(deltas), int(4-since); got != want {
+			t.Fatalf("Since(%d): %d deltas, want %d", since, got, want)
+		}
+		for i, d := range deltas {
+			wantLSN := since + uint64(i) + 1
+			if d.LSN != wantLSN {
+				t.Fatalf("Since(%d)[%d].LSN = %d, want %d", since, i, d.LSN, wantLSN)
+			}
+			if len(d.Ops) != 1 || !d.Ops[0].Insert || d.Ops[0].Pred != "mark" {
+				t.Fatalf("Since(%d)[%d].Ops = %v, want one mark insert", since, i, d.Ops)
+			}
+		}
+	}
+	if deltas, err := w.Since(4); err != nil || len(deltas) != 0 {
+		t.Fatalf("Since(newest) = %v, %v; want empty, nil", deltas, err)
+	}
+	if _, err := w.Since(5); !errors.Is(err, ErrFuture) {
+		t.Fatalf("Since(5) = %v, want ErrFuture", err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := grow(t, 3, 0, 10) // cap 3: keeps base + 3, so versions 7..10 after eviction
+
+	if n := w.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4 (base + cap)", n)
+	}
+	oldest, newest := w.Bounds()
+	if oldest != 7 || newest != 10 {
+		t.Fatalf("Bounds = [%d, %d], want [7, 10]", oldest, newest)
+	}
+	if _, _, err := w.At(6); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("At(evicted) = %v, want ErrOutOfWindow", err)
+	}
+	if _, err := w.Since(6); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("Since(evicted) = %v, want ErrOutOfWindow", err)
+	}
+	// The surviving base (LSN 7) serves reads but reports no delta: its ops
+	// were only meaningful relative to the now-evicted version 6.
+	snap, served, err := w.At(7)
+	if err != nil || served != 7 {
+		t.Fatalf("At(new base) = lsn %d, %v", served, err)
+	}
+	if got := snap.Count("mark", 1); got != 7 {
+		t.Fatalf("base snapshot has %d mark facts, want 7", got)
+	}
+}
+
+func TestWindowRejectsNonMonotonicAppend(t *testing.T) {
+	w := grow(t, 4, 0, 3)
+	if err := w.Append(3, nil, db.FreezeDB(db.New())); err == nil {
+		t.Fatal("Append(3) after 3 succeeded, want rejection")
+	}
+	if err := w.Append(2, nil, db.FreezeDB(db.New())); err == nil {
+		t.Fatal("Append(2) after 3 succeeded, want rejection")
+	}
+	if n := w.Len(); n != 4 {
+		t.Fatalf("rejected appends changed the window: Len = %d, want 4", n)
+	}
+}
+
+func TestWindowZeroCap(t *testing.T) {
+	w := grow(t, 0, 0, 5)
+	if n := w.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (only the latest version)", n)
+	}
+	_, served, err := w.At(5)
+	if err != nil || served != 5 {
+		t.Fatalf("At(5) = lsn %d, %v; want 5, nil", served, err)
+	}
+}
+
+func TestCheckpointerFiresOnWALSize(t *testing.T) {
+	var size atomic.Int64
+	var runs atomic.Int32
+	c := NewCheckpointer(
+		CheckpointPolicy{WALSize: 100},
+		size.Load,
+		func() error { runs.Add(1); size.Store(0); return nil },
+		nil,
+	)
+	c.poll = time.Millisecond
+	c.Start()
+	defer c.Stop()
+
+	time.Sleep(20 * time.Millisecond) // several polls below the threshold
+	if runs.Load() != 0 {
+		t.Fatal("checkpointer fired below the size threshold")
+	}
+	size.Store(150)
+	waitFor(t, "checkpoint after WAL grew past threshold", func() bool { return runs.Load() >= 1 })
+}
+
+func TestCheckpointerFiresOnInterval(t *testing.T) {
+	var runs atomic.Int32
+	c := NewCheckpointer(
+		CheckpointPolicy{Interval: 5 * time.Millisecond},
+		func() int64 { return 0 },
+		func() error { runs.Add(1); return nil },
+		nil,
+	)
+	c.Start()
+	defer c.Stop()
+	waitFor(t, "interval checkpoint", func() bool { return runs.Load() >= 2 })
+}
+
+func TestCheckpointerRetriesAfterFailure(t *testing.T) {
+	var runs atomic.Int32
+	c := NewCheckpointer(
+		CheckpointPolicy{WALSize: 1},
+		func() int64 { return 10 },
+		func() error {
+			if runs.Add(1) == 1 {
+				return fmt.Errorf("injected")
+			}
+			return nil
+		},
+		nil,
+	)
+	c.poll = time.Millisecond
+	c.Start()
+	defer c.Stop()
+	waitFor(t, "retry after failed checkpoint", func() bool { return runs.Load() >= 2 })
+}
+
+func TestCheckpointerDisabledPolicy(t *testing.T) {
+	c := NewCheckpointer(CheckpointPolicy{}, func() int64 { return 1 << 30 }, func() error {
+		t.Error("disabled checkpointer ran")
+		return nil
+	}, nil)
+	c.Start()
+	c.Start() // idempotent
+	c.Stop()  // returns immediately: done is closed by the disabled Start
+	c.Stop()
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

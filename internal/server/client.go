@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 
 	"repro/internal/analysis"
@@ -185,6 +186,45 @@ func (c *Client) TraceDump() (*obs.Span, error) {
 		return nil, err
 	}
 	return resp.Trace, nil
+}
+
+// Checkpoint triggers an incremental checkpoint on the server (snapshot +
+// WAL truncation, off the commit path) and returns the checkpoint's LSN.
+func (c *Client) Checkpoint() (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpCheckpoint})
+	if err != nil {
+		return 0, err
+	}
+	return resp.LSN, nil
+}
+
+// AsOf pins the session's reads to the historical version at lsn; QUERY
+// then answers from that point-in-time state and writes are refused until
+// AsOfOff. Returns the LSN actually served (the newest commit at or below
+// lsn). An LSN outside the retained window fails with CodeOutOfWindow.
+func (c *Client) AsOf(lsn uint64) (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpAsOf, Arg: strconv.FormatUint(lsn, 10)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.LSN, nil
+}
+
+// AsOfOff unpins the session, returning QUERY to the live database.
+func (c *Client) AsOfOff() error {
+	_, err := c.roundTrip(&Request{Op: OpAsOf, Arg: "off"})
+	return err
+}
+
+// Changes fetches the committed op deltas since lsn, in commit order — the
+// exact write sets that take the state at lsn to the current state. An LSN
+// outside the retained window fails with CodeOutOfWindow.
+func (c *Client) Changes(since uint64) ([]CommitDelta, error) {
+	resp, err := c.roundTrip(&Request{Op: OpChanges, Arg: strconv.FormatUint(since, 10)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Changes, nil
 }
 
 // Vet statically analyzes a program server-side without loading it,

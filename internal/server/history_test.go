@@ -1,0 +1,481 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// histSrc gives transactions insert and delete markers, so tests can
+// reconstruct any historical state from the changefeed.
+const histSrc = `
+put(X) :- ins.mark(X).
+take(X) :- del.mark(X).
+`
+
+func newDurableServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	if opts.Program == "" {
+		opts.Program = histSrc
+	}
+	opts.SnapshotPath = filepath.Join(dir, "td.snap")
+	opts.WALPath = filepath.Join(dir, "td.wal")
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func isCode(err error, code string) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == code
+}
+
+// queryMarks returns the set of mark(X) values visible to c's QUERY.
+func queryMarks(t *testing.T, c *Client) map[int]bool {
+	t.Helper()
+	sols, err := c.Query("mark(X)", 0)
+	if err != nil {
+		t.Fatalf("Query(mark(X)): %v", err)
+	}
+	got := map[int]bool{}
+	for _, s := range sols {
+		n, err := strconv.Atoi(s["X"])
+		if err != nil {
+			t.Fatalf("non-integer mark binding %q", s["X"])
+		}
+		got[n] = true
+	}
+	return got
+}
+
+var markAtomRe = regexp.MustCompile(`^mark\((-?\d+)\)$`)
+
+// replayDeltas applies the changefeed's mark ops onto state, in order,
+// skipping deltas past LSN upto (pass ^uint64(0) for all).
+func replayDeltas(t *testing.T, deltas []CommitDelta, state map[int]bool, upto uint64) {
+	t.Helper()
+	for _, d := range deltas {
+		if d.LSN > upto {
+			return
+		}
+		for _, op := range d.Ops {
+			m := markAtomRe.FindStringSubmatch(op.Atom)
+			if m == nil {
+				t.Fatalf("unexpected changefeed atom %q", op.Atom)
+			}
+			n, _ := strconv.Atoi(m[1])
+			switch op.Op {
+			case "ins":
+				state[n] = true
+			case "del":
+				delete(state, n)
+			default:
+				t.Fatalf("unexpected changefeed verb %q", op.Op)
+			}
+		}
+	}
+}
+
+func sameMarks(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestASOFMatchesChangefeed is the history subsystem's central contract:
+// the state ASOF any retained LSN equals the boot state plus exactly the
+// CHANGES deltas up to that LSN. Each is computed independently (pinned
+// snapshot reads vs. op replay), so agreement means both are correct.
+func TestASOFMatchesChangefeed(t *testing.T) {
+	s := newDurableServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+
+	boot := s.Version()
+	goals := []string{"put(1)", "put(2)", "take(1)", "put(3)", "put(4)", "take(2)"}
+	versions := []uint64{boot}
+	for _, g := range goals {
+		res, err := c.Exec(g)
+		if err != nil {
+			t.Fatalf("Exec(%s): %v", g, err)
+		}
+		versions = append(versions, res.Version)
+	}
+
+	deltas, err := c.Changes(boot)
+	if err != nil {
+		t.Fatalf("Changes(%d): %v", boot, err)
+	}
+	if len(deltas) != len(goals) {
+		t.Fatalf("Changes(%d): %d deltas, want %d", boot, len(deltas), len(goals))
+	}
+
+	for i, v := range versions {
+		replayed := map[int]bool{}
+		replayDeltas(t, deltas, replayed, v)
+
+		served, err := c.AsOf(v)
+		if err != nil {
+			t.Fatalf("AsOf(%d): %v", v, err)
+		}
+		if served != v {
+			t.Fatalf("AsOf(%d) served %d, want exact hit", v, served)
+		}
+		if got := queryMarks(t, c); !sameMarks(got, replayed) {
+			t.Fatalf("step %d: ASOF %d sees %v, changefeed replay says %v", i, v, got, replayed)
+		}
+	}
+
+	// Unpinned, QUERY returns to the live head.
+	if err := c.AsOfOff(); err != nil {
+		t.Fatal(err)
+	}
+	live := map[int]bool{}
+	replayDeltas(t, deltas, live, ^uint64(0))
+	if got := queryMarks(t, c); !sameMarks(got, live) {
+		t.Fatalf("after ASOF off: live reads see %v, want %v", got, live)
+	}
+}
+
+func TestASOFRefusesWritesWhilePinned(t *testing.T) {
+	s := newDurableServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+
+	res, err := c.Exec("put(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AsOf(res.Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("put(2)"); !isCode(err, CodeBadRequest) {
+		t.Fatalf("Exec while pinned = %v, want CodeBadRequest", err)
+	}
+	if err := c.Begin(); !isCode(err, CodeBadRequest) {
+		t.Fatalf("Begin while pinned = %v, want CodeBadRequest", err)
+	}
+	if err := c.Load("p(X) :- ins.q(X)."); !isCode(err, CodeBadRequest) {
+		t.Fatalf("Load while pinned = %v, want CodeBadRequest", err)
+	}
+	if err := c.AsOfOff(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("put(2)"); err != nil {
+		t.Fatalf("Exec after unpin: %v", err)
+	}
+
+	// Pinning inside an open transaction is refused outright.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AsOf(res.Version); !isCode(err, CodeBadRequest) {
+		t.Fatalf("ASOF inside txn = %v, want CodeBadRequest", err)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASOFOutOfWindow(t *testing.T) {
+	s := newDurableServer(t, Options{HistoryWindow: 2})
+	c := s.InProcClient()
+	defer c.Close()
+
+	boot := s.Version()
+	var last uint64
+	for i := 1; i <= 6; i++ {
+		res, err := c.Exec(fmt.Sprintf("put(%d)", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res.Version
+	}
+
+	// The boot version has been evicted (window keeps 2 + the base).
+	if _, err := c.AsOf(boot); !isCode(err, CodeOutOfWindow) {
+		t.Fatalf("AsOf(evicted) = %v, want CodeOutOfWindow", err)
+	}
+	if _, err := c.Changes(boot); !isCode(err, CodeOutOfWindow) {
+		t.Fatalf("Changes(evicted) = %v, want CodeOutOfWindow", err)
+	}
+	// The future is equally unreadable.
+	if _, err := c.AsOf(last + 1000); !isCode(err, CodeOutOfWindow) {
+		t.Fatalf("AsOf(future) = %v, want CodeOutOfWindow", err)
+	}
+	// The newest retained versions still serve.
+	if _, err := c.AsOf(last); err != nil {
+		t.Fatalf("AsOf(newest) = %v", err)
+	}
+	if deltas, err := c.Changes(last); err != nil || len(deltas) != 0 {
+		t.Fatalf("Changes(newest) = %v, %v; want caught-up empty stream", deltas, err)
+	}
+}
+
+// TestCheckpointVerb drives a manual CHECKPOINT end to end: the reported
+// LSN is the current version, the stats count it, and a restarted server
+// replays only the post-checkpoint suffix.
+func TestCheckpointVerb(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Program:      histSrc,
+		SnapshotPath: filepath.Join(dir, "td.snap"),
+		WALPath:      filepath.Join(dir, "td.wal"),
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.InProcClient()
+	for i := 1; i <= 20; i++ {
+		if _, err := c.Exec(fmt.Sprintf("put(%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsn, err := c.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if lsn != s.Version() {
+		t.Fatalf("checkpoint LSN %d, want current version %d", lsn, s.Version())
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 1 {
+		t.Fatalf("stats.Checkpoints = %d, want 1", st.Checkpoints)
+	}
+	// A couple of post-checkpoint commits form the replay suffix.
+	for i := 21; i <= 23; i++ {
+		if _, err := c.Exec(fmt.Sprintf("put(%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer s2.Close()
+	c2 := s2.InProcClient()
+	defer c2.Close()
+	st2, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.RecoveryReplayed == 0 || st2.RecoveryReplayed >= 20 {
+		t.Fatalf("RecoveryReplayed = %d, want a small nonzero suffix (checkpoint covered the first 20 commits)", st2.RecoveryReplayed)
+	}
+	if got := queryMarks(t, c2); len(got) != 23 {
+		t.Fatalf("restarted server sees %d marks, want 23", len(got))
+	}
+}
+
+func TestCheckpointRefusedInMemory(t *testing.T) {
+	s, err := New(Options{Program: histSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Checkpoint(); !isCode(err, CodeBadRequest) {
+		t.Fatalf("Checkpoint on in-memory server = %v, want CodeBadRequest", err)
+	}
+}
+
+// TestCommitsFlowDuringCheckpoint parks a checkpoint mid-snapshot (crash
+// hook held open on the "snapshot" stage) and proves commits still go
+// through — the checkpoint runs off the commit path.
+func TestCommitsFlowDuringCheckpoint(t *testing.T) {
+	s := newDurableServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+	for i := 1; i <= 5; i++ {
+		if _, err := c.Exec(fmt.Sprintf("put(%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inSnapshot := make(chan struct{})
+	release := make(chan struct{})
+	s.store.SetCheckpointHook(func(stage string) error {
+		if stage == "snapshot" {
+			close(inSnapshot)
+			<-release
+		}
+		return nil
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	ckptErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		cc := s.InProcClient()
+		defer cc.Close()
+		_, err := cc.Checkpoint()
+		ckptErr <- err
+	}()
+
+	<-inSnapshot
+	for i := 6; i <= 15; i++ {
+		if _, err := c.Exec(fmt.Sprintf("put(%d)", i)); err != nil {
+			t.Fatalf("Exec during checkpoint: %v", err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := queryMarks(t, c); len(got) != 15 {
+		t.Fatalf("after checkpoint: %d marks, want 15", len(got))
+	}
+}
+
+// TestPersistentLSNs: a restarted durable server continues the version
+// sequence instead of restarting from zero, so LSNs name commits stably
+// across the server's whole lifetime.
+func TestPersistentLSNs(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Program:      histSrc,
+		SnapshotPath: filepath.Join(dir, "td.snap"),
+		WALPath:      filepath.Join(dir, "td.wal"),
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.InProcClient()
+	var v1 uint64
+	for i := 1; i <= 3; i++ {
+		res, err := c.Exec(fmt.Sprintf("put(%d)", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 = res.Version
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Version(); got != v1 {
+		t.Fatalf("restarted version = %d, want %d", got, v1)
+	}
+	c2 := s2.InProcClient()
+	defer c2.Close()
+	res, err := c2.Exec("put(100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version <= v1 {
+		t.Fatalf("post-restart commit version %d did not advance past %d", res.Version, v1)
+	}
+	// The new window's base is the recovered state; history before it is
+	// gone (it lives in the snapshot+WAL, not in memory).
+	if served, err := c2.AsOf(v1); err != nil || served != v1 {
+		t.Fatalf("AsOf(recovered base) = %d, %v", served, err)
+	}
+	if got := queryMarks(t, c2); len(got) != 3 {
+		t.Fatalf("ASOF base sees %d marks, want 3", len(got))
+	}
+	if err := c2.AsOfOff(); err != nil {
+		t.Fatal(err)
+	}
+	if v1 > 0 {
+		if _, err := c2.AsOf(v1 - 1); !isCode(err, CodeOutOfWindow) {
+			t.Fatalf("AsOf(pre-boot) = %v, want CodeOutOfWindow", err)
+		}
+	}
+}
+
+// TestBackgroundCheckpointPolicy wires the -checkpoint.walsize policy
+// through Options and waits for the checkpointer to fire on its own.
+func TestBackgroundCheckpointPolicy(t *testing.T) {
+	s := newDurableServer(t, Options{CheckpointWALSize: 1}) // any commit trips it
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Exec("put(1)"); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, "background checkpoint", func() bool {
+		st, err := c.Stats()
+		return err == nil && st.Checkpoints >= 1
+	})
+}
+
+func waitForCond(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ASOF answers must come from the pinned snapshot even when the live head
+// has moved on — reads are repeatable for as long as the pin holds.
+func TestASOFReadsAreRepeatable(t *testing.T) {
+	s := newDurableServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+	w := s.InProcClient()
+	defer w.Close()
+
+	res, err := c.Exec("put(1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AsOf(res.Version); err != nil {
+		t.Fatal(err)
+	}
+	before := queryMarks(t, c)
+
+	// Another session rewrites history out from under the pin.
+	for i := 2; i <= 10; i++ {
+		if _, err := w.Exec(fmt.Sprintf("put(%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Exec("take(1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	after := queryMarks(t, c)
+	if !sameMarks(before, after) {
+		t.Fatalf("pinned reads drifted: %v then %v", before, after)
+	}
+	if !after[1] || len(after) != 1 {
+		t.Fatalf("pinned state = %v, want exactly {1}", after)
+	}
+}

@@ -102,6 +102,70 @@ func TestStatsSnapshotWireCompat(t *testing.T) {
 	}
 }
 
+// goldenPR6Stats extends the golden frame with the history-subsystem keys
+// (PR 6). They ride the same payload, omitted when zero, so PR-1 clients
+// never see them and newer clients decode them by name.
+const goldenPR6Stats = `{
+	"commits": 100, "version": 100,
+	"checkpoints": 4, "checkpoint_p99_us": 1500,
+	"recovery_replayed_records": 7
+}`
+
+func TestStatsSnapshotHistoryKeys(t *testing.T) {
+	var snap StatsSnapshot
+	if err := json.Unmarshal([]byte(goldenPR6Stats), &snap); err != nil {
+		t.Fatalf("golden PR-6 payload no longer decodes: %v", err)
+	}
+	if snap.Checkpoints != 4 || snap.CheckpointP99Us != 1500 || snap.RecoveryReplayed != 7 {
+		t.Fatalf("PR-6 fields decoded wrong: %+v", snap)
+	}
+
+	// Zero history counters stay off the wire (an in-memory server that
+	// never checkpointed emits a frame byte-identical to the pre-PR-6 one).
+	body, err := json.Marshal(StatsSnapshot{Commits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"checkpoints", "checkpoint_p99_us", "recovery_replayed_records"} {
+		if _, ok := wire[key]; ok {
+			t.Errorf("zero-valued history key %q leaked onto the wire", key)
+		}
+	}
+
+	// And a server that did checkpoint reports them.
+	s := newBankServer(t, Options{
+		SnapshotPath: t.TempDir() + "/td.snap",
+		WALPath:      t.TempDir() + "/td.wal",
+	})
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Exec("transfer(5, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := s.Stats()
+	if st.Checkpoints != 1 {
+		t.Fatalf("Stats.Checkpoints = %d, want 1", st.Checkpoints)
+	}
+	body, err = json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire = map[string]any{}
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wire["checkpoints"]; !ok {
+		t.Error("nonzero checkpoints missing from the wire frame")
+	}
+}
+
 // --- TRACE verb -----------------------------------------------------------
 
 func TestTraceVerb(t *testing.T) {
@@ -213,6 +277,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"td_db_lookups_total",
 		"td_sessions_open 1",
 		"td_version 1",
+		// History-subsystem series (PR 6) are always registered; their
+		// values stay 0 on an in-memory server that never checkpoints.
+		"# TYPE td_checkpoints_total counter",
+		"# TYPE td_checkpoint_duration_us histogram",
+		"td_recovery_replayed_records 0",
+		"td_wal_bytes 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q\n----\n%s", want, body)

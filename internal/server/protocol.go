@@ -37,6 +37,11 @@ const (
 	OpPing   = "PING"   // liveness
 	OpTrace  = "TRACE"  // toggle execution tracing / dump the last span tree
 	OpVet    = "VET"    // statically analyze a program without loading it
+
+	// Added with the history subsystem (PR 6).
+	OpCheckpoint = "CHECKPOINT" // snapshot the store and truncate the WAL
+	OpAsOf       = "ASOF"       // pin session reads to a historical LSN
+	OpChanges    = "CHANGES"    // committed op delta since an LSN
 )
 
 // Error codes carried in Response.Code.
@@ -50,6 +55,9 @@ const (
 	CodeShutdown   = "shutdown"    // server is shutting down
 	CodeInternal   = "internal"    // unexpected server-side failure
 	CodeVet        = "vet"         // static analysis rejected the program
+	// CodeOutOfWindow answers ASOF/CHANGES for an LSN outside the retained
+	// history window (evicted past, or not committed yet).
+	CodeOutOfWindow = "out_of_window"
 )
 
 // Request is one client frame.
@@ -60,7 +68,8 @@ type Request struct {
 	// Max bounds QUERY solution enumeration (0 = all).
 	Max int `json:"max,omitempty"`
 	// Arg carries verb modifiers: TRACE takes "on", "off", or "dump"
-	// (empty defaults to "dump").
+	// (empty defaults to "dump"); ASOF takes a decimal LSN or "off";
+	// CHANGES takes the decimal LSN to stream from.
 	Arg string `json:"arg,omitempty"`
 }
 
@@ -88,6 +97,25 @@ type Response struct {
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 	// Fragment is the paper-fragment classification reported by VET.
 	Fragment string `json:"fragment,omitempty"`
+	// Changes answers CHANGES: one delta per commit since the requested
+	// LSN, in commit order.
+	Changes []CommitDelta `json:"changes,omitempty"`
+	// LSN answers CHECKPOINT (the checkpoint's LSN) and ASOF (the LSN the
+	// session is now pinned to; 0 after "ASOF off").
+	LSN uint64 `json:"lsn,omitempty"`
+}
+
+// CommitDelta is one commit's effective write set on the wire.
+type CommitDelta struct {
+	LSN uint64   `json:"lsn"`
+	Ops []WireOp `json:"ops"`
+}
+
+// WireOp is one elementary update on the wire: "ins" or "del" plus the
+// ground atom in concrete TD syntax.
+type WireOp struct {
+	Op   string `json:"op"`
+	Atom string `json:"atom"`
 }
 
 // Frame format: a 4-byte big-endian payload length followed by a JSON

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/term"
@@ -83,6 +84,17 @@ type Options struct {
 	// error-severity diagnostics (unsafe updates, recursion through '|');
 	// the VET verb works either way.
 	NoVet bool
+	// CheckpointInterval checkpoints the store on a wall-clock cadence
+	// (durable mode only). Zero disables the timer trigger; the manual
+	// CHECKPOINT verb works regardless.
+	CheckpointInterval time.Duration
+	// CheckpointWALSize checkpoints whenever the WAL grows past this many
+	// bytes (durable mode only). Zero disables the size trigger.
+	CheckpointWALSize int64
+	// HistoryWindow bounds how many recent commit versions are retained
+	// for ASOF reads and CHANGES deltas. Default 256; negative disables
+	// retention (only the current version is addressable).
+	HistoryWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +130,11 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	if o.HistoryWindow == 0 {
+		o.HistoryWindow = 256
+	} else if o.HistoryWindow < 0 {
+		o.HistoryWindow = 0
+	}
 	return o
 }
 
@@ -147,6 +164,8 @@ type Server struct {
 	store   *db.Store    // nil in memory-only mode
 	group   *groupCommit // nil in memory-only or NoSync mode
 	frozen  db.FrozenDB
+	hist    *history.Window       // retained versions for ASOF/CHANGES
+	ckptr   *history.Checkpointer // nil in memory-only mode
 	version atomic.Uint64
 	floor   uint64 // the live commit log covers versions (floor, version]
 
@@ -243,8 +262,28 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.frozen = db.FreezeDB(s.head)
+	if s.store != nil {
+		// Commit versions are persistent: the version counter resumes from
+		// the recovered LSN so that version N names the same commit across
+		// restarts (the property ASOF, CHANGES, and the WAL's commit
+		// boundaries all build on). In-memory servers keep counting from 0.
+		boot := s.store.LastLSN()
+		s.version.Store(boot)
+		s.floor = boot
+		rec := s.store.Recovery()
+		s.stats.recoveryReplayed.Store(int64(rec.ReplayedRecords))
+	}
+	s.hist = history.NewWindow(opts.HistoryWindow, s.version.Load(), s.frozen)
 	if s.store != nil && !opts.NoSync {
 		s.group = newGroupCommit(s.store, &s.stats, opts.CommitMaxBatch, opts.CommitMaxDelay)
+	}
+	if s.store != nil {
+		s.ckptr = history.NewCheckpointer(
+			history.CheckpointPolicy{Interval: opts.CheckpointInterval, WALSize: opts.CheckpointWALSize},
+			s.store.WALSize,
+			func() error { _, err := s.Checkpoint(); return err },
+			opts.Logger)
+		s.ckptr.Start()
 	}
 	return s, nil
 }
@@ -267,7 +306,10 @@ func (s *Server) installFacts(facts []term.Atom) error {
 		ops[i] = db.Op{Insert: true, Pred: f.Pred, Row: f.Args}
 	}
 	if s.store != nil {
-		if _, err := s.store.ApplyOps(ops); err != nil {
+		// The seed installation is a real commit with a real LSN; recovery
+		// must be able to tell it apart from (and order it against) every
+		// later commit.
+		if _, err := s.store.ApplyCommit(ops, s.store.LastLSN()+1); err != nil {
 			return err
 		}
 		return s.store.Commit()
@@ -501,8 +543,11 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			return 0, errConflict
 		}
 	}
+	lsn := snapVer + uint64(len(delta)) + 1
 	if s.store != nil {
-		if _, err := s.store.ApplyOps(ops); err != nil {
+		// The WAL block carries the commit's LSN, so recovery and the
+		// checkpointer can name durable prefixes by commit version.
+		if _, err := s.store.ApplyCommit(ops, lsn); err != nil {
 			s.mu.Unlock()
 			return 0, err
 		}
@@ -511,10 +556,13 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		s.head.ResetTrail()
 	}
 	s.frozen = s.frozen.ApplyOps(ops)
-	lsn := snapVer + uint64(len(delta)) + 1
 	s.version.Store(lsn)
 	rec.version = lsn
 	s.clog = append(s.clog, rec)
+	// Retain the version for time travel: the ops are the immutable commit
+	// record's write set, the snapshot is the O(1)-forked frozen head.
+	// Monotonicity is guaranteed under mu, so Append cannot fail.
+	_ = s.hist.Append(lsn, ops, s.frozen)
 	// Cap the delta slice so later appends by other committers stay out of
 	// reach; the committer folds it into its replica after the lock drops.
 	delta = delta[:len(delta):len(delta)]
@@ -599,16 +647,33 @@ func (s *Server) Snapshot() db.FrozenDB {
 // Version returns the current commit version (lock-free).
 func (s *Server) Version() uint64 { return s.version.Load() }
 
-// Checkpoint writes a snapshot file and truncates the WAL (durable mode
-// only). Safe to call while serving: commits are excluded for the duration.
-func (s *Server) Checkpoint() error {
+// Checkpoint takes an incremental checkpoint (durable mode only): it
+// captures the current frozen view and its LSN under a short lock, writes
+// the snapshot file from that immutable view with the commit path
+// UNLOCKED — commits keep flowing for the whole write — then truncates the
+// WAL prefix the snapshot covers. Returns the checkpoint's LSN. Safe to
+// call concurrently (the store serializes checkpoints) and while serving.
+func (s *Server) Checkpoint() (uint64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.store == nil {
-		return errors.New("server: in-memory server has no store to checkpoint")
+		s.mu.Unlock()
+		return 0, errors.New("server: in-memory server has no store to checkpoint")
 	}
-	return s.store.Checkpoint()
+	frozen := s.frozen
+	lsn := s.version.Load()
+	store := s.store
+	s.mu.Unlock()
+	started := time.Now()
+	if err := store.CheckpointFrom(frozen, lsn); err != nil {
+		return 0, err
+	}
+	s.stats.checkpoints.Add(1)
+	s.stats.ckptLat.Observe(time.Since(started).Microseconds())
+	return lsn, nil
 }
+
+// History exposes the retained-version window backing ASOF and CHANGES.
+func (s *Server) History() *history.Window { return s.hist }
 
 // Stats returns a consistent snapshot of the server counters.
 func (s *Server) Stats() StatsSnapshot {
@@ -654,6 +719,10 @@ func (s *Server) Stats() StatsSnapshot {
 
 		GroupCommits:   s.stats.groupCommits.Load(),
 		CommitBatchP99: s.stats.batchSize.Quantile(0.99),
+
+		Checkpoints:      s.stats.checkpoints.Load(),
+		CheckpointP99Us:  s.stats.ckptLat.Quantile(0.99),
+		RecoveryReplayed: s.stats.recoveryReplayed.Load(),
 	}
 	if stale, rw := s.stats.conflictStale.Load(), s.stats.conflictRW.Load(); stale > 0 || rw > 0 {
 		snap.ConflictCauses = map[string]int64{}
@@ -699,6 +768,11 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
+	// Stop the checkpointer first: a checkpoint in flight rotates the WAL,
+	// and the store should be quiescent before its final sync.
+	if s.ckptr != nil {
+		s.ckptr.Stop()
+	}
 	// Sessions have unwound, so no commit is waiting on the flusher; drain
 	// it (one final sync covers any appended tail), then close the store.
 	s.group.close()

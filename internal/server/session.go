@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"repro/internal/analysis"
@@ -37,6 +38,12 @@ type session struct {
 	rs        *readSet  // active transaction's read set (nil outside one)
 	rsBuf     *readSet  // recycled storage; see freshReadSet
 	deadline  time.Time // wall-clock bound for the currently running goal
+
+	// ASOF pinning: while asOf is non-nil, QUERY reads this thawed
+	// historical version instead of the live replica, and writes are
+	// refused (the past is read-only).
+	asOf    *db.DB
+	asOfLSN uint64
 
 	traceOn  bool      // session-level TRACE on/off toggle
 	lastSpan *obs.Span // span tree of the most recent successful goal
@@ -144,6 +151,12 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleTrace(req)
 	case OpVet:
 		return sess.handleVet(req)
+	case OpCheckpoint:
+		return sess.handleCheckpoint()
+	case OpAsOf:
+		return sess.handleAsOf(req)
+	case OpChanges:
+		return sess.handleChanges(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -155,6 +168,9 @@ func (sess *session) handle(req *Request) *Response {
 func (sess *session) handleLoad(req *Request) *Response {
 	if sess.inTxn {
 		return fail(CodeBadRequest, "LOAD inside an open transaction")
+	}
+	if sess.asOf != nil {
+		return fail(CodeBadRequest, "LOAD while pinned AS OF %d (the past is read-only; ASOF off first)", sess.asOfLSN)
 	}
 	prog, err := parser.Parse(req.Program)
 	if err != nil {
@@ -222,6 +238,9 @@ func (sess *session) handleBegin() *Response {
 	if sess.inTxn {
 		return fail(CodeBadRequest, "transaction already open")
 	}
+	if sess.asOf != nil {
+		return fail(CodeBadRequest, "BEGIN while pinned AS OF %d (the past is read-only; ASOF off first)", sess.asOfLSN)
+	}
 	sess.srv.syncSession(sess)
 	sess.varHigh = sess.prog.VarHigh
 	sess.inTxn = true
@@ -231,14 +250,15 @@ func (sess *session) handleBegin() *Response {
 	return &Response{OK: true, Version: sess.version}
 }
 
-// addEngineStats folds a finished goal's engine statistics and the session
-// replica's database counter delta into the server-wide aggregates.
-func (sess *session) addEngineStats(st engine.Stats, before db.Counters) {
+// addEngineStats folds a finished goal's engine statistics and the read
+// database's counter delta into the server-wide aggregates. d is whichever
+// database the goal ran against (the live replica, or an ASOF pin).
+func (sess *session) addEngineStats(d *db.DB, st engine.Stats, before db.Counters) {
 	s := &sess.srv.stats
 	s.engineSteps.Add(st.Steps)
 	s.engineUnifs.Add(st.Unifications)
 	s.engineTable.Add(st.TableHits)
-	after := sess.d.Counters()
+	after := d.Counters()
 	s.dbLookups.Add(after.Lookups - before.Lookups)
 	s.dbIndexHits.Add(after.IndexHits - before.IndexHits)
 	s.dbScans.Add(after.Scans - before.Scans)
@@ -278,7 +298,7 @@ func (sess *session) runGoal(g ast.Goal) (*engine.Result, *Response) {
 	res, _, err := sess.eng.ProveDelta(g, sess.d)
 	sess.d.SetReadHook(nil)
 	if res != nil {
-		sess.addEngineStats(res.Stats, before)
+		sess.addEngineStats(sess.d, res.Stats, before)
 	}
 	if err != nil {
 		var wv *engine.WatchViolation
@@ -380,6 +400,9 @@ func (sess *session) handleExec(req *Request) *Response {
 	if sess.inTxn {
 		return fail(CodeBadRequest, "EXEC inside an open transaction")
 	}
+	if sess.asOf != nil {
+		return fail(CodeBadRequest, "EXEC while pinned AS OF %d (the past is read-only; ASOF off first)", sess.asOfLSN)
+	}
 	sess.varHigh = sess.prog.VarHigh
 	g, errResp := sess.parseGoal(req.Goal)
 	if errResp != nil {
@@ -421,7 +444,8 @@ func (sess *session) handleExec(req *Request) *Response {
 
 // handleQuery enumerates solutions without keeping effects. Inside a
 // transaction it reads the transaction's state (and its reads count toward
-// validation); outside, it reads a fresh snapshot.
+// validation); outside, it reads a fresh snapshot — or, when the session is
+// pinned with ASOF, the thawed historical version.
 func (sess *session) handleQuery(req *Request) *Response {
 	if !sess.inTxn {
 		sess.srv.syncSession(sess)
@@ -431,14 +455,18 @@ func (sess *session) handleQuery(req *Request) *Response {
 	if errResp != nil {
 		return errResp
 	}
+	d := sess.d
+	if sess.asOf != nil && !sess.inTxn {
+		d = sess.asOf
+	}
 	if sess.inTxn {
 		sess.d.SetReadHook(sess.rs.observe)
 		defer sess.d.SetReadHook(nil)
 	}
 	sess.deadline = time.Now().Add(sess.srv.opts.MaxGoalTime)
-	before := sess.d.Counters()
+	before := d.Counters()
 	var sols []map[string]string
-	res, err := sess.eng.Enumerate(g, sess.d, req.Max, func(b map[string]term.Term) bool {
+	res, err := sess.eng.Enumerate(g, d, req.Max, func(b map[string]term.Term) bool {
 		m := bindingsWire(b)
 		if m == nil {
 			m = map[string]string{}
@@ -447,7 +475,7 @@ func (sess *session) handleQuery(req *Request) *Response {
 		return true
 	})
 	if res != nil {
-		sess.addEngineStats(res.Stats, before)
+		sess.addEngineStats(d, res.Stats, before)
 	}
 	if err != nil {
 		var wv *engine.WatchViolation
@@ -496,4 +524,71 @@ func (sess *session) handleTrace(req *Request) *Response {
 	default:
 		return fail(CodeBadRequest, "TRACE takes on, off, or dump; got %q", req.Arg)
 	}
+}
+
+// handleCheckpoint triggers an incremental checkpoint and reports its LSN.
+// Commits keep flowing while it runs; only durable servers can checkpoint.
+func (sess *session) handleCheckpoint() *Response {
+	lsn, err := sess.srv.Checkpoint()
+	if err != nil {
+		if sess.srv.store == nil {
+			return fail(CodeBadRequest, "%v", err)
+		}
+		return fail(CodeInternal, "checkpoint: %v", err)
+	}
+	return &Response{OK: true, LSN: lsn}
+}
+
+// handleAsOf pins the session's reads to a historical version ("ASOF 42"),
+// or unpins them ("ASOF off"). While pinned, QUERY answers from the thawed
+// version and every write verb is refused.
+func (sess *session) handleAsOf(req *Request) *Response {
+	if sess.inTxn {
+		return fail(CodeBadRequest, "ASOF inside an open transaction")
+	}
+	if req.Arg == "off" {
+		sess.asOf = nil
+		sess.asOfLSN = 0
+		return &Response{OK: true}
+	}
+	lsn, err := strconv.ParseUint(req.Arg, 10, 64)
+	if err != nil {
+		return fail(CodeBadRequest, "ASOF takes a decimal LSN or %q; got %q", "off", req.Arg)
+	}
+	snap, served, err := sess.srv.hist.At(lsn)
+	if err != nil {
+		return fail(CodeOutOfWindow, "%v", err)
+	}
+	sess.asOf = snap.Thaw()
+	sess.asOfLSN = served
+	return &Response{OK: true, LSN: served}
+}
+
+// handleChanges streams the committed op deltas since an LSN — the exact
+// write sets, in commit order, that take the state at that LSN to the
+// current state. Out-of-window and not-yet-committed LSNs are refused with
+// CodeOutOfWindow.
+func (sess *session) handleChanges(req *Request) *Response {
+	lsn, err := strconv.ParseUint(req.Arg, 10, 64)
+	if err != nil {
+		return fail(CodeBadRequest, "CHANGES takes the decimal LSN to stream from; got %q", req.Arg)
+	}
+	deltas, err := sess.srv.hist.Since(lsn)
+	if err != nil {
+		return fail(CodeOutOfWindow, "%v", err)
+	}
+	out := make([]CommitDelta, len(deltas))
+	for i, d := range deltas {
+		ops := make([]WireOp, len(d.Ops))
+		for j := range d.Ops {
+			o := &d.Ops[j]
+			verb := "del"
+			if o.Insert {
+				verb = "ins"
+			}
+			ops[j] = WireOp{Op: verb, Atom: term.Atom{Pred: o.Pred, Args: o.Row}.String()}
+		}
+		out[i] = CommitDelta{LSN: d.LSN, Ops: ops}
+	}
+	return &Response{OK: true, Changes: out, Version: sess.srv.Version()}
 }

@@ -31,6 +31,9 @@ type serverStats struct {
 	groupCommits  atomic.Int64 // WAL sync batches that made >=1 commit durable
 	vetRejects    atomic.Int64 // LOADs refused by static analysis
 
+	checkpoints      atomic.Int64 // completed checkpoints (manual + policy)
+	recoveryReplayed atomic.Int64 // WAL op records replayed at the last boot
+
 	// Engine and database work, aggregated per served goal.
 	engineSteps atomic.Int64
 	engineUnifs atomic.Int64
@@ -44,11 +47,12 @@ type serverStats struct {
 	commitLat *obs.Histogram
 	fsyncLat  *obs.Histogram
 	batchSize *obs.Histogram            // commits made durable per WAL sync
+	ckptLat   *obs.Histogram            // checkpoint wall-clock duration
 	verbLat   map[string]*obs.Histogram // fixed verb set, built at init
 }
 
 // statVerbs is the fixed set of per-verb latency series.
-var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet}
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges}
 
 // init creates the histograms and registers every instrument with reg.
 func (st *serverStats) init(reg *obs.Registry) {
@@ -58,6 +62,8 @@ func (st *serverStats) init(reg *obs.Registry) {
 		"WAL flush+fsync latency at commit in microseconds")
 	st.batchSize = reg.Histogram("td_commit_batch_size",
 		"commits made durable per group-commit WAL sync")
+	st.ckptLat = reg.Histogram("td_checkpoint_duration_us",
+		"checkpoint duration (snapshot write + WAL truncation) in microseconds")
 	st.verbLat = make(map[string]*obs.Histogram, len(statVerbs))
 	for _, v := range statVerbs {
 		st.verbLat[v] = reg.HistogramL("td_request_latency_us",
@@ -82,6 +88,8 @@ func (st *serverStats) init(reg *obs.Registry) {
 	cf("td_fsyncs_total", "WAL fsyncs performed at commit", &st.fsyncs)
 	cf("td_group_commits_total", "group-commit WAL sync batches covering at least one commit", &st.groupCommits)
 	cf("td_vet_rejections_total", "programs refused at LOAD by static analysis", &st.vetRejects)
+	cf("td_checkpoints_total", "checkpoints completed (manual CHECKPOINT + background policy)", &st.checkpoints)
+	reg.GaugeFunc("td_recovery_replayed_records", "WAL op records replayed by the last recovery", st.recoveryReplayed.Load)
 	cf("td_engine_steps_total", "derivation steps across served goals", &st.engineSteps)
 	cf("td_engine_unifications_total", "head-unification attempts across served goals", &st.engineUnifs)
 	cf("td_engine_table_hits_total", "failure-table prunings across served goals", &st.engineTable)
@@ -144,4 +152,9 @@ type StatsSnapshot struct {
 	// Added with the group-commit pipeline (PR 5).
 	GroupCommits   int64 `json:"group_commits,omitempty"`
 	CommitBatchP99 int64 `json:"commit_batch_p99,omitempty"`
+
+	// Added with the history subsystem (PR 6).
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	CheckpointP99Us  int64 `json:"checkpoint_p99_us,omitempty"`
+	RecoveryReplayed int64 `json:"recovery_replayed_records,omitempty"`
 }

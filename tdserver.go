@@ -27,6 +27,11 @@ type (
 	ServerError = server.Error
 	// ServerExecResult reports a one-shot EXEC transaction.
 	ServerExecResult = server.ExecResult
+	// ServerCommitDelta is one committed transaction's write set as
+	// reported by the CHANGES changefeed (see docs/PERSISTENCE.md).
+	ServerCommitDelta = server.CommitDelta
+	// ServerWireOp is a single insert/delete within a ServerCommitDelta.
+	ServerWireOp = server.WireOp
 	// Span is one node of a structured execution trace (see docs/OBSERVABILITY.md).
 	Span = obs.Span
 	// SpanSink receives span trees of traced transactions.
