@@ -28,30 +28,36 @@ race:
 check: vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/server ./internal/db ./internal/term ./internal/obs ./internal/history
-	$(GO) test -race -count=2 -run 'TestGroupCommit|TestConcurrentTransfers' ./internal/server
+	$(GO) test -race -count=2 -run 'TestGroupCommit|TestConcurrentTransfers|TestShardedSerializabilityHammer' ./internal/server
 	$(GO) test -race -count=2 -run 'TestCheckpoint|TestWALv1|TestASOF|TestPersistentLSNs|TestCommitsFlowDuringCheckpoint' ./internal/db ./internal/server
 
 cover:
 	$(GO) test -short -cover ./...
 
 # Fixed-iteration run of the hot-path benchmarks, recorded as
-# BENCH_PR5.json in two sections: "disabled" (observability instrumented
-# but no tracing) and "enabled" (full structured tracing into a sink).
-# Durable throughput — the group-commit pipeline under 1/4/8 clients —
-# runs time-based (fsync cost varies too much across machines for a fixed
-# iteration count) and lands in the "disabled" section alongside the
-# in-memory numbers.
+# BENCH_PR7.json in three sections: "disabled" (observability instrumented
+# but no tracing) — which includes the sharded-store workloads, disjoint
+# (every client in a private commit lane) and contended (shared accounts,
+# mostly cross-lane) — "durable" (real WAL + fsync per acknowledged
+# commit), and "enabled" (full structured tracing into a sink). Durable
+# throughput runs time-based (fsync cost varies too much across machines
+# for a fixed iteration count). Fixed-iteration sections run -count=10,
+# the durable section -count=5, and benchjson records the median
+# repetition per benchmark: this shared VM's scheduling/fsync noise floor
+# is wider than the bench-compare gate, and the median is the robust
+# estimator that keeps one stall or one turbo window out of the committed
+# record.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$' \
-		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR5.json > BENCH_PR5.json.tmp
-	mv BENCH_PR5.json.tmp BENCH_PR5.json
-	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughputDurable$$' \
-		-benchtime=4s -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR5.json > BENCH_PR5.json.tmp
-	mv BENCH_PR5.json.tmp BENCH_PR5.json
+	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$|BenchmarkServerThroughputDisjoint$$|BenchmarkServerThroughputContended$$' \
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR7.json > BENCH_PR7.json.tmp
+	mv BENCH_PR7.json.tmp BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughputDurable$$|BenchmarkServerThroughputDisjointDurable$$|BenchmarkServerThroughputContendedDurable$$' \
+		-benchtime=4s -count=5 -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR7.json > BENCH_PR7.json.tmp
+	mv BENCH_PR7.json.tmp BENCH_PR7.json
 	$(GO) test -run '^$$' -bench 'BenchmarkProverTransferTraced$$|BenchmarkServerThroughputTraced$$' \
-		-benchtime=3000x -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR5.json > BENCH_PR5.json.tmp
-	mv BENCH_PR5.json.tmp BENCH_PR5.json
-	@cat BENCH_PR5.json
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR7.json > BENCH_PR7.json.tmp
+	mv BENCH_PR7.json.tmp BENCH_PR7.json
+	@cat BENCH_PR7.json
 
 # Bounded-recovery numbers, recorded as BENCH_PR6.json: cold-start time
 # over growing WAL histories, with and without an incremental checkpoint
@@ -64,9 +70,18 @@ recovery-bench:
 	@cat BENCH_PR6.json
 
 # Gate this PR's committed numbers against the previous PR's: any shared
-# benchmark more than 10% slower (ns/op) fails the target.
+# benchmark more than 10% slower (ns/op) fails the target. The sharded
+# store runs every pre-existing benchmark through a single lane (the
+# default on 1-core machines), so the shared names gate the shards=1
+# regression budget directly. The baseline is BENCH_PR6.json, whose
+# hot-path sections were recorded from the PR-6 tree back to back with
+# BENCH_PR7.json on the same machine: diffing against BENCH_PR5.json
+# directly mixes host drift (fsync latency, allocator/GC throughput vary
+# across recording days on this VM) into the code delta — the PR-6 tree
+# re-measured today reproduces BENCH_PR5's SimLab/Traced numbers 20-30%
+# slower with zero intervening code changes.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
 
 # Span-tree smoke test: prove the concurrent two-workflow goal with tracing
 # on and check that the rendered tree shows the expected structure — iso

@@ -8,7 +8,13 @@
 //
 // Each benchmark line becomes an object keyed by benchmark name with
 // ns_per_op, bytes_per_op, allocs_per_op, iterations, and any extra custom
-// metrics (e.g. commits/sec). With -merge, the existing document's other
+// metrics (e.g. commits/sec). When the same benchmark appears more than
+// once (a `-count=N` run), the repetition with the median ns/op is kept.
+// The median rather than the mean or minimum because shared-host noise is
+// two-sided: steal/fsync stalls produce slow outliers and turbo phases
+// produce fast ones, and min-of-N turns the recording into a race for the
+// luckiest scheduling window while one stall poisons a mean. With -merge,
+// the existing document's other
 // labels are preserved and this run is added (or replaced) under -label:
 // that is how BENCH_PR2.json keeps a frozen "baseline" section next to the
 // current "post" numbers.
@@ -156,8 +162,9 @@ func runCompare(args []string, threshold float64) int {
 // parseBench reads go-test benchmark output, returning results keyed by
 // benchmark name (with the -N GOMAXPROCS suffix kept, since throughput
 // benchmarks are parallelism-sensitive) and the goos/goarch/cpu banner.
+// Repeated names (a -count=N run) collapse to the median-ns/op repetition.
 func parseBench(f *os.File) (map[string]benchResult, map[string]string) {
-	results := map[string]benchResult{}
+	reps := map[string][]benchResult{}
 	meta := map[string]string{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -200,7 +207,12 @@ func parseBench(f *os.File) (map[string]benchResult, map[string]string) {
 				r.Extra[unit] = val
 			}
 		}
-		results[name] = r
+		reps[name] = append(reps[name], r)
+	}
+	results := make(map[string]benchResult, len(reps))
+	for name, rs := range reps {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].NsPerOp < rs[j].NsPerOp })
+		results[name] = rs[(len(rs)-1)/2]
 	}
 	return results, meta
 }

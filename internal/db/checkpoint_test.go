@@ -3,6 +3,7 @@ package db
 import (
 	"errors"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 
@@ -364,5 +365,76 @@ func TestReadManifest(t *testing.T) {
 	}
 	if man.FormatVersion != 2 || man.LSN != 7 || man.Records != 7 {
 		t.Fatalf("manifest = %+v, want v2 at LSN 7 with 7 records", man)
+	}
+}
+
+// A checkpoint taken under one shard count pins it: reopening under a
+// different -store.shards would repartition the commit lanes out from under
+// the recovered state, so PinShards refuses with an error naming both
+// counts. Matching counts — and stores that never pinned — keep working.
+func TestCheckpointPinsShardCount(t *testing.T) {
+	snap, wal := tmpPaths(t)
+	s, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PinShards(2); err != nil {
+		t.Fatalf("PinShards(2) on a fresh store: %v", err)
+	}
+	insertMarks(t, s, 1, 9)
+	if err := s.CheckpointFrom(FreezeDB(s.DB), s.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	man, err := ReadManifest(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != 3 || man.Shards != 2 {
+		t.Fatalf("manifest = %+v, want v3 recording 2 shards", man)
+	}
+
+	s2, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Recovery().SnapshotShards; got != 2 {
+		t.Fatalf("SnapshotShards = %d, want 2", got)
+	}
+	if err := s2.PinShards(3); err == nil {
+		t.Fatal("PinShards(3) over a 2-shard checkpoint: want error, got nil")
+	} else if !strings.Contains(err.Error(), "-store.shards=2") {
+		t.Fatalf("PinShards(3) error %q does not name the pinned count", err)
+	}
+	if err := s2.PinShards(2); err != nil {
+		t.Fatalf("PinShards(2) over a 2-shard checkpoint: %v", err)
+	}
+	if !containsMark(s2, 9) {
+		t.Fatal("recovered store is missing mark(9)")
+	}
+}
+
+// A store that never pins shards keeps writing the pre-sharding manifest
+// byte format: v2, no shard field. Single-lane deployments and old tools
+// see unchanged checkpoint files.
+func TestUnpinnedCheckpointStaysV2(t *testing.T) {
+	snap, wal := tmpPaths(t)
+	s, err := OpenStore(snap, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertMarks(t, s, 1, 3)
+	if err := s.CheckpointFrom(FreezeDB(s.DB), s.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	man, err := ReadManifest(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != 2 || man.Shards != 0 {
+		t.Fatalf("manifest = %+v, want v2 with no shard count", man)
 	}
 }

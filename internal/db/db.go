@@ -104,11 +104,24 @@ const (
 // read sets over-approximate the witness path — a sound direction for
 // conflict detection. Keys passed to the hook are the portable canonical
 // encodings of term.KeyOf (matching Op.Key), computed only when a hook is
-// installed.
-type ReadHook func(kind ReadKind, pred string, arity int, key string)
+// installed. first is the ground code (term.Code) of the tuple's first
+// argument for ReadKey/ReadPrefix observations with arity > 0, and 0
+// otherwise — codes are never 0, so 0 unambiguously means "no first
+// argument". Shard-aware callers feed it to ShardOf to tag the read with
+// the shard the observed tuples live in.
+type ReadHook func(kind ReadKind, pred string, arity int, key string, first uint64)
 
 // SetReadHook installs (or, with nil, removes) the read observation hook.
 func (d *DB) SetReadHook(h ReadHook) { d.readHook = h }
+
+// firstCode returns the ground code of a row's first argument, or 0 for a
+// zero-arity row (codes are tagged in their low bits and are never 0).
+func firstCode(row []term.Term) uint64 {
+	if len(row) == 0 {
+		return 0
+	}
+	return row[0].Code()
+}
 
 // trow is one stored tuple: the row plus its own binary key, kept so that
 // deletion and undo never rebuild or re-allocate the key.
@@ -273,7 +286,7 @@ func (d *DB) Count(pred string, arity int) int {
 // This implements the elementary test empty.p.
 func (d *DB) IsEmpty(pred string) bool {
 	if d.readHook != nil {
-		d.readHook(ReadPred, pred, -1, "")
+		d.readHook(ReadPred, pred, -1, "", 0)
 	}
 	for _, r := range d.rels {
 		if r.pred == pred && len(r.rows) > 0 {
@@ -289,7 +302,7 @@ func (d *DB) Contains(pred string, row []term.Term) bool {
 	kb := term.AppendKey(d.keyBuf[:0], row)
 	d.keyBuf = kb
 	if d.readHook != nil {
-		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row), firstCode(row))
 	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
@@ -308,7 +321,7 @@ func (d *DB) Insert(pred string, row []term.Term) bool {
 	d.keyBuf = kb
 	if d.readHook != nil {
 		// Set semantics make every update observe its tuple's presence.
-		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row), firstCode(row))
 	}
 	if _, ok := r.rows[string(kb)]; ok {
 		return false
@@ -328,7 +341,7 @@ func (d *DB) Delete(pred string, row []term.Term) bool {
 	kb := term.AppendKey(d.keyBuf[:0], row)
 	d.keyBuf = kb
 	if d.readHook != nil {
-		d.readHook(ReadKey, pred, len(row), term.KeyOf(row))
+		d.readHook(ReadKey, pred, len(row), term.KeyOf(row), firstCode(row))
 	}
 	r := d.rel(pred, len(row), false)
 	if r == nil {
@@ -495,11 +508,11 @@ func (d *DB) Scan(pred string, args []term.Term, env *term.Env, yield func() boo
 		// when the relation does not exist yet: observing absence is a read.
 		switch {
 		case ground:
-			d.readHook(ReadKey, pred, len(args), term.KeyOf(resolved))
+			d.readHook(ReadKey, pred, len(args), term.KeyOf(resolved), firstCode(resolved))
 		case d.useIndex && !resolved[0].IsVar():
-			d.readHook(ReadPrefix, pred, len(args), term.KeyOf(resolved[:1]))
+			d.readHook(ReadPrefix, pred, len(args), term.KeyOf(resolved[:1]), resolved[0].Code())
 		default:
-			d.readHook(ReadRel, pred, len(args), "")
+			d.readHook(ReadRel, pred, len(args), "", 0)
 		}
 	}
 	r := d.rel(pred, len(args), false)

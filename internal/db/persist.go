@@ -368,18 +368,32 @@ func (t *teeReader) ReadByte() (byte, error) {
 }
 
 // Manifest describes a snapshot file: its format version, the LSN of the
-// last commit it covers, and its record count.
+// last commit it covers, its record count, and — for snapshots written by
+// a sharded store (format version 3) — the shard count the store was
+// partitioned into when the checkpoint was taken. Shards is 0 for v1/v2
+// snapshots and for stores that never pinned a shard count.
 type Manifest struct {
 	FormatVersion int    `json:"format_version"`
 	LSN           uint64 `json:"lsn"`
 	Records       uint64 `json:"records"`
+	Shards        int    `json:"shards,omitempty"`
 }
 
-func encodeManifest(version int, lsn, count uint64) []byte {
+// encodeManifest picks the format version from what it has to record: a
+// pinned shard count needs the v3 header's extra field; without one the
+// header is byte-identical to every v2 snapshot ever written.
+func encodeManifest(lsn, count uint64, shards int) []byte {
 	var buf []byte
-	buf = binary.AppendUvarint(buf, uint64(version))
+	if shards > 0 {
+		buf = binary.AppendUvarint(buf, 3)
+	} else {
+		buf = binary.AppendUvarint(buf, 2)
+	}
 	buf = binary.AppendUvarint(buf, lsn)
 	buf = binary.AppendUvarint(buf, count)
+	if shards > 0 {
+		buf = binary.AppendUvarint(buf, uint64(shards))
+	}
 	sum := crc32.ChecksumIEEE(buf)
 	return binary.LittleEndian.AppendUint32(buf, sum)
 }
@@ -399,6 +413,12 @@ func readManifestHeader(r *bufio.Reader) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
+	var shards uint64
+	if version >= 3 {
+		if shards, err = binary.ReadUvarint(tee); err != nil {
+			return Manifest{}, err
+		}
+	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
 		return Manifest{}, err
@@ -406,7 +426,7 @@ func readManifestHeader(r *bufio.Reader) (Manifest, error) {
 	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(raw) {
 		return Manifest{}, errors.New("manifest checksum mismatch")
 	}
-	return Manifest{FormatVersion: int(version), LSN: lsn, Records: count}, nil
+	return Manifest{FormatVersion: int(version), LSN: lsn, Records: count, Shards: int(shards)}, nil
 }
 
 // syncDir fsyncs path's parent directory, making a just-renamed or created
@@ -429,7 +449,7 @@ func syncDir(path string) error {
 // fsynced, renamed over path, and sealed with a parent-directory fsync.
 // midHook, when non-nil, runs with the temp file written but nothing
 // renamed (checkpoint crash injection; see Store.SetCheckpointHook).
-func writeSnapshotFile(path string, lsn, count uint64, emit func(w *bufio.Writer) error, midHook func() error) error {
+func writeSnapshotFile(path string, lsn, count uint64, shards int, emit func(w *bufio.Writer) error, midHook func() error) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -440,7 +460,7 @@ func writeSnapshotFile(path string, lsn, count uint64, emit func(w *bufio.Writer
 		f.Close()
 		return err
 	}
-	if _, err := w.Write(encodeManifest(2, lsn, count)); err != nil {
+	if _, err := w.Write(encodeManifest(lsn, count, shards)); err != nil {
 		f.Close()
 		return err
 	}
@@ -475,7 +495,7 @@ func writeSnapshotFile(path string, lsn, count uint64, emit func(w *bufio.Writer
 // a v2 snapshot with a zero-LSN manifest. Callers with a real checkpoint
 // LSN go through the Store checkpointing paths instead.
 func WriteSnapshot(d *DB, path string) error {
-	return writeSnapshotFile(path, 0, uint64(d.Size()), func(w *bufio.Writer) error {
+	return writeSnapshotFile(path, 0, uint64(d.Size()), 0, func(w *bufio.Writer) error {
 		for _, ra := range d.Relations() {
 			for _, row := range d.Tuples(ra.Pred, ra.Arity) {
 				if _, err := w.Write(encodeRecord(true, ra.Pred, ra.Arity, term.KeyOf(row))); err != nil {
@@ -725,6 +745,7 @@ func applyRecords(d *DB, recs []record) error {
 type RecoveryInfo struct {
 	SnapshotLSN     uint64 // manifest LSN of the snapshot booted from (0 if none)
 	SnapshotRecords int    // records loaded from the snapshot
+	SnapshotShards  int    // shard count the snapshot's manifest recorded (0 if none)
 	RecoveredLSN    uint64 // LSN of the recovered head
 	ReplayedRecords int    // op records applied from the WAL suffix
 	SkippedRecords  int    // op records skipped (commits the snapshot covers)
@@ -745,6 +766,12 @@ type Store struct {
 	syncHook func() error             // test-only fault injection; see SetSyncHook
 	ckptHook func(stage string) error // test-only crash injection; see SetCheckpointHook
 
+	// shards is the pinned shard count (0 until PinShards): recorded in
+	// every checkpoint manifest this store writes. snapShards is what the
+	// booted snapshot's manifest recorded (0 for v1/v2 snapshots).
+	shards     int
+	snapShards int
+
 	ckptMu sync.Mutex // serializes checkpoints and WAL rotations
 }
 
@@ -764,8 +791,8 @@ func OpenStore(snapPath, walPath string, opts ...Option) (*Store, error) {
 	} else {
 		d = New(opts...)
 	}
-	s := &Store{DB: d, snapPath: snapPath, walPath: walPath, lastLSN: man.LSN}
-	s.recovery = RecoveryInfo{SnapshotLSN: man.LSN, SnapshotRecords: int(man.Records)}
+	s := &Store{DB: d, snapPath: snapPath, walPath: walPath, lastLSN: man.LSN, snapShards: man.Shards}
+	s.recovery = RecoveryInfo{SnapshotLSN: man.LSN, SnapshotRecords: int(man.Records), SnapshotShards: man.Shards}
 	if info, err := os.Stat(walPath); err == nil && info.Size() > 0 {
 		if info.Size() < int64(len(walMagic)) {
 			// A crash during first-ever creation tore the magic; the file
@@ -894,6 +921,48 @@ func (s *Store) upgradeWALv1(d *DB, snapLSN uint64) error {
 // after open.
 func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 
+// PinShards declares the shard count the store is being served under. Every
+// checkpoint written from now on records it in the manifest (format v3),
+// and reopening a store whose snapshot was checkpointed under a different
+// count is refused: the shard partition is rebuilt at boot from the
+// recovered state, but per-shard artifacts derived from the old partition
+// (commit-lane metrics, lane-tagged clients) would silently change meaning.
+// Stores opened by non-server tools never pin and are not checked.
+func (s *Store) PinShards(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapShards > 0 && s.snapShards != n {
+		return fmt.Errorf("db: store %s was checkpointed with -store.shards=%d; reopening with -store.shards=%d would repartition the commit lanes — restart with -store.shards=%d (or delete the snapshot to rebuild)",
+			s.snapPath, s.snapShards, n, s.snapShards)
+	}
+	s.shards = n
+	return nil
+}
+
+// Shards returns the pinned shard count (0 if PinShards was never called).
+func (s *Store) Shards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards
+}
+
+// DetachDB hands the store's live database to the caller and detaches it:
+// from now on the store is WAL-and-checkpoint machinery only. ApplyCommit
+// becomes a pure log append (the caller owns applying ops to its own
+// partitioned heads), and checkpoints must come through CheckpointFrom
+// with a frozen view. The sharded server detaches at boot — the store's
+// monolithic DB would otherwise be a second, dead copy of the shard heads.
+func (s *Store) DetachDB() *DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.DB
+	s.DB = nil
+	return d
+}
+
 // LastLSN returns the LSN of the newest commit block (buffered or durable).
 // Servers seed their commit version counter from it.
 func (s *Store) LastLSN() uint64 {
@@ -907,6 +976,9 @@ func (s *Store) LastLSN() uint64 {
 func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.DB == nil {
+		return false, errors.New("db: Insert on a detached store")
+	}
 	if !s.DB.Insert(pred, row) {
 		return false, nil
 	}
@@ -924,6 +996,9 @@ func (s *Store) Insert(pred string, row []term.Term) (bool, error) {
 func (s *Store) Delete(pred string, row []term.Term) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.DB == nil {
+		return false, errors.New("db: Delete on a detached store")
+	}
 	if !s.DB.Delete(pred, row) {
 		return false, nil
 	}
@@ -963,18 +1038,24 @@ func (s *Store) applyCommitLocked(ops []Op, lsn uint64) (int64, error) {
 	logged := false
 	for i := range ops {
 		o := &ops[i]
-		if !s.DB.ApplyOne(o) {
+		// Detached stores log every op verbatim: the caller applied the
+		// batch to its own heads and already filtered set-semantic no-ops.
+		if s.DB != nil && !s.DB.ApplyOne(o) {
 			continue
 		}
 		e, err := s.wal.Append(o.Insert, o.Pred, len(o.Row), o.Key())
 		if err != nil {
-			s.DB.ResetTrail()
+			if s.DB != nil {
+				s.DB.ResetTrail()
+			}
 			return end, err
 		}
 		end = e
 		logged = true
 	}
-	s.DB.ResetTrail()
+	if s.DB != nil {
+		s.DB.ResetTrail()
+	}
 	if !logged {
 		return end, nil
 	}
@@ -1080,10 +1161,13 @@ func (s *Store) Checkpoint() error {
 	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.DB == nil {
+		return errors.New("db: Checkpoint on a detached store; use CheckpointFrom")
+	}
 	if _, err := s.wal.Sync(); err != nil {
 		return err
 	}
-	err := writeSnapshotFile(s.snapPath, s.lastLSN, uint64(s.DB.Size()), func(w *bufio.Writer) error {
+	err := writeSnapshotFile(s.snapPath, s.lastLSN, uint64(s.DB.Size()), s.shards, func(w *bufio.Writer) error {
 		for _, ra := range s.DB.Relations() {
 			for _, row := range s.DB.Tuples(ra.Pred, ra.Arity) {
 				if _, err := w.Write(encodeRecord(true, ra.Pred, ra.Arity, term.KeyOf(row))); err != nil {
@@ -1122,7 +1206,10 @@ func (s *Store) Checkpoint() error {
 func (s *Store) CheckpointFrom(f FrozenDB, lsn uint64) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	err := writeSnapshotFile(s.snapPath, lsn, uint64(f.Size()), func(w *bufio.Writer) error {
+	s.mu.Lock()
+	shards := s.shards
+	s.mu.Unlock()
+	err := writeSnapshotFile(s.snapPath, lsn, uint64(f.Size()), shards, func(w *bufio.Writer) error {
 		var werr error
 		f.Range(func(pred string, arity int, key string, _ []term.Term) bool {
 			_, werr = w.Write(encodeRecord(true, pred, arity, key))

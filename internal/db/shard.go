@@ -1,0 +1,95 @@
+package db
+
+// Sharding support: the server partitions the live store into N commit
+// lanes keyed by predicate, refined by the first argument's ground code.
+// The routing function lives here, next to the data it partitions, so the
+// store split, the OCC read-set tagging, and the commit dispatch all agree
+// on one definition.
+
+// ShardOf returns the shard index in [0, n) that the tuples of pred whose
+// first argument has ground code first belong to. first is 0 for
+// zero-arity tuples (term codes are never 0). The mapping is a pure
+// function of (pred, first): a ReadPrefix observation and every tuple key
+// under that prefix land on the same shard, and full-relation or
+// predicate-level observations must be treated as touching every shard.
+// With n <= 1 everything maps to shard 0.
+func ShardOf(n int, pred string, first uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset)
+	for i := 0; i < len(pred); i++ {
+		h = fnvByte(h, pred[i])
+	}
+	h = fnvU64(h, first)
+	// Final avalanche so low-entropy codes spread across low bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// OpShard returns the shard index of an op's tuple under ShardOf.
+func OpShard(n int, o *Op) int {
+	if n <= 1 {
+		return 0
+	}
+	return ShardOf(n, o.Pred, firstCode(o.Row))
+}
+
+// Split partitions d's tuples into n databases by ShardOf, sharing the
+// stored rows and their keys (stored rows are immutable everywhere, so
+// sharing across databases is safe — the same property replica catch-up
+// relies on). The source database is left untouched; the shards start with
+// empty undo logs. Split(d, 1) is a single shard holding every tuple.
+func Split(d *DB, n int) []*DB {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*DB, n)
+	for i := range out {
+		s := New()
+		s.useIndex = d.useIndex
+		s.detScan = d.detScan
+		out[i] = s
+	}
+	for _, r := range d.rels {
+		for _, tr := range r.rows {
+			t := out[ShardOf(n, r.pred, firstCode(tr.row))]
+			t.addRow(t.rel(r.pred, r.arity, true), tr.key, tr.row)
+		}
+	}
+	return out
+}
+
+// AbsorbFrom adds every tuple of o that d does not already hold, sharing
+// stored rows and keys, without recording undo-trail entries: the absorbed
+// tuples become committed baseline state. The server uses it to rebuild a
+// lagging session replica from the per-shard heads, one shard at a time.
+func (d *DB) AbsorbFrom(o *DB) {
+	for id, or := range o.rels {
+		if len(or.rows) == 0 {
+			continue
+		}
+		r := d.rel(id.pred, id.arity, true)
+		for key, tr := range or.rows {
+			if _, ok := r.rows[key]; ok {
+				continue
+			}
+			d.addRow(r, key, tr.row)
+		}
+	}
+}
+
+// ShardFingerprint combines the fingerprints of a set of shards into the
+// fingerprint the union database would have. The per-tuple contributions
+// XOR, so the combination is exact, order-independent, and cheap — tests
+// use it to check that shard heads and a monolithic head agree.
+func ShardFingerprint(shards []*DB) [2]uint64 {
+	var lo, hi uint64
+	for _, s := range shards {
+		lo ^= s.hashLo
+		hi ^= s.hashHi
+	}
+	return [2]uint64{lo, hi}
+}

@@ -137,6 +137,7 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindGaugeFuncF
 )
 
 type series struct {
@@ -148,6 +149,7 @@ type series struct {
 	g      *Gauge
 	h      *Histogram
 	fn     func() int64
+	fnf    func() float64
 }
 
 // Registry holds registered metric series and renders them in Prometheus
@@ -202,6 +204,12 @@ func (r *Registry) GaugeFunc(family, help string, fn func() int64) {
 	r.add(&series{family: family, help: help, kind: kindGaugeFunc, fn: fn})
 }
 
+// GaugeFuncF registers a float-valued gauge read from fn at scrape time —
+// for ratios and fractions, which the integer instruments cannot express.
+func (r *Registry) GaugeFuncF(family, help string, fn func() float64) {
+	r.add(&series{family: family, help: help, kind: kindGaugeFuncF, fnf: fn})
+}
+
 // Histogram registers and returns a histogram with no labels.
 func (r *Registry) Histogram(family, help string) *Histogram {
 	return r.HistogramL(family, help, "")
@@ -237,7 +245,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		first := group[0]
 		typ := "counter"
 		switch first.kind {
-		case kindGauge, kindGaugeFunc:
+		case kindGauge, kindGaugeFunc, kindGaugeFuncF:
 			typ = "gauge"
 		case kindHistogram:
 			typ = "histogram"
@@ -269,6 +277,8 @@ func (s *series) write(w io.Writer) error {
 		return writeSample(w, s.family, s.labels, s.g.Value())
 	case kindCounterFunc, kindGaugeFunc:
 		return writeSample(w, s.family, s.labels, s.fn())
+	case kindGaugeFuncF:
+		return writeSampleF(w, s.family, s.labels, s.fnf())
 	case kindHistogram:
 		var cum int64
 		for i := 0; i < histBuckets; i++ {
@@ -299,6 +309,16 @@ func writeSample(w io.Writer, name, labels string, v int64) error {
 		_, err = fmt.Fprintf(w, "%s %d\n", name, v)
 	} else {
 		_, err = fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+	}
+	return err
+}
+
+func writeSampleF(w io.Writer, name, labels string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %g\n", name, v)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
 	}
 	return err
 }

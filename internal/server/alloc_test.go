@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/db"
@@ -8,15 +9,16 @@ import (
 )
 
 // Allocation regression guards for the commit critical section. Everything
-// here runs under the head lock on every commit, so per-commit garbage
-// directly serializes the pipeline.
+// here runs under a lane lock on every commit, so per-commit garbage
+// directly serializes that lane's pipeline.
 
-// pruneLocked must not copy the commit log on the steady-state path: with
-// a laggard session pinning the window, appending a record and pruning
-// advances the live-window offset in place. (The amortized compaction copy
-// is excluded by keeping the dead prefix below its threshold.)
-func TestPruneLockedAllocs(t *testing.T) {
-	s, err := New(Options{})
+// pruneShardLocked must not copy the lane's commit log on the steady-state
+// path: with a laggard session pinning the window, appending a record and
+// pruning advances the live-window offset in place. (The amortized
+// compaction copy is excluded by keeping the dead prefix below its
+// threshold.)
+func TestPruneShardLockedAllocs(t *testing.T) {
+	s, err := New(Options{StoreShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,31 +26,36 @@ func TestPruneLockedAllocs(t *testing.T) {
 
 	// One laggard keeps an 8-entry live window so pruning never empties
 	// the log, and the clog has capacity to append without growing.
-	laggard := &session{srv: s}
+	laggard := &session{srv: s, applied: make([]atomic.Uint64, s.nshards)}
+	s.mu.Lock()
+	s.sessions[laggard] = struct{}{}
+	s.mu.Unlock()
 	ops := []db.Op{{Insert: true, Pred: "p", Row: []term.Term{term.NewInt(1)}}}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.clog = make([]commitRecord, 0, 4096)
-	next := s.version.Load()
+	sh := s.shards[0]
+	sh.mu.Lock()
+	sh.clog = make([]commitRecord, 0, 4096)
+	next := sh.version.Load()
 	n := testing.AllocsPerRun(500, func() {
 		next++
-		s.version.Store(next)
-		s.clog = append(s.clog, commitRecord{version: next, ops: ops})
+		sh.version.Store(next)
+		sh.clog = append(sh.clog, commitRecord{version: next, ops: ops})
 		if next > 8 {
-			laggard.version = next - 8
-			s.sessions[laggard] = laggard.version
+			laggard.applied[0].Store(next - 8)
 		}
-		s.pruneLocked()
-		if len(s.clog) == cap(s.clog) {
+		s.pruneShardLocked(sh)
+		if len(sh.clog) == cap(sh.clog) {
 			// Reset before append would reallocate; not counted as the
 			// steady state under test.
-			live := s.clog[s.clogLo:]
-			s.clog = s.clog[:copy(s.clog[:cap(s.clog)], live)]
-			s.clogLo = 0
+			live := sh.clog[sh.clogLo:]
+			sh.clog = sh.clog[:copy(sh.clog[:cap(sh.clog)], live)]
+			sh.clogLo = 0
 		}
 	})
+	sh.mu.Unlock()
+	s.mu.Lock()
 	delete(s.sessions, laggard) // it has no conn for Close to close
+	s.mu.Unlock()
 	if n > 1 {
 		t.Errorf("append+prune steady state: %v allocs/op, want <= 1", n)
 	}

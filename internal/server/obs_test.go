@@ -353,3 +353,100 @@ func TestConflictCauseClassification(t *testing.T) {
 		t.Errorf("conflicts = %d, want >= 1", snap.Conflicts)
 	}
 }
+
+// goldenPR7Stats extends the golden frame with the sharded-store keys
+// (PR 7). Like every addition since PR 3 they are new names only, omitted
+// when zero, so pre-sharding clients keep decoding payloads unchanged and
+// single-lane servers keep emitting the pre-PR-7 frame byte for byte.
+const goldenPR7Stats = `{
+	"commits": 50, "version": 50,
+	"shards": 8,
+	"shard_commits": [9, 5, 7, 6, 4, 8, 6, 5],
+	"cross_shard_commits": 10,
+	"cross_shard_fraction": 0.2
+}`
+
+func TestStatsSnapshotShardKeys(t *testing.T) {
+	var snap StatsSnapshot
+	if err := json.Unmarshal([]byte(goldenPR7Stats), &snap); err != nil {
+		t.Fatalf("golden PR-7 payload no longer decodes: %v", err)
+	}
+	if snap.Shards != 8 || len(snap.ShardCommits) != 8 ||
+		snap.CrossShardCommits != 10 || snap.CrossShardFraction != 0.2 {
+		t.Fatalf("PR-7 fields decoded wrong: %+v", snap)
+	}
+
+	// Zero shard fields stay off the wire: a single-lane server's frame is
+	// byte-identical to the pre-sharding one.
+	body, err := json.Marshal(StatsSnapshot{Commits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shards", "shard_commits", "cross_shard_commits", "cross_shard_fraction"} {
+		if _, ok := wire[key]; ok {
+			t.Errorf("zero-valued shard key %q leaked onto the wire", key)
+		}
+	}
+	s1 := newBankServer(t, Options{StoreShards: 1})
+	c1 := s1.InProcClient()
+	defer c1.Close()
+	if _, err := c1.Exec("transfer(1, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	body, err = json.Marshal(s1.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "shard") {
+		t.Errorf("single-lane STATS frame mentions shards:\n%s", body)
+	}
+
+	// A sharded server reports all four, and the lane counters sum to the
+	// commit count for a single-lane-write workload.
+	s := newBankServer(t, Options{StoreShards: 4})
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Exec("transfer(1, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	st := s.Stats()
+	if st.Shards != 4 || len(st.ShardCommits) != 4 {
+		t.Fatalf("sharded stats = %+v, want 4 lanes", st)
+	}
+	var lanes int64
+	for _, n := range st.ShardCommits {
+		lanes += n
+	}
+	if lanes == 0 {
+		t.Error("no lane recorded the commit")
+	}
+}
+
+// The per-lane metric series exist (with the lane label) on a sharded
+// server, alongside the cross-shard counter and fraction gauge.
+func TestMetricsEndpointShardSeries(t *testing.T) {
+	s := newBankServer(t, Options{StoreShards: 2})
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Exec("transfer(10, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	obs.Handler(s.Metrics()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE td_shard_commits_total counter",
+		`td_shard_commits_total{shard="0"}`,
+		`td_shard_commits_total{shard="1"}`,
+		"# TYPE td_cross_shard_commits_total counter",
+		"# TYPE td_cross_shard_fraction gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n----\n%s", want, body)
+		}
+	}
+}

@@ -12,8 +12,18 @@ package server
 // with any write below them; this over-approximates the witness path's
 // true dependencies, which can only cause false conflicts, never missed
 // ones.
+//
+// With a sharded store, every observation is additionally tagged with the
+// commit lane (db.ShardOf) the observed tuples live in: key and prefix
+// reads name exactly one shard (the shard is a function of predicate and
+// first-argument code, which both carry), relation- and predicate-level
+// reads touch every shard. The resulting shard mask is what lets commit
+// validate against only the lanes the transaction actually touched —
+// conflict keys in different shards can never be equal, so scanning a
+// lane's commit log with the full (unsharded) read set stays exact.
 
 import (
+	"math/bits"
 	"strconv"
 
 	"repro/internal/db"
@@ -26,15 +36,27 @@ type readSet struct {
 	rels     map[string]bool // "pred/arity": full scans
 	prefixes map[string]bool // "pred/arity|firstArgKey": index-bucket scans
 	keys     map[string]bool // "pred/arity|rowKey": ground probes
+	nshards  int             // shard count observations are tagged against
+	mask     uint64          // shards touched by the observations so far
 }
 
-func newReadSet() *readSet {
+func newReadSet(nshards int) *readSet {
 	return &readSet{
 		preds:    make(map[string]bool),
 		rels:     make(map[string]bool),
 		prefixes: make(map[string]bool),
 		keys:     make(map[string]bool),
+		nshards:  nshards,
 	}
+}
+
+// allShards is the mask of every shard — what a relation- or
+// predicate-level read must be assumed to touch.
+func allShards(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
 }
 
 // reset empties the read set for reuse, keeping the map storage. Sessions
@@ -45,6 +67,7 @@ func (rs *readSet) reset() *readSet {
 	clear(rs.rels)
 	clear(rs.prefixes)
 	clear(rs.keys)
+	rs.mask = 0
 	return rs
 }
 
@@ -53,16 +76,20 @@ func (rs *readSet) reset() *readSet {
 func relName(pred string, arity int) string { return pred + "/" + strconv.Itoa(arity) }
 
 // observe is the db.ReadHook target.
-func (rs *readSet) observe(kind db.ReadKind, pred string, arity int, key string) {
+func (rs *readSet) observe(kind db.ReadKind, pred string, arity int, key string, first uint64) {
 	switch kind {
 	case db.ReadKey:
 		rs.keys[relName(pred, arity)+"|"+key] = true
+		rs.mask |= 1 << uint(db.ShardOf(rs.nshards, pred, first))
 	case db.ReadPrefix:
 		rs.prefixes[relName(pred, arity)+"|"+key] = true
+		rs.mask |= 1 << uint(db.ShardOf(rs.nshards, pred, first))
 	case db.ReadRel:
 		rs.rels[relName(pred, arity)] = true
+		rs.mask = allShards(rs.nshards)
 	case db.ReadPred:
 		rs.preds[pred] = true
+		rs.mask = allShards(rs.nshards)
 	}
 }
 
@@ -70,30 +97,33 @@ func (rs *readSet) size() int {
 	return len(rs.preds) + len(rs.rels) + len(rs.prefixes) + len(rs.keys)
 }
 
-// wkey is one committed write, pre-keyed for validation.
+// wkey is one committed write, pre-keyed for validation and tagged with the
+// commit lane its tuple lives in.
 type wkey struct {
 	pred   string // predicate name
 	rel    string // "pred/arity"
 	prefix string // "pred/arity|firstArgKey" ("" for arity 0)
 	key    string // "pred/arity|rowKey"
+	shard  int    // db.ShardOf(pred, first-arg code)
 }
 
-// commitRecord is one entry of the in-memory commit log: the write set of a
-// committed transaction, at a version, with pre-computed conflict keys.
-// Records are immutable once appended to the log — commit validation scans
-// a snapshot of the log with the head lock released.
+// commitRecord is one entry of a shard's in-memory commit log: the (lane's
+// slice of the) write set of a committed transaction, at a version, with
+// pre-computed conflict keys. Records are immutable once appended to a log
+// — commit validation scans a snapshot of the log with the lane lock
+// released.
 type commitRecord struct {
 	version uint64
 	ops     []db.Op
 	writes  []wkey
 }
 
-func newCommitRecord(version uint64, ops []db.Op) commitRecord {
+func newCommitRecord(nshards int, version uint64, ops []db.Op) commitRecord {
 	rec := commitRecord{version: version, ops: ops, writes: make([]wkey, len(ops))}
 	for i := range ops {
 		o := &ops[i]
 		rel := relName(o.Pred, len(o.Row))
-		w := wkey{pred: o.Pred, rel: rel, key: rel + "|" + o.Key()}
+		w := wkey{pred: o.Pred, rel: rel, key: rel + "|" + o.Key(), shard: db.OpShard(nshards, o)}
 		if len(o.Row) > 0 {
 			w.prefix = rel + "|" + term.KeyOf(o.Row[:1])
 		}
@@ -120,3 +150,42 @@ func (rec commitRecord) conflictsWith(rs *readSet, writes []wkey) bool {
 	}
 	return false
 }
+
+// commitIntent is a transaction's write set prepared for the sharded
+// commit path: the full conflict-keyed record, the masks of shards its
+// reads and writes touch, and — only when the writes span more than one
+// lane — the per-shard slices of the ops and keys. Built outside every
+// lock.
+type commitIntent struct {
+	rec       commitRecord
+	writeMask uint64 // shards the write set lands in
+	mask      uint64 // writeMask | read mask: every lane to lock
+	// Per-lane splits, nil for the (common) single-write-shard case, where
+	// rec itself is the one lane's record.
+	shardOps    [][]db.Op
+	shardWrites [][]wkey
+}
+
+func newCommitIntent(nshards int, rs *readSet, ops []db.Op) commitIntent {
+	in := commitIntent{rec: newCommitRecord(nshards, 0, ops)}
+	for i := range in.rec.writes {
+		in.writeMask |= 1 << uint(in.rec.writes[i].shard)
+	}
+	in.mask = in.writeMask | rs.mask
+	if in.mask == 0 {
+		in.mask = 1 // defensive: a commit with no reads or writes still sequences through lane 0
+	}
+	if bits.OnesCount64(in.writeMask) > 1 {
+		in.shardOps = make([][]db.Op, nshards)
+		in.shardWrites = make([][]wkey, nshards)
+		for i := range ops {
+			sh := in.rec.writes[i].shard
+			in.shardOps[sh] = append(in.shardOps[sh], ops[i])
+			in.shardWrites[sh] = append(in.shardWrites[sh], in.rec.writes[i])
+		}
+	}
+	return in
+}
+
+// crossShard reports whether the transaction's touch-set spans lanes.
+func (in *commitIntent) crossShard() bool { return bits.OnesCount64(in.mask) > 1 }

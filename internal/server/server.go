@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"net"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +98,17 @@ type Options struct {
 	// for ASOF reads and CHANGES deltas. Default 256; negative disables
 	// retention (only the current version is addressable).
 	HistoryWindow int
+	// StoreShards partitions the live store and the OCC machinery into this
+	// many commit lanes (keyed by predicate, refined by first-argument
+	// hash), each with its own apply lock, version counter, and commit-log
+	// window. Transactions touching disjoint lanes validate and apply in
+	// parallel; cross-lane transactions take every touched lane's lock in
+	// index order. Durability is unaffected: all lanes feed one WAL and one
+	// group-commit flusher. Default GOMAXPROCS, clamped to [1, 64]; 1
+	// reproduces the unsharded behavior exactly. Durable stores pin the
+	// count in their checkpoint manifests and refuse to reopen under a
+	// different one.
+	StoreShards int
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +149,15 @@ func (o Options) withDefaults() Options {
 	} else if o.HistoryWindow < 0 {
 		o.HistoryWindow = 0
 	}
+	if o.StoreShards == 0 {
+		o.StoreShards = runtime.GOMAXPROCS(0)
+	}
+	if o.StoreShards < 1 {
+		o.StoreShards = 1
+	}
+	if o.StoreShards > 64 {
+		o.StoreShards = 64 // shard masks are uint64 bit sets
+	}
 	return o
 }
 
@@ -144,6 +167,60 @@ var errConflict = errors.New("server: commit conflict")
 
 // errShutdown is returned once Close has begun.
 var errShutdown = errors.New("server: shutting down")
+
+// shard is one commit lane: a partition of the live store (by predicate,
+// refined by first-argument hash — db.ShardOf) with its own apply lock,
+// commit-log window, and version counter. Transactions whose read/write
+// sets touch disjoint shards validate and apply fully in parallel; only
+// the LSN assignment and the WAL append sequence through the global
+// sequencer lock, which covers no validation scan and no apply work.
+type shard struct {
+	idx int
+
+	// mu guards head, clog, clogLo, and floor. Lock ordering: shard locks
+	// are only ever taken in ascending index order; the sequencer lock
+	// (Server.seqMu) and the registry lock (Server.mu) nest strictly
+	// inside shard locks, never around them.
+	mu   sync.Mutex
+	head *db.DB // the authoritative tuples of this lane
+
+	// The lane's commit log is an append-only slice plus a live-window
+	// offset: clog[clogLo:] is the live log; entries below clogLo are dead
+	// but never overwritten. Records are immutable once appended, so
+	// commit validation can snapshot a subslice under mu and scan it after
+	// releasing the lock. Unlike the old monolithic log, a lane's LSN
+	// sequence has gaps (it holds only the commits that touched this
+	// lane), so lookups binary-search on version instead of indexing by
+	// offset. The log holds every record of this lane with version >
+	// floor; a replica whose lane version is below floor must full-resync.
+	clog   []commitRecord
+	clogLo int
+	floor  uint64
+
+	// version is the LSN of the newest commit applied to this lane. It is
+	// written only under mu but read lock-free by the catch-up fast path.
+	version atomic.Uint64
+
+	// commits counts commits whose write set landed in this lane
+	// (td_shard_commits_total{shard=}).
+	commits atomic.Int64
+}
+
+// suffixLocked returns the lane's records with version > after, capped so
+// later appends stay out of reach of the caller's lock-free scan. The
+// lane's versions are sparse, so this is a binary search, not arithmetic.
+func (sh *shard) suffixLocked(after uint64) []commitRecord {
+	lo, hi := sh.clogLo, len(sh.clog)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if sh.clog[m].version <= after {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return sh.clog[lo:len(sh.clog):len(sh.clog)]
+}
 
 // Server is a concurrent multi-client transaction service over one shared
 // Transaction Datalog database.
@@ -155,31 +232,32 @@ type Server struct {
 	reg   *obs.Registry
 	sem   chan struct{}
 
-	// mu guards the shared head state: the authoritative database, the
-	// commit log, and the session registry. version is atomic so the
-	// commonest question — "has anything committed since my replica's
-	// version?" — needs no lock; it is only written under mu.
-	mu      sync.Mutex
-	head    *db.DB
-	store   *db.Store    // nil in memory-only mode
-	group   *groupCommit // nil in memory-only or NoSync mode
-	frozen  db.FrozenDB
-	hist    *history.Window       // retained versions for ASOF/CHANGES
-	ckptr   *history.Checkpointer // nil in memory-only mode
-	version atomic.Uint64
-	floor   uint64 // the live commit log covers versions (floor, version]
+	// The live store, partitioned into commit lanes. nshards and the slice
+	// are immutable after New; all mutable lane state is inside each shard.
+	nshards int
+	shards  []*shard
 
-	// The commit log is an append-only slice plus a live-window offset:
-	// clog[clogLo:] is the live log; entries below clogLo are dead but
-	// never overwritten. Records are immutable once appended, so commit
-	// validation can snapshot the slice header under mu and scan it after
-	// releasing the lock while other committers append, prune (advance
-	// clogLo), or compact (copy the live window into a fresh array).
-	// Versions are contiguous: clog[clogLo].version == floor+1, so the
-	// records newer than version v start at index clogLo + (v - floor).
-	clog     []commitRecord
-	clogLo   int
-	sessions map[*session]uint64 // session -> replica version
+	// seqMu is the global sequencer: it assigns each commit its LSN (the
+	// next version — LSNs stay contiguous, which ASOF/CHANGES and the
+	// history window rely on), appends the WAL block, and advances the
+	// frozen view and the history window. It is taken only with the
+	// commit's shard locks already held (so the LSN order of any two
+	// commits touching a common lane matches their lane apply order) and
+	// covers no validation and no store apply.
+	seqMu   sync.Mutex
+	frozen  db.FrozenDB
+	hist    *history.Window // retained versions for ASOF/CHANGES
+	version atomic.Uint64   // written under seqMu; read lock-free
+
+	store *db.Store             // nil in memory-only mode; detached from its DB
+	group *groupCommit          // nil in memory-only or NoSync mode
+	ckptr *history.Checkpointer // nil in memory-only mode
+
+	// mu guards the session registry and lifecycle state. It nests inside
+	// shard locks (lane pruning reads replica positions under it) and must
+	// never be held while taking a shard lock or seqMu.
+	mu       sync.Mutex
+	sessions map[*session]struct{}
 	closed   bool
 
 	ln net.Listener
@@ -205,19 +283,18 @@ func New(opts Options) (*Server, error) {
 		start:    time.Now(),
 		reg:      obs.NewRegistry(),
 		sem:      make(chan struct{}, opts.MaxSessions),
-		sessions: make(map[*session]uint64),
+		sessions: make(map[*session]struct{}),
+		nshards:  opts.StoreShards,
 	}
 	s.stats.init(s.reg)
 	s.reg.GaugeFunc("td_version", "current commit version of the shared database",
 		func() int64 { return int64(s.Version()) })
 	s.reg.GaugeFunc("td_db_size", "tuples in the shared database", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return int64(s.head.Size())
+		s.seqMu.Lock()
+		defer s.seqMu.Unlock()
+		return int64(s.frozen.Size())
 	})
 	s.reg.GaugeFunc("td_wal_bytes", "bytes appended to the write-ahead log", func() int64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		if s.store == nil {
 			return 0
 		}
@@ -245,6 +322,7 @@ func New(opts Options) (*Server, error) {
 	s.reg.CounterFuncL("td_engine_pool_derivations_total",
 		"derivation-state acquisitions by live sessions, by pool outcome",
 		`outcome="alloc"`, func() int64 { return poolStats(false) })
+	var head *db.DB
 	if opts.SnapshotPath != "" || opts.WALPath != "" {
 		if opts.SnapshotPath == "" || opts.WALPath == "" {
 			return nil, errors.New("server: need both SnapshotPath and WALPath for durability")
@@ -253,26 +331,58 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A checkpoint taken under one shard count must not be reopened
+		// under another (the manifest records it; PinShards checks).
+		if err := store.PinShards(s.nshards); err != nil {
+			store.Close()
+			return nil, err
+		}
 		s.store = store
-		s.head = store.DB
+		head = store.DB
 	} else {
-		s.head = db.New()
+		head = db.New()
 	}
-	if err := s.installFacts(prog.Facts); err != nil {
+	if err := s.installFacts(head, prog.Facts); err != nil {
 		return nil, err
 	}
-	s.frozen = db.FreezeDB(s.head)
+	s.frozen = db.FreezeDB(head)
+	var boot uint64
 	if s.store != nil {
 		// Commit versions are persistent: the version counter resumes from
 		// the recovered LSN so that version N names the same commit across
 		// restarts (the property ASOF, CHANGES, and the WAL's commit
 		// boundaries all build on). In-memory servers keep counting from 0.
-		boot := s.store.LastLSN()
+		boot = s.store.LastLSN()
 		s.version.Store(boot)
-		s.floor = boot
 		rec := s.store.Recovery()
 		s.stats.recoveryReplayed.Store(int64(rec.ReplayedRecords))
+		// From here on the server owns the tuples, partitioned into lanes;
+		// the store keeps only the WAL/checkpoint machinery. ApplyCommit
+		// becomes a pure log append.
+		s.store.DetachDB()
 	}
+	heads := db.Split(head, s.nshards)
+	s.shards = make([]*shard, s.nshards)
+	for i, h := range heads {
+		sh := &shard{idx: i, head: h, floor: boot}
+		sh.version.Store(boot)
+		s.shards[i] = sh
+	}
+	for i := range s.shards {
+		sh := s.shards[i]
+		s.reg.CounterFuncL("td_shard_commits_total", "commits applied per store shard (commit lane)",
+			`shard="`+strconv.Itoa(i)+`"`, sh.commits.Load)
+	}
+	s.reg.CounterFunc("td_cross_shard_commits_total",
+		"commits whose read/write touch-set spanned more than one shard", s.stats.crossShardCommits.Load)
+	s.reg.GaugeFuncF("td_cross_shard_fraction",
+		"fraction of commits that spanned more than one shard", func() float64 {
+			total := s.stats.commits.Load()
+			if total == 0 {
+				return 0
+			}
+			return float64(s.stats.crossShardCommits.Load()) / float64(total)
+		})
 	s.hist = history.NewWindow(opts.HistoryWindow, s.version.Load(), s.frozen)
 	if s.store != nil && !opts.NoSync {
 		s.group = newGroupCommit(s.store, &s.stats, opts.CommitMaxBatch, opts.CommitMaxDelay)
@@ -291,14 +401,15 @@ func New(opts Options) (*Server, error) {
 // installFacts seeds the initial program's facts — but only into an EMPTY
 // database. A recovered database already reflects every committed
 // transaction; re-inserting seed facts that later transactions deleted
-// would resurrect stale tuples.
-func (s *Server) installFacts(facts []term.Atom) error {
+// would resurrect stale tuples. Runs at boot, before the head is split
+// into lanes.
+func (s *Server) installFacts(head *db.DB, facts []term.Atom) error {
 	for _, f := range facts {
 		if !f.IsGround() {
 			return fmt.Errorf("server: initial fact %s is not ground", f)
 		}
 	}
-	if s.head.Size() > 0 || len(facts) == 0 {
+	if head.Size() > 0 || len(facts) == 0 {
 		return nil
 	}
 	ops := make([]db.Op, len(facts))
@@ -314,8 +425,8 @@ func (s *Server) installFacts(facts []term.Atom) error {
 		}
 		return s.store.Commit()
 	}
-	s.head.Apply(ops)
-	s.head.ResetTrail()
+	head.Apply(ops)
+	head.ResetTrail()
 	return nil
 }
 
@@ -399,21 +510,21 @@ func (s *Server) InProcClient() *Client {
 	return NewClient(c1)
 }
 
-// newSession registers a session with a private replica forked from the
-// current head.
+// newSession registers a session with a private replica built from the
+// current lane heads.
 func (s *Server) newSession(conn net.Conn) *session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess := &session{
 		srv:     s,
 		conn:    conn,
-		d:       s.head.Clone(),
-		version: s.version.Load(),
 		prog:    s.prog,
 		varHigh: s.prog.VarHigh,
+		applied: make([]atomic.Uint64, s.nshards),
 	}
+	s.rebuildReplica(sess)
 	sess.buildEngine()
-	s.sessions[sess] = sess.version
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
 	return sess
 }
 
@@ -421,169 +532,281 @@ func (s *Server) dropSession(sess *session) {
 	sess.conn.Close()
 	s.mu.Lock()
 	delete(s.sessions, sess)
-	s.pruneLocked()
 	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.pruneShardLocked(sh)
+		sh.mu.Unlock()
+	}
+}
+
+// rebuildReplica builds the session's replica from scratch out of the lane
+// heads, one lane at a time — the per-lane positions may be torn across
+// lanes, which is fine: validation and catch-up are per lane. The global
+// version is read FIRST, so by the time each lane is absorbed it holds at
+// least every commit with LSN <= that version, making sess.version a sound
+// fast-path watermark.
+func (s *Server) rebuildReplica(sess *session) {
+	head := s.version.Load()
+	fresh := db.New()
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		ver := sh.version.Load()
+		fresh.AbsorbFrom(sh.head)
+		sh.mu.Unlock()
+		sess.applied[i].Store(ver)
+	}
+	sess.d = fresh
+	sess.version = head
 }
 
 // syncSession brings a session's replica up to the current head version.
 // The fast path — nothing committed since the replica's version — is a
-// single atomic load, so current sessions never touch the head lock here.
+// single atomic load; behind it, only the lanes that actually advanced
+// past the replica's per-lane position are caught up, each under its own
+// lane lock.
 func (s *Server) syncSession(sess *session) {
-	if s.version.Load() == sess.version {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.catchUpLocked(sess)
-}
-
-// clogIndexLocked returns the index of the first commit-log record with
-// version > v. Versions are contiguous, so this is O(1) arithmetic, not a
-// scan. Callers ensure v >= s.floor.
-func (s *Server) clogIndexLocked(v uint64) int {
-	return s.clogLo + int(v-s.floor)
-}
-
-// catchUpLocked applies the commit log suffix the session has not seen, or
-// performs a full resync when the log no longer reaches back far enough.
-func (s *Server) catchUpLocked(sess *session) {
 	head := s.version.Load()
-	if sess.version == head {
+	if head == sess.version {
 		return
 	}
-	if sess.version < s.floor {
-		sess.d = s.head.Clone()
-	} else {
-		for i := s.clogIndexLocked(sess.version); i < len(s.clog); i++ {
-			sess.d.Apply(s.clog[i].ops)
+	for i := range s.shards {
+		if !s.catchUpShard(sess, i) {
+			// A lane's log was pruned past the replica: full resync.
+			s.rebuildReplica(sess)
+			return
 		}
-		sess.d.ResetTrail()
 	}
 	sess.version = head
-	s.sessions[sess] = head
+}
+
+// catchUpShard applies lane i's commit-log suffix the session has not seen.
+// It reports false when the lane's log no longer reaches back far enough
+// (the caller must full-resync).
+func (s *Server) catchUpShard(sess *session, i int) bool {
+	sh := s.shards[i]
+	from := sess.applied[i].Load()
+	if sh.version.Load() == from {
+		return true
+	}
+	sh.mu.Lock()
+	if from < sh.floor {
+		sh.mu.Unlock()
+		return false
+	}
+	suffix := sh.suffixLocked(from)
+	ver := sh.version.Load()
+	sh.mu.Unlock()
+	for j := range suffix {
+		sess.d.Apply(suffix[j].ops)
+	}
+	sess.d.ResetTrail()
+	sess.applied[i].Store(ver)
+	return true
 }
 
 // commit validates a transaction's read/write sets against everything that
-// committed after the session's replica version and, on success, applies
-// the write set to the shared database, appends it to the WAL, and waits
-// for the group-commit flusher to make it durable before returning (unless
+// committed after the session's replica positions and, on success, applies
+// the write set to the touched lanes, appends it to the WAL, and waits for
+// the group-commit flusher to make it durable before returning (unless
 // NoSync). On conflict it returns errConflict without touching shared
 // state; the session must roll its replica back and resync.
 //
-// The commit path is a three-stage pipeline:
+// The commit path is the three-stage pipeline of the monolithic design,
+// run per commit lane:
 //
-//  1. Backward validation runs against an immutable snapshot of the commit
-//     log taken under a short lock — the O(history) conflict scan happens
-//     with the lock RELEASED, concurrent with other committers.
-//  2. A second short lock re-validates only the records that committed
-//     during stage 1 (usually none), applies the write set to the head,
-//     appends the WAL records (buffered, not synced), assigns the commit
-//     its LSN (the new version), and catches the replica up.
+//  1. Backward validation runs against immutable snapshots of the touched
+//     lanes' commit logs, each taken under a brief lane lock — the
+//     O(history) conflict scans happen with every lock RELEASED,
+//     concurrent with other committers.
+//  2. The locks of ALL touched lanes (reads and writes — a lane we only
+//     read from must not admit a winner between our validation and our
+//     LSN) are taken in ascending index order; each lane re-validates
+//     only the records that committed during stage 1 (usually none). A
+//     clean commit applies its ops to the write lanes' heads, then takes
+//     the sequencer lock just long enough to claim the next LSN, append
+//     the WAL block (buffered, not synced), and advance the frozen view
+//     and the history window; the commit records are published to the
+//     write lanes' logs before the lane locks drop. Commits touching
+//     disjoint lanes never meet on any of this except the sequencer,
+//     which does O(ops) map-free work.
 //  3. The committer waits, lock-free, for the flusher goroutine to cover
 //     its LSN with a batched WAL fsync (WAL-before-ack per batch: the
 //     sync that acknowledges a commit always covers its records).
 //
+// Because every lane in the read OR write mask is locked through LSN
+// assignment, LSN order is an admissible serial order: any commit ordered
+// before ours on a lane we touched published its lane records (and its
+// effects) before we validated or applied there.
+//
 // The session's replica must already contain exactly ops on top of its
-// version; on success it is caught up to the new head in place.
+// per-lane positions; on success it is caught up to the new head in place.
 func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error) {
 	started := time.Now()
-	rec := newCommitRecord(0, ops) // conflict keys, built outside every lock
-
-	// Stage 1a: snapshot the validation view.
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
 		return 0, errShutdown
 	}
 	if err := s.group.failed(); err != nil {
 		// A WAL sync failed earlier: refuse to apply state that can no
 		// longer be made durable.
-		s.mu.Unlock()
 		return 0, err
 	}
-	if sess.version < s.floor {
-		// History needed for validation was pruned: conservatively abort.
-		s.mu.Unlock()
-		s.stats.conflicts.Add(1)
-		s.stats.conflictStale.Add(1)
-		return 0, errConflict
-	}
-	view := s.clog[s.clogIndexLocked(sess.version):len(s.clog):len(s.clog)]
-	snapVer := s.version.Load()
-	s.mu.Unlock()
+	in := newCommitIntent(s.nshards, rs, ops) // conflict keys + lane split, outside every lock
 
-	// Stage 1b: validate against committed history without the lock.
-	for i := range view {
-		if view[i].conflictsWith(rs, rec.writes) {
+	// Stage 1a: snapshot each touched lane's validation view.
+	views := make([][]commitRecord, s.nshards)
+	snaps := make([]uint64, s.nshards)
+	for i := 0; i < s.nshards; i++ {
+		if in.mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		from := sess.applied[i].Load()
+		sh.mu.Lock()
+		if from < sh.floor {
+			// History needed for validation was pruned: conservatively abort.
+			sh.mu.Unlock()
 			s.stats.conflicts.Add(1)
-			s.stats.conflictRW.Add(1)
+			s.stats.conflictStale.Add(1)
 			return 0, errConflict
+		}
+		views[i] = sh.suffixLocked(from)
+		snaps[i] = sh.version.Load()
+		sh.mu.Unlock()
+	}
+
+	// Stage 1b: validate against committed history without any lock.
+	for i := range views {
+		for j := range views[i] {
+			if views[i][j].conflictsWith(rs, in.rec.writes) {
+				s.stats.conflicts.Add(1)
+				s.stats.conflictRW.Add(1)
+				return 0, errConflict
+			}
 		}
 	}
 
-	// Stage 2: re-validate the delta that committed meanwhile, then apply.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return 0, errShutdown
-	}
-	if snapVer < s.floor {
-		// The delta was pruned while we validated: conservatively abort.
-		s.mu.Unlock()
-		s.stats.conflicts.Add(1)
-		s.stats.conflictStale.Add(1)
-		return 0, errConflict
-	}
-	delta := s.clog[s.clogIndexLocked(snapVer):]
-	for i := range delta {
-		if delta[i].conflictsWith(rs, rec.writes) {
-			s.mu.Unlock()
-			s.stats.conflicts.Add(1)
-			s.stats.conflictRW.Add(1)
-			return 0, errConflict
+	// Stage 2: lock every touched lane in index order, re-validate the
+	// deltas that committed meanwhile, then apply and sequence.
+	locked := make([]*shard, 0, bits.OnesCount64(in.mask))
+	unlockAll := func() {
+		for _, sh := range locked {
+			sh.mu.Unlock()
 		}
 	}
-	lsn := snapVer + uint64(len(delta)) + 1
+	for i := 0; i < s.nshards; i++ {
+		if in.mask&(1<<uint(i)) != 0 {
+			s.shards[i].mu.Lock()
+			locked = append(locked, s.shards[i])
+		}
+	}
+	deltas := make([][]commitRecord, s.nshards)
+	for _, sh := range locked {
+		if sess.applied[sh.idx].Load() < sh.floor {
+			// The lane pruned past us while we validated (MaxLog stranding):
+			// conservatively abort.
+			unlockAll()
+			s.stats.conflicts.Add(1)
+			s.stats.conflictStale.Add(1)
+			return 0, errConflict
+		}
+		delta := sh.suffixLocked(snaps[sh.idx])
+		for j := range delta {
+			if delta[j].conflictsWith(rs, in.rec.writes) {
+				unlockAll()
+				s.stats.conflicts.Add(1)
+				s.stats.conflictRW.Add(1)
+				return 0, errConflict
+			}
+		}
+		deltas[sh.idx] = delta
+	}
+
+	// Apply to the write lanes' heads in original op order, collecting the
+	// effective ops (set-semantic no-ops are neither applied nor logged —
+	// the same filtering the attached store used to do).
+	var effective []db.Op
+	if s.store != nil {
+		effective = make([]db.Op, 0, len(ops))
+	}
+	for k := range ops {
+		sh := s.shards[in.rec.writes[k].shard]
+		if sh.head.ApplyOne(&ops[k]) && effective != nil {
+			effective = append(effective, ops[k])
+		}
+	}
+	for _, sh := range locked {
+		if in.writeMask&(1<<uint(sh.idx)) != 0 {
+			sh.head.ResetTrail()
+		}
+	}
+
+	// Sequence: claim the LSN, append the WAL block, advance the global
+	// views. LSNs stay contiguous — every commit sequences here.
+	s.seqMu.Lock()
+	lsn := s.version.Load() + 1
 	if s.store != nil {
 		// The WAL block carries the commit's LSN, so recovery and the
 		// checkpointer can name durable prefixes by commit version.
-		if _, err := s.store.ApplyCommit(ops, lsn); err != nil {
-			s.mu.Unlock()
+		if _, err := s.store.ApplyCommit(effective, lsn); err != nil {
+			s.seqMu.Unlock()
+			unlockAll()
 			return 0, err
 		}
-	} else {
-		s.head.Apply(ops)
-		s.head.ResetTrail()
 	}
 	s.frozen = s.frozen.ApplyOps(ops)
-	s.version.Store(lsn)
-	rec.version = lsn
-	s.clog = append(s.clog, rec)
 	// Retain the version for time travel: the ops are the immutable commit
 	// record's write set, the snapshot is the O(1)-forked frozen head.
-	// Monotonicity is guaranteed under mu, so Append cannot fail.
+	// Monotonicity is guaranteed under seqMu, so Append cannot fail.
 	_ = s.hist.Append(lsn, ops, s.frozen)
-	// Cap the delta slice so later appends by other committers stay out of
-	// reach; the committer folds it into its replica after the lock drops.
-	delta = delta[:len(delta):len(delta)]
-	sess.version = lsn
-	s.sessions[sess] = lsn
-	s.pruneLocked()
+	s.version.Store(lsn)
 	s.group.noteAppend(lsn)
-	s.mu.Unlock()
+	s.seqMu.Unlock()
 
-	// The committer's replica holds (its old version + ops); fold in the
-	// concurrent but non-overlapping writes it validated against — view
-	// covers (old, snapVer], delta covers (snapVer, lsn) — making it equal
-	// to the new head. sess.d is session-private, so this runs outside the
-	// head lock; the record slices stay valid even if pruning compacts the
+	// Publish the commit records to the write lanes and advance the
+	// session's positions on every touched lane (a read-only lane cannot
+	// have moved — we held its lock), then release the lanes.
+	for _, sh := range locked {
+		if in.writeMask&(1<<uint(sh.idx)) == 0 {
+			continue
+		}
+		rec := in.rec
+		if in.shardOps != nil {
+			rec = commitRecord{ops: in.shardOps[sh.idx], writes: in.shardWrites[sh.idx]}
+		}
+		rec.version = lsn
+		sh.clog = append(sh.clog, rec)
+		sh.version.Store(lsn)
+		sh.commits.Add(1)
+		s.pruneShardLocked(sh)
+	}
+	for _, sh := range locked {
+		sess.applied[sh.idx].Store(lsn)
+	}
+	sess.version = lsn
+	unlockAll()
+
+	// The committer's replica holds (its old per-lane positions + ops);
+	// fold in the concurrent but non-overlapping writes it validated
+	// against — per lane, view covers (applied, snap] and delta covers
+	// (snap, lsn) — making it equal to the new head on every touched lane.
+	// Ops in different lanes touch disjoint tuples, so the lane-by-lane
+	// order is immaterial. sess.d is session-private, so this runs outside
+	// every lock; the record slices stay valid even if pruning compacts a
 	// log meanwhile, because compaction copies into a fresh array and the
 	// records themselves are immutable.
-	for i := range view {
-		sess.d.Apply(view[i].ops)
+	for i := range views {
+		for j := range views[i] {
+			sess.d.Apply(views[i][j].ops)
+		}
 	}
-	for i := range delta {
-		sess.d.Apply(delta[i].ops)
+	for i := range deltas {
+		for j := range deltas[i] {
+			sess.d.Apply(deltas[i][j].ops)
+		}
 	}
 	sess.d.ResetTrail()
 
@@ -594,53 +817,60 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		}
 	}
 	s.stats.commits.Add(1)
+	if in.crossShard() {
+		s.stats.crossShardCommits.Add(1)
+	}
 	s.stats.deltaOps.Add(int64(len(ops)))
 	s.stats.recordCommitLatency(time.Since(started))
 	return lsn, nil
 }
 
-// pruneLocked drops commit-log entries every live replica has already
+// pruneShardLocked drops lane records every live replica has already
 // applied, and enforces the MaxLog cap (stranding laggards, who will full
 // resync). Pruning only advances the live-window offset — no copying, no
 // allocation; dead entries are reclaimed by an occasional compaction into
 // a fresh array (entries are never overwritten in place, because commit
 // validation may still be scanning a snapshot of the old array outside the
-// lock).
-func (s *Server) pruneLocked() {
-	min := s.version.Load()
-	for _, v := range s.sessions {
-		if v < min {
+// lock). Called with sh.mu held; takes the registry lock to read replica
+// positions (lane lock → registry lock, never the reverse).
+func (s *Server) pruneShardLocked(sh *shard) {
+	min := sh.version.Load()
+	s.mu.Lock()
+	for sess := range s.sessions {
+		if v := sess.applied[sh.idx].Load(); v < min {
 			min = v
 		}
 	}
-	lo := s.clogLo
-	for lo < len(s.clog) && s.clog[lo].version <= min {
+	s.mu.Unlock()
+	lo := sh.clogLo
+	for lo < len(sh.clog) && sh.clog[lo].version <= min {
 		lo++
 	}
-	if keep := len(s.clog) - lo; keep > s.opts.MaxLog {
-		lo = len(s.clog) - s.opts.MaxLog
+	if keep := len(sh.clog) - lo; keep > s.opts.MaxLog {
+		lo = len(sh.clog) - s.opts.MaxLog
 	}
-	s.clogLo = lo
-	if lo < len(s.clog) {
-		s.floor = s.clog[lo].version - 1
-	} else {
-		s.floor = s.version.Load()
+	// floor is the version of the newest dropped record: the log then holds
+	// exactly the lane's records above it (lane LSNs are sparse, so
+	// "clog[lo].version - 1" would claim coverage it cannot prove).
+	if lo > sh.clogLo {
+		sh.floor = sh.clog[lo-1].version
 	}
+	sh.clogLo = lo
 	// Compact once the dead prefix dominates: amortized O(1) per commit.
-	if lo > 64 && lo*2 >= len(s.clog) {
-		live := len(s.clog) - lo
+	if lo > 64 && lo*2 >= len(sh.clog) {
+		live := len(sh.clog) - lo
 		fresh := make([]commitRecord, live, live+live/2+16)
-		copy(fresh, s.clog[lo:])
-		s.clog = fresh
-		s.clogLo = 0
+		copy(fresh, sh.clog[lo:])
+		sh.clog = fresh
+		sh.clogLo = 0
 	}
 }
 
 // Snapshot returns an immutable snapshot of the current shared database
 // (maintained incrementally at each commit; O(1) to take).
 func (s *Server) Snapshot() db.FrozenDB {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
 	return s.frozen
 }
 
@@ -654,15 +884,14 @@ func (s *Server) Version() uint64 { return s.version.Load() }
 // WAL prefix the snapshot covers. Returns the checkpoint's LSN. Safe to
 // call concurrently (the store serializes checkpoints) and while serving.
 func (s *Server) Checkpoint() (uint64, error) {
-	s.mu.Lock()
 	if s.store == nil {
-		s.mu.Unlock()
 		return 0, errors.New("server: in-memory server has no store to checkpoint")
 	}
+	s.seqMu.Lock()
 	frozen := s.frozen
 	lsn := s.version.Load()
+	s.seqMu.Unlock()
 	store := s.store
-	s.mu.Unlock()
 	started := time.Now()
 	if err := store.CheckpointFrom(frozen, lsn); err != nil {
 		return 0, err
@@ -678,14 +907,14 @@ func (s *Server) History() *history.Window { return s.hist }
 // Stats returns a consistent snapshot of the server counters.
 func (s *Server) Stats() StatsSnapshot {
 	p50, p99 := s.stats.quantiles()
-	s.mu.Lock()
+	s.seqMu.Lock()
 	version := s.version.Load()
-	size := s.head.Size()
+	size := s.frozen.Size()
+	s.seqMu.Unlock()
 	var walBytes int64
 	if s.store != nil {
 		walBytes = s.store.WALSize()
 	}
-	s.mu.Unlock()
 	snap := StatsSnapshot{
 		SessionsOpen:  s.stats.sessionsOpen.Load(),
 		SessionsTotal: s.stats.sessionsTotal.Load(),
@@ -723,6 +952,20 @@ func (s *Server) Stats() StatsSnapshot {
 		Checkpoints:      s.stats.checkpoints.Load(),
 		CheckpointP99Us:  s.stats.ckptLat.Quantile(0.99),
 		RecoveryReplayed: s.stats.recoveryReplayed.Load(),
+	}
+	// Sharding fields ride only on actually-sharded servers, so single-lane
+	// deployments (and the golden wire-compat fixtures) see an unchanged
+	// STATS payload.
+	if s.nshards > 1 {
+		snap.Shards = s.nshards
+		snap.ShardCommits = make([]int64, s.nshards)
+		for i, sh := range s.shards {
+			snap.ShardCommits[i] = sh.commits.Load()
+		}
+		snap.CrossShardCommits = s.stats.crossShardCommits.Load()
+		if c := s.stats.commits.Load(); c > 0 {
+			snap.CrossShardFraction = float64(snap.CrossShardCommits) / float64(c)
+		}
 	}
 	if stale, rw := s.stats.conflictStale.Load(), s.stats.conflictRW.Load(); stale > 0 || rw > 0 {
 		snap.ConflictCauses = map[string]int64{}

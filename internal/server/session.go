@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -29,6 +30,11 @@ type session struct {
 
 	d       *db.DB
 	version uint64
+	// applied[i] is the LSN of the newest lane-i commit folded into the
+	// replica. Written by the owning session (and by rebuildReplica); read
+	// lock-free by lane pruning, which uses it to size each lane's live
+	// commit-log window.
+	applied []atomic.Uint64
 	prog    *ast.Program
 	varHigh int64
 	eng     *engine.Engine
@@ -62,7 +68,7 @@ func (sess *session) tracing() bool {
 // only read synchronously inside commit, so reuse across attempts is safe.
 func (sess *session) freshReadSet() *readSet {
 	if sess.rsBuf == nil {
-		sess.rsBuf = newReadSet()
+		sess.rsBuf = newReadSet(sess.srv.nshards)
 		return sess.rsBuf
 	}
 	return sess.rsBuf.reset()

@@ -34,6 +34,8 @@ type serverStats struct {
 	checkpoints      atomic.Int64 // completed checkpoints (manual + policy)
 	recoveryReplayed atomic.Int64 // WAL op records replayed at the last boot
 
+	crossShardCommits atomic.Int64 // commits whose touch-set spanned lanes
+
 	// Engine and database work, aggregated per served goal.
 	engineSteps atomic.Int64
 	engineUnifs atomic.Int64
@@ -157,4 +159,12 @@ type StatsSnapshot struct {
 	Checkpoints      int64 `json:"checkpoints,omitempty"`
 	CheckpointP99Us  int64 `json:"checkpoint_p99_us,omitempty"`
 	RecoveryReplayed int64 `json:"recovery_replayed_records,omitempty"`
+
+	// Added with the sharded store (PR 7). Emitted only by servers running
+	// more than one commit lane, so single-lane deployments keep the exact
+	// pre-sharding payload.
+	Shards             int     `json:"shards,omitempty"`
+	ShardCommits       []int64 `json:"shard_commits,omitempty"`
+	CrossShardCommits  int64   `json:"cross_shard_commits,omitempty"`
+	CrossShardFraction float64 `json:"cross_shard_fraction,omitempty"`
 }
