@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-compare bench-all recovery-bench obs-demo profile suite suite-quick examples demo fmt vet clean
+.PHONY: all build test test-short race check cover bench bench-compare bench-all recovery-bench obs-demo top-demo profile suite suite-quick examples demo fmt vet clean
 
 all: build test
 
@@ -35,29 +35,29 @@ cover:
 	$(GO) test -short -cover ./...
 
 # Fixed-iteration run of the hot-path benchmarks, recorded as
-# BENCH_PR7.json in three sections: "disabled" (observability instrumented
+# BENCH_PR8.json in three sections: "disabled" (observability instrumented
 # but no tracing) — which includes the sharded-store workloads, disjoint
 # (every client in a private commit lane) and contended (shared accounts,
 # mostly cross-lane) — "durable" (real WAL + fsync per acknowledged
-# commit), and "enabled" (full structured tracing into a sink). Durable
-# throughput runs time-based (fsync cost varies too much across machines
-# for a fixed iteration count). Fixed-iteration sections run -count=10,
-# the durable section -count=5, and benchjson records the median
-# repetition per benchmark: this shared VM's scheduling/fsync noise floor
-# is wider than the bench-compare gate, and the median is the robust
-# estimator that keeps one stall or one turbo window out of the committed
-# record.
+# commit, including the stage-sampled variant added with PR 8), and
+# "enabled" (full structured tracing into a sink). Durable throughput runs
+# time-based (fsync cost varies too much across machines for a fixed
+# iteration count). Fixed-iteration sections run -count=10, the durable
+# section -count=5, and benchjson records the median repetition per
+# benchmark: this shared VM's scheduling/fsync noise floor is wider than
+# the bench-compare gate, and the median is the robust estimator that
+# keeps one stall or one turbo window out of the committed record.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$|BenchmarkServerThroughputDisjoint$$|BenchmarkServerThroughputContended$$' \
-		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR7.json > BENCH_PR7.json.tmp
-	mv BENCH_PR7.json.tmp BENCH_PR7.json
-	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughputDurable$$|BenchmarkServerThroughputDisjointDurable$$|BenchmarkServerThroughputContendedDurable$$' \
-		-benchtime=4s -count=5 -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR7.json > BENCH_PR7.json.tmp
-	mv BENCH_PR7.json.tmp BENCH_PR7.json
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR8.json > BENCH_PR8.json.tmp
+	mv BENCH_PR8.json.tmp BENCH_PR8.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughputDurable$$|BenchmarkServerThroughputDurableSampled$$|BenchmarkServerThroughputDisjointDurable$$|BenchmarkServerThroughputContendedDurable$$' \
+		-benchtime=4s -count=5 -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR8.json > BENCH_PR8.json.tmp
+	mv BENCH_PR8.json.tmp BENCH_PR8.json
 	$(GO) test -run '^$$' -bench 'BenchmarkProverTransferTraced$$|BenchmarkServerThroughputTraced$$' \
-		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR7.json > BENCH_PR7.json.tmp
-	mv BENCH_PR7.json.tmp BENCH_PR7.json
-	@cat BENCH_PR7.json
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR8.json > BENCH_PR8.json.tmp
+	mv BENCH_PR8.json.tmp BENCH_PR8.json
+	@cat BENCH_PR8.json
 
 # Bounded-recovery numbers, recorded as BENCH_PR6.json: cold-start time
 # over growing WAL histories, with and without an incremental checkpoint
@@ -70,18 +70,12 @@ recovery-bench:
 	@cat BENCH_PR6.json
 
 # Gate this PR's committed numbers against the previous PR's: any shared
-# benchmark more than 10% slower (ns/op) fails the target. The sharded
-# store runs every pre-existing benchmark through a single lane (the
-# default on 1-core machines), so the shared names gate the shards=1
-# regression budget directly. The baseline is BENCH_PR6.json, whose
-# hot-path sections were recorded from the PR-6 tree back to back with
-# BENCH_PR7.json on the same machine: diffing against BENCH_PR5.json
-# directly mixes host drift (fsync latency, allocator/GC throughput vary
-# across recording days on this VM) into the code delta — the PR-6 tree
-# re-measured today reproduces BENCH_PR5's SimLab/Traced numbers 20-30%
-# slower with zero intervening code changes.
+# benchmark more than 10% slower (ns/op) fails the target. The baseline is
+# BENCH_PR7.json; comparing adjacent PRs recorded close in time keeps host
+# drift (fsync latency, allocator/GC throughput vary across recording days
+# on this VM) out of the code delta.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json
 
 # Span-tree smoke test: prove the concurrent two-workflow goal with tracing
 # on and check that the rendered tree shows the expected structure — iso
@@ -93,6 +87,29 @@ obs-demo:
 		echo "$$out" | grep -q "$$want" || { echo "obs-demo: span tree missing $$want" >&2; exit 1; }; \
 	done; \
 	echo "obs-demo: span tree shows all expected labels"
+
+# Stage-attribution smoke test: an in-memory server with every-transaction
+# sampling, SLOs, and prover profiling takes a bank load; tdtop -once must
+# render the stage table, SLO burn, and prover profile, and tdlog -wide
+# must tabulate the recorded wide events.
+top-demo:
+	$(GO) build -o /tmp/td-top-server ./cmd/tdserver
+	$(GO) build -o /tmp/td-top ./cmd/tdtop
+	@set -e; dir=$$(mktemp -d); \
+	/tmp/td-top-server serve -addr 127.0.0.1:7393 -obs.sample 1 -obs.profile \
+		-obs.slo "commit:5ms:0.999,fsync:20ms:0.99" -obs.jsonl $$dir/obs.jsonl & \
+	pid=$$!; sleep 0.5; \
+	/tmp/td-top-server bank -addr 127.0.0.1:7393 -clients 4 -txns 50; \
+	out=$$(/tmp/td-top -addr 127.0.0.1:7393 -once); \
+	echo "$$out"; \
+	for want in "fsync_wait" "slo commit" "transfer" "commits/sec"; do \
+		echo "$$out" | grep -q "$$want" || { echo "top-demo: tdtop output missing $$want" >&2; kill $$pid; exit 1; }; \
+	done; \
+	kill $$pid; \
+	$(GO) run ./cmd/tdlog -wide $$dir/obs.jsonl | tail -2; \
+	$(GO) run ./cmd/tdlog -wide $$dir/obs.jsonl | grep -q "transaction(s)" || { echo "top-demo: tdlog -wide saw no events" >&2; exit 1; }; \
+	rm -rf $$dir; \
+	echo "top-demo: stage attribution visible end to end"
 
 # Every benchmark, default benchtime (exploratory; nothing recorded).
 bench-all:

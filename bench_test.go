@@ -317,6 +317,21 @@ func BenchmarkServerThroughputDurable(b *testing.B) {
 	})
 }
 
+// BenchmarkServerThroughputDurableSampled is BenchmarkServerThroughputDurable
+// with stage-level latency attribution sampling 1 transaction in 64 — the
+// recommended production setting. The acceptance gate for PR 8: its 8-client
+// throughput must stay within 5% of the unsampled durable variant.
+func BenchmarkServerThroughputDurableSampled(b *testing.B) {
+	benchServerThroughput(b, benchBankAccounts, func(b *testing.B) td.ServerOptions {
+		dir := b.TempDir()
+		return td.ServerOptions{
+			SnapshotPath: filepath.Join(dir, "td.snap"),
+			WALPath:      filepath.Join(dir, "td.wal"),
+			StageSample:  64,
+		}
+	})
+}
+
 const benchBankAccounts = 8
 
 // benchShards pins the lane count for the sharded variants, so the results

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	td "repro"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/term"
 )
 
@@ -66,6 +69,94 @@ func TestDumpWALAndManifest(t *testing.T) {
 	}
 	if got, want := out.String(), "snapshot: format v2, lsn 1, 1 record(s)\n"; got != want {
 		t.Errorf("manifest dump = %q, want %q", got, want)
+	}
+}
+
+// TestDumpWide is the wide-event round trip: a durable server with a JSONL
+// sink records sampled transactions (span lines interleaved on the same
+// stream), and tdlog -wide tabulates exactly the transaction lines. The
+// recorded stage decomposition must account for each transaction's
+// end-to-end wall-clock within 10%.
+func TestDumpWide(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "obs.jsonl")
+	sink, err := obs.OpenJSONL(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := td.NewServer(td.ServerOptions{
+		Program: `account(a, 100). account(b, 100).
+			withdraw(Amt, A) :- account(A, B), B >= Amt, del.account(A, B), sub(B, Amt, C), ins.account(A, C).
+			deposit(Amt, A) :- account(A, B), del.account(A, B), add(B, Amt, C), ins.account(A, C).
+			transfer(Amt, A, B) :- withdraw(Amt, A), deposit(Amt, B).`,
+		SnapshotPath: filepath.Join(dir, "td.snap"),
+		WALPath:      filepath.Join(dir, "td.wal"),
+		TraceSink:    sink, // span lines share the stream and must be skipped
+		WideSink:     sink,
+		Trace:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := srv.InProcClient()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exec("transfer(1, a, b)"); err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+	}
+	if err := c.Ping(); err != nil { // serialize behind the last finalization
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded events decode, and their stage sums match end-to-end.
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns, spans int
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var ev obs.WideEvent
+		if json.Unmarshal(line, &ev) != nil || ev.Event != "txn" {
+			spans++
+			continue
+		}
+		txns++
+		var sum int64
+		for _, us := range ev.StageUs {
+			sum += us
+		}
+		if ev.TotalUs <= 0 {
+			t.Fatalf("event without total: %s", line)
+		}
+		if diff := ev.TotalUs - sum; diff < 0 || float64(diff) > 0.1*float64(ev.TotalUs)+8 {
+			t.Errorf("stage sum %dus does not account for total %dus: %s", sum, ev.TotalUs, line)
+		}
+	}
+	if txns != 3 || spans == 0 {
+		t.Fatalf("recorded %d txn and %d span lines, want 3 and >0", txns, spans)
+	}
+
+	var out bytes.Buffer
+	if err := dumpWide(&out, jsonl); err != nil {
+		t.Fatalf("dumpWide: %v", err)
+	}
+	for _, want := range []string{
+		`verb=EXEC goal="transfer(1, a, b)"`,
+		"prove=",
+		"fsync_wait=",
+		"wide: 3 transaction(s)",
+		"stage totals (us):",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("wide dump missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

@@ -23,13 +23,17 @@
 //	-seed N       simulator scheduling seed
 //	-timeout D    simulator timeout (e.g. 30s)
 //
-// Operator modes (no program argument; see docs/PERSISTENCE.md):
+// Operator modes (no program argument; see docs/PERSISTENCE.md and
+// docs/OBSERVABILITY.md):
 //
 //	-wal file       dump a server write-ahead log (v1 or v2 framing)
 //	-manifest file  dump a snapshot's manifest (format, LSN, record count)
+//	-wide file      tabulate the wide events in a server -obs.jsonl file
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,11 +64,12 @@ func main() {
 		parWorkers  = flag.Int("par", 0, "parallel proof search with N workers (prover only)")
 		walDump     = flag.String("wal", "", "dump a server write-ahead log and exit")
 		manDump     = flag.String("manifest", "", "dump a snapshot manifest and exit")
+		wideDump    = flag.String("wide", "", "tabulate the wide events in a server JSONL file and exit")
 	)
 	flag.Parse()
-	if *walDump != "" || *manDump != "" {
+	if *walDump != "" || *manDump != "" || *wideDump != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: tdlog -wal file.wal | tdlog -manifest file.snap")
+			fmt.Fprintln(os.Stderr, "usage: tdlog -wal file.wal | tdlog -manifest file.snap | tdlog -wide file.jsonl")
 			os.Exit(2)
 		}
 		var err error
@@ -73,6 +78,9 @@ func main() {
 		}
 		if err == nil && *walDump != "" {
 			err = dumpWAL(os.Stdout, *walDump)
+		}
+		if err == nil && *wideDump != "" {
+			err = dumpWide(os.Stdout, *wideDump)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tdlog:", err)
@@ -275,6 +283,88 @@ func dumpWAL(w io.Writer, path string) error {
 	}
 	fmt.Fprintf(w, "wal: v%d framing, %d op record(s), %d commit boundar%s\n",
 		version, ops, commits, map[bool]string{true: "y", false: "ies"}[commits == 1])
+	return nil
+}
+
+// wideStages is the pipeline order used when rendering a wide event's stage
+// breakdown (matching the server's stage taxonomy).
+var wideStages = []string{"parse", "prove", "validate", "lane_wait", "apply", "wal_append", "fsync_wait", "ack"}
+
+// dumpWide tabulates the wide events in a server -obs.jsonl file: one row
+// per transaction plus aggregate per-stage totals. Span-tree lines share the
+// stream but carry no "event" discriminator; they are skipped.
+func dumpWide(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	txns, skipped := 0, 0
+	totals := make(map[string]int64, len(wideStages))
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.WideEvent
+		if err := json.Unmarshal(line, &ev); err != nil || ev.Event != "txn" {
+			skipped++ // a span line, or garbage: not ours to decode
+			continue
+		}
+		txns++
+		fmt.Fprintf(w, "txn trace=%d session=%d verb=%s", ev.Trace, ev.Session, ev.Verb)
+		if ev.Goal != "" {
+			fmt.Fprintf(w, " goal=%q", ev.Goal)
+		}
+		if ev.LSN > 0 {
+			fmt.Fprintf(w, " lsn=%d", ev.LSN)
+		}
+		if ev.Retries > 0 {
+			fmt.Fprintf(w, " retries=%d", ev.Retries)
+		}
+		if ev.Conflict != "" {
+			fmt.Fprintf(w, " conflict=%s", ev.Conflict)
+		}
+		if len(ev.Lanes) > 0 {
+			fmt.Fprintf(w, " lanes=%v", ev.Lanes)
+		}
+		if ev.CrossShard {
+			fmt.Fprint(w, " cross_shard")
+		}
+		if ev.Ops > 0 {
+			fmt.Fprintf(w, " ops=%d", ev.Ops)
+		}
+		if ev.Batch > 0 {
+			fmt.Fprintf(w, " batch=%d", ev.Batch)
+		}
+		fmt.Fprintf(w, " total=%dus\n", ev.TotalUs)
+		if len(ev.StageUs) > 0 {
+			fmt.Fprint(w, " ")
+			for _, stage := range wideStages {
+				if us, ok := ev.StageUs[stage]; ok {
+					fmt.Fprintf(w, " %s=%d", stage, us)
+					totals[stage] += us
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wide: %d transaction(s), %d other line(s)\n", txns, skipped)
+	if txns > 0 {
+		fmt.Fprint(w, "stage totals (us):")
+		for _, stage := range wideStages {
+			if us, ok := totals[stage]; ok {
+				fmt.Fprintf(w, " %s=%d", stage, us)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	return nil
 }
 

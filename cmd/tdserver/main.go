@@ -16,7 +16,13 @@
 // Observability (see docs/OBSERVABILITY.md): -obs.addr serves /metrics
 // (Prometheus text) and /debug/pprof; -obs.slowtxn logs the span tree of
 // any goal slower than the threshold; -obs.trace traces every goal;
-// -obs.jsonl appends every traced goal's span tree to a JSON-lines file.
+// -obs.jsonl appends every traced goal's span tree and every sampled
+// transaction's wide event to a JSON-lines file; -obs.sample attributes
+// every Nth transaction's latency to pipeline stages; -obs.slo tracks
+// latency objectives against the commit and fsync signals; -obs.profile
+// attributes prover time per predicate. `tdtop -addr` renders the live
+// stage/SLO picture in the terminal; `tdlog -wide file.jsonl` tabulates
+// recorded wide events.
 //
 // bank is a load generator and correctness demo: it loads a bank of
 // -accounts accounts holding 100 each (unless the server already has
@@ -162,7 +168,10 @@ func serveCmd(args []string) error {
 		obsAddr     = fs.String("obs.addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 		obsSlow     = fs.Duration("obs.slowtxn", 0, "log the span tree of any goal slower than this (0 = off)")
 		obsTrace    = fs.Bool("obs.trace", false, "trace every session's goals (TRACE dump works without opting in)")
-		obsJSONL    = fs.String("obs.jsonl", "", "append every traced goal's span tree as JSON lines to this file")
+		obsJSONL    = fs.String("obs.jsonl", "", "append every traced goal's span tree and every sampled transaction's wide event as JSON lines to this file")
+		obsSample   = fs.Int("obs.sample", 0, "attribute every Nth transaction's latency to pipeline stages (0 = off; implied 1 by -obs.jsonl)")
+		obsSLO      = fs.String("obs.slo", "", `latency objectives, e.g. "commit:5ms:0.999,fsync:20ms:0.99"`)
+		obsProfile  = fs.Bool("obs.profile", false, "attribute prover time per predicate for every session (PROFILE verb toggles per session)")
 		prof        = addProfileFlags(fs)
 	)
 	fs.Parse(args)
@@ -188,7 +197,16 @@ func serveCmd(args []string) error {
 		HistoryWindow:      *histWindow,
 		Trace:              *obsTrace,
 		SlowTxn:            *obsSlow,
+		StageSample:        *obsSample,
+		Profile:            *obsProfile,
 		Logger:             slog.Default(),
+	}
+	if *obsSLO != "" {
+		slos, err := obs.ParseSLOs(*obsSLO)
+		if err != nil {
+			return err
+		}
+		opts.SLOs = slos
 	}
 	if *obsJSONL != "" {
 		sink, err := obs.OpenJSONL(*obsJSONL)
@@ -197,6 +215,7 @@ func serveCmd(args []string) error {
 		}
 		defer sink.Close()
 		opts.TraceSink = sink
+		opts.WideSink = sink
 	}
 	if *programPath != "" {
 		src, err := os.ReadFile(*programPath)
@@ -519,6 +538,24 @@ func statsCmd(args []string) error {
 	}
 	if st.RecoveryReplayed > 0 {
 		fmt.Printf("recovery: %d WAL records replayed at boot\n", st.RecoveryReplayed)
+	}
+	if len(st.StageP99Us) > 0 {
+		fmt.Println("stage latency (sampled, p50/p99 us):")
+		for _, stage := range []string{"parse", "prove", "validate", "lane_wait", "apply", "wal_append", "fsync_wait", "ack"} {
+			if p99, ok := st.StageP99Us[stage]; ok {
+				fmt.Printf("  %-10s %6d / %6d\n", stage, st.StageP50Us[stage], p99)
+			}
+		}
+	}
+	if len(st.ProverProfile) > 0 {
+		fmt.Println("prover profile (per predicate):")
+		for pred, p := range st.ProverProfile {
+			fmt.Printf("  %-16s calls=%d fanout=%d time=%dus\n", pred, p.Calls, p.Fanout, p.TimeUs)
+		}
+	}
+	for _, slo := range st.SLOs {
+		fmt.Printf("slo %s: %d/%d good within %dus (objective %g, burn %.2f)\n",
+			slo.Name, slo.Good, slo.Total, slo.ThresholdUs, slo.Objective, slo.BurnRate)
 	}
 	return nil
 }

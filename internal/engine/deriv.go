@@ -3,6 +3,7 @@ package engine
 import (
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/db"
@@ -94,6 +95,16 @@ type deriv struct {
 	// (with tracing on, resolved atoms must be owned by the trace).
 	argBuf []term.Term
 
+	// Per-predicate profile scratch, active only when opts.Profile is on
+	// (all nil/zero otherwise): profMap accumulates calls/fan-out/time per
+	// dispatched predicate; profCur/profLast implement the flat time
+	// attribution — the interval between consecutive call steps is charged
+	// to the predicate of the earlier step. Folded into the engine's
+	// cumulative table by profFlush.
+	profMap  map[string]*predAccum
+	profCur  string
+	profLast time.Time
+
 	// shared, when non-nil, is an aggregate step counter for parallel
 	// search: the budget is enforced against it rather than local steps.
 	shared *atomic.Int64
@@ -149,6 +160,11 @@ func (dv *deriv) reset(d *db.DB) {
 	if dv.parentOf != nil {
 		clear(dv.parentOf)
 	}
+	if dv.profMap != nil {
+		clear(dv.profMap)
+	}
+	dv.profCur = ""
+	dv.profLast = time.Time{}
 	dv.shared = nil
 	dv.frontier = nil
 	dv.env.Reset()
@@ -169,6 +185,12 @@ func (dv *deriv) release() {
 }
 
 func (dv *deriv) stats() Stats {
+	if dv.e.opts.Profile {
+		// stats is the single point every Prove-family entry point reads
+		// exactly once per search (ProveDelta and Enumerate never release
+		// their deriv, so release cannot be the flush site).
+		dv.profFlush()
+	}
 	return Stats{
 		Steps:        dv.steps,
 		MaxDepth:     dv.maxDepth,
@@ -182,6 +204,71 @@ func (dv *deriv) stats() Stats {
 
 // recording reports whether span/branch identity bookkeeping is active.
 func (dv *deriv) recording() bool { return dv.e.opts.Trace }
+
+// predAccum is the per-predicate profile cell: call steps, dispatch
+// fan-out, and flat-attributed wall time.
+type predAccum struct {
+	calls  int64
+	fanout int64
+	dur    time.Duration
+}
+
+// noteCall records one call step on pred with the given candidate-rule
+// fan-out, charging the interval since the previous call step to the
+// previously dispatched predicate. One time.Now per call step; only
+// reached when opts.Profile is on.
+func (dv *deriv) noteCall(pred string, fanout int) {
+	now := time.Now()
+	if dv.profMap == nil {
+		dv.profMap = make(map[string]*predAccum)
+	}
+	pa := dv.profMap[pred]
+	if pa == nil {
+		pa = &predAccum{}
+		dv.profMap[pred] = pa
+	}
+	pa.calls++
+	pa.fanout += int64(fanout)
+	if dv.profCur != "" {
+		if cur := dv.profMap[dv.profCur]; cur != nil {
+			cur.dur += now.Sub(dv.profLast)
+		}
+	}
+	dv.profCur = pred
+	dv.profLast = now
+}
+
+// profFlush charges the tail interval to the last dispatched predicate and
+// folds the search-local table into the engine's cumulative profile.
+// Idempotent: a second call on the same search finds an empty table.
+func (dv *deriv) profFlush() {
+	if dv.profCur != "" {
+		if cur := dv.profMap[dv.profCur]; cur != nil {
+			cur.dur += time.Since(dv.profLast)
+		}
+		dv.profCur = ""
+	}
+	if len(dv.profMap) == 0 {
+		return
+	}
+	e := dv.e
+	e.profMu.Lock()
+	if e.prof == nil {
+		e.prof = make(map[string]*predAccum)
+	}
+	for pred, pa := range dv.profMap {
+		cum := e.prof[pred]
+		if cum == nil {
+			cum = &predAccum{}
+			e.prof[pred] = cum
+		}
+		cum.calls += pa.calls
+		cum.fanout += pa.fanout
+		cum.dur += pa.dur
+	}
+	e.profMu.Unlock()
+	clear(dv.profMap)
+}
 
 // explore runs the whole process tree g to completion, invoking emit at
 // every distinct successful execution with the database and environment
@@ -478,6 +565,9 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 		} else {
 			dv.dispatchHits++
 			rules = dv.e.idx.candidates(g.Atom.Pred, g.Atom.Args, dv.env)
+		}
+		if dv.e.opts.Profile {
+			dv.noteCall(g.Atom.Pred, len(rules))
 		}
 		if len(rules) == 0 {
 			// Unknown predicate: no rules and not a base relation — treat as

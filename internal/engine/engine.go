@@ -28,6 +28,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/analysis"
@@ -83,6 +84,14 @@ type Options struct {
 	// Diagnostics either way. The analysis runs only in New — nothing is
 	// added to the prove hot path.
 	Vet bool
+	// Profile accumulates per-predicate prover cost: call-step count,
+	// clause-dispatch fan-out, and flat time attribution (each interval
+	// between consecutive call steps is charged to the most recently
+	// dispatched predicate — the CPS search makes inclusive per-call timing
+	// meaningless, since a continuation carries the whole residual). Read
+	// the cumulative table with ProfileSnapshot. Costs one time.Now per
+	// call step when on; with Profile off the hot path is untouched.
+	Profile bool
 }
 
 // Default limits.
@@ -256,6 +265,34 @@ type Engine struct {
 	// diagnostics, and fails every Prove-family call.
 	vet    *analysis.Report
 	vetErr error
+	// prof is the cumulative per-predicate profile (Options.Profile),
+	// folded in from each search's deriv-local table under profMu.
+	profMu sync.Mutex
+	prof   map[string]*predAccum
+}
+
+// PredProfile is the cumulative prover cost attributed to one derived
+// predicate (Options.Profile): this table is what a tabling pass would
+// consult to decide which predicates are worth memoizing.
+type PredProfile struct {
+	Calls  int64 `json:"calls"`   // call steps dispatched
+	Fanout int64 `json:"fanout"`  // candidate rules attempted across those calls
+	TimeUs int64 `json:"time_us"` // flat self-time between dispatches, µs
+}
+
+// ProfileSnapshot returns a copy of the cumulative per-predicate profile,
+// or nil when profiling is off or nothing has been dispatched yet.
+func (e *Engine) ProfileSnapshot() map[string]PredProfile {
+	e.profMu.Lock()
+	defer e.profMu.Unlock()
+	if len(e.prof) == 0 {
+		return nil
+	}
+	out := make(map[string]PredProfile, len(e.prof))
+	for pred, pa := range e.prof {
+		out[pred] = PredProfile{Calls: pa.calls, Fanout: pa.fanout, TimeUs: pa.dur.Microseconds()}
+	}
+	return out
 }
 
 // PoolStats reports how many searches reused the pooled scratch state vs

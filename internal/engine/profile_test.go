@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/parser"
+)
+
+const profileSrc = `
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+reach(X) :- path(a, X).
+`
+
+func TestProfileSnapshot(t *testing.T) {
+	prog, err := parser.Parse(profileSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Profile = true
+	e := New(prog, opts)
+
+	g, _, err := parser.ParseGoal(`reach(d)`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Prove(g, d)
+	if err != nil || !res.Success {
+		t.Fatalf("prove: %v success=%v", err, res != nil && res.Success)
+	}
+
+	prof := e.ProfileSnapshot()
+	if prof == nil {
+		t.Fatal("ProfileSnapshot = nil after a profiled proof")
+	}
+	reach, ok := prof["reach"]
+	if !ok || reach.Calls != 1 {
+		t.Errorf("reach profile = %+v, want 1 call", reach)
+	}
+	path, ok := prof["path"]
+	if !ok || path.Calls < 3 {
+		t.Errorf("path profile = %+v, want >= 3 calls (recursive descent a->d)", path)
+	}
+	// Each path call dispatches through the two path rules (the clause
+	// index may narrow further, but fan-out is at least the call count).
+	if path.Fanout < path.Calls {
+		t.Errorf("path fan-out %d < calls %d", path.Fanout, path.Calls)
+	}
+	if reach.TimeUs < 0 || path.TimeUs < 0 {
+		t.Errorf("negative attributed time: %+v %+v", reach, path)
+	}
+
+	// Cumulative across searches: a second proof adds to the same table.
+	g2, _, err := parser.ParseGoal(`reach(b)`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Prove(g2, d); err != nil {
+		t.Fatal(err)
+	}
+	prof2 := e.ProfileSnapshot()
+	if prof2["reach"].Calls != 2 {
+		t.Errorf("reach calls after second proof = %d, want 2", prof2["reach"].Calls)
+	}
+
+	// The snapshot is a copy: mutating it must not affect the engine.
+	prof2["reach"] = PredProfile{Calls: 999}
+	if e.ProfileSnapshot()["reach"].Calls == 999 {
+		t.Error("ProfileSnapshot aliases engine state")
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	prog, err := parser.Parse(profileSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewDefault(prog)
+	g, _, err := parser.ParseGoal(`reach(c)`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Prove(g, d); err != nil {
+		t.Fatal(err)
+	}
+	if prof := e.ProfileSnapshot(); prof != nil {
+		t.Errorf("ProfileSnapshot = %v with Profile off, want nil", prof)
+	}
+}
+
+// ProveDelta and Enumerate never release their deriv; the profile must
+// still reach the engine table (the flush rides on stats()).
+func TestProfileFlushWithoutRelease(t *testing.T) {
+	prog, err := parser.Parse(profileSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.FromFacts(prog.Facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Profile = true
+	e := New(prog, opts)
+	g, _, err := parser.ParseGoal(`reach(d)`, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.ProveDelta(g, d)
+	if err != nil || !res.Success {
+		t.Fatalf("ProveDelta: %v", err)
+	}
+	if prof := e.ProfileSnapshot(); prof == nil || prof["reach"].Calls != 1 {
+		t.Errorf("profile after ProveDelta = %v, want reach: 1 call", prof)
+	}
+}

@@ -102,8 +102,11 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Quantile returns the upper bound of the bucket containing the q-th
 // quantile (0 < q <= 1), i.e. an upper estimate with ~2x resolution.
-// Returns 0 when no samples have been observed. O(histBuckets), no
-// allocation, no locking.
+// Returns 0 when no samples have been observed. A quantile that lands in
+// the +Inf overflow bucket reports that bucket's lower bound (the largest
+// finite bucket bound): the interval is unbounded above, so the lower
+// bound is the only honest point estimate. O(histBuckets), no allocation,
+// no locking.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.n.Load()
 	if total == 0 {
@@ -113,18 +116,20 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if target < 1 {
 		target = 1
 	}
+	if target > total {
+		// q > 1, or float rounding pushed the rank past the sample count.
+		// Clamp so the answer is the bucket of the largest observed sample,
+		// never a spurious fall-through into the overflow bucket.
+		target = total
+	}
 	var cum int64
-	for i := 0; i < histBuckets; i++ {
+	for i := 0; i < histFinite; i++ {
 		cum += h.counts[i].Load()
 		if cum >= target {
-			if i >= histFinite {
-				// Overflow: the best upper estimate we have is "beyond the
-				// largest finite bound".
-				return BucketBound(histFinite - 1)
-			}
 			return BucketBound(i)
 		}
 	}
+	// The rank lands in the overflow bucket: report its lower bound.
 	return BucketBound(histFinite - 1)
 }
 
@@ -138,18 +143,40 @@ const (
 	kindCounterFunc
 	kindGaugeFunc
 	kindGaugeFuncF
+	kindFamilyFunc
 )
+
+// Sample is one labeled sample produced by a FamilyFunc at scrape time.
+type Sample struct {
+	Labels string // rendered label pairs without braces, e.g. `pred="path/2"`
+	Value  int64
+}
 
 type series struct {
 	family string // metric family name, e.g. td_commits_total
 	labels string // rendered label pairs without braces, e.g. `verb="EXEC"`, may be ""
 	help   string
 	kind   metricKind
+	ftyp   string // rendered TYPE for kindFamilyFunc: "counter" or "gauge"
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
 	fn     func() int64
 	fnf    func() float64
+	sfn    func() []Sample
+}
+
+// typeName maps a series to its Prometheus TYPE keyword.
+func (s *series) typeName() string {
+	switch s.kind {
+	case kindGauge, kindGaugeFunc, kindGaugeFuncF:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindFamilyFunc:
+		return s.ftyp
+	}
+	return "counter"
 }
 
 // Registry holds registered metric series and renders them in Prometheus
@@ -163,10 +190,32 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// add registers a series. Re-registering a family under a different type
+// or help string, or re-registering the exact same (family, labels) pair,
+// is a programming error and panics deterministically: the text exposition
+// would otherwise render a malformed family whose shape depends on
+// registration order. Multiple series of one family with distinct label
+// sets — the normal labeled-metric case — are fine.
 func (r *Registry) add(s *series) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ex := range r.series {
+		if ex.family != s.family {
+			continue
+		}
+		if ex.typeName() != s.typeName() {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s, already registered as %s",
+				s.family, s.typeName(), ex.typeName()))
+		}
+		if ex.help != s.help {
+			panic(fmt.Sprintf("obs: metric %s re-registered with different help (%q, already %q)",
+				s.family, s.help, ex.help))
+		}
+		if ex.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate metric series %s{%s}", s.family, s.labels))
+		}
+	}
 	r.series = append(r.series, s)
-	r.mu.Unlock()
 }
 
 // Counter registers and returns a counter with no labels.
@@ -210,6 +259,11 @@ func (r *Registry) GaugeFuncF(family, help string, fn func() float64) {
 	r.add(&series{family: family, help: help, kind: kindGaugeFuncF, fnf: fn})
 }
 
+// GaugeFuncFL is GaugeFuncF with a rendered label set.
+func (r *Registry) GaugeFuncFL(family, help, labels string, fn func() float64) {
+	r.add(&series{family: family, labels: labels, help: help, kind: kindGaugeFuncF, fnf: fn})
+}
+
 // Histogram registers and returns a histogram with no labels.
 func (r *Registry) Histogram(family, help string) *Histogram {
 	return r.HistogramL(family, help, "")
@@ -220,6 +274,44 @@ func (r *Registry) HistogramL(family, help, labels string) *Histogram {
 	h := &Histogram{}
 	r.add(&series{family: family, labels: labels, help: help, kind: kindHistogram, h: h})
 	return h
+}
+
+// FamilyFunc registers a whole metric family whose label sets are not known
+// at registration time: fn is called at scrape time and returns one sample
+// per live label set (e.g. td_prover_pred_us{pred=...}, one series per
+// predicate the prover has dispatched so far). typ is the exposed TYPE,
+// "counter" or "gauge". Samples render sorted by label set.
+func (r *Registry) FamilyFunc(family, help, typ string, fn func() []Sample) {
+	if typ != "counter" && typ != "gauge" {
+		panic(fmt.Sprintf("obs: FamilyFunc %s: type %q is not counter or gauge", family, typ))
+	}
+	r.add(&series{family: family, help: help, kind: kindFamilyFunc, ftyp: typ, sfn: fn})
+}
+
+// FamilyInfo describes one registered metric family.
+type FamilyInfo struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge", or "histogram"
+}
+
+// Families returns one entry per registered family in first-registration
+// order. It exists for metadata audits (naming conventions, help coverage)
+// in tests; the collision check in add guarantees every series of a family
+// agrees on Help and Type.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.series))
+	out := make([]FamilyInfo, 0, len(r.series))
+	for _, s := range r.series {
+		if seen[s.family] {
+			continue
+		}
+		seen[s.family] = true
+		out = append(out, FamilyInfo{Name: s.family, Help: s.help, Type: s.typeName()})
+	}
+	return out
 }
 
 // WriteText renders every registered series in Prometheus text exposition
@@ -243,13 +335,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, fam := range order {
 		group := byFam[fam]
 		first := group[0]
-		typ := "counter"
-		switch first.kind {
-		case kindGauge, kindGaugeFunc, kindGaugeFuncF:
-			typ = "gauge"
-		case kindHistogram:
-			typ = "histogram"
-		}
+		typ := first.typeName()
 		if first.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, first.help); err != nil {
 				return err
@@ -279,6 +365,15 @@ func (s *series) write(w io.Writer) error {
 		return writeSample(w, s.family, s.labels, s.fn())
 	case kindGaugeFuncF:
 		return writeSampleF(w, s.family, s.labels, s.fnf())
+	case kindFamilyFunc:
+		samples := s.sfn()
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Labels < samples[j].Labels })
+		for _, sm := range samples {
+			if err := writeSample(w, s.family, sm.Labels, sm.Value); err != nil {
+				return err
+			}
+		}
+		return nil
 	case kindHistogram:
 		var cum int64
 		for i := 0; i < histBuckets; i++ {

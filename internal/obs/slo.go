@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SLO is one latency service-level objective: "fraction Objective of
+// <Name> events must complete within Threshold". Events are recorded with
+// Observe; good/total counts accumulate over the process lifetime (the
+// window is "since start", matching every other counter in this layer —
+// windowed burn rates are a scrape-side derivation).
+//
+// The burn rate is the classic SRE ratio: observed bad fraction divided by
+// the error budget (1 - Objective). Burn 1.0 means the budget is being
+// consumed exactly as provisioned; above 1.0 the objective will be missed
+// if the rate holds.
+type SLO struct {
+	Name      string        // event signal this objective applies to, e.g. "commit", "fsync"
+	Threshold time.Duration // latency bound
+	Objective float64       // required good fraction in (0, 1), e.g. 0.999
+
+	good     atomic.Int64
+	total    atomic.Int64
+	inBreach atomic.Bool
+}
+
+// ParseSLOs parses a comma-separated objective list in the flag grammar
+// name:threshold:objective, e.g. "commit:5ms:0.999,fsync:20ms:0.99".
+// Thresholds use Go duration syntax; objectives are fractions in (0, 1).
+func ParseSLOs(spec string) ([]*SLO, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []*SLO
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("slo %q: want name:threshold:objective", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			return nil, fmt.Errorf("slo %q: empty name", part)
+		}
+		thr, err := time.ParseDuration(fields[1])
+		if err != nil || thr <= 0 {
+			return nil, fmt.Errorf("slo %q: bad threshold %q", part, fields[1])
+		}
+		obj, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || obj <= 0 || obj >= 1 {
+			return nil, fmt.Errorf("slo %q: objective must be a fraction in (0,1)", part)
+		}
+		out = append(out, &SLO{Name: name, Threshold: thr, Objective: obj})
+	}
+	return out, nil
+}
+
+// Observe records one event of duration d. It returns true exactly when
+// this event pushed the SLO from compliant into breach (burn rate crossing
+// above 1.0) — the caller's cue to log; repeat bad events inside an
+// ongoing breach return false so the log is edge- not level-triggered.
+func (s *SLO) Observe(d time.Duration) bool {
+	s.total.Add(1)
+	if d <= s.Threshold {
+		s.good.Add(1)
+	}
+	breaching := s.BurnRate() > 1.0
+	if breaching {
+		return s.inBreach.CompareAndSwap(false, true)
+	}
+	s.inBreach.Store(false)
+	return false
+}
+
+// Good returns the number of events within the threshold.
+func (s *SLO) Good() int64 { return s.good.Load() }
+
+// Total returns the number of observed events.
+func (s *SLO) Total() int64 { return s.total.Load() }
+
+// BurnRate returns badFraction / errorBudget; 0 when no events have been
+// observed.
+func (s *SLO) BurnRate() float64 {
+	total := s.total.Load()
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-s.good.Load()) / float64(total)
+	return bad / (1 - s.Objective)
+}
+
+// InBreach reports whether the last Observe left the burn rate above 1.0.
+func (s *SLO) InBreach() bool { return s.inBreach.Load() }
+
+// Register exposes the objective on reg as
+// td_slo_good_total{slo=}/td_slo_events_total{slo=} counters and a
+// td_slo_burn_rate{slo=} gauge.
+func (s *SLO) Register(reg *Registry) {
+	label := fmt.Sprintf("slo=%q", s.Name)
+	reg.CounterFuncL("td_slo_good_total", "SLO events within their latency threshold", label, s.Good)
+	reg.CounterFuncL("td_slo_events_total", "SLO events observed", label, s.Total)
+	reg.GaugeFuncFL("td_slo_burn_rate", "SLO error-budget burn rate (bad fraction / budget)",
+		label, func() float64 { return s.BurnRate() })
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("commit:5ms:0.999, fsync:20ms:0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("parsed %d SLOs, want 2", len(slos))
+	}
+	if slos[0].Name != "commit" || slos[0].Threshold != 5*time.Millisecond || slos[0].Objective != 0.999 {
+		t.Errorf("first SLO = %+v", slos[0])
+	}
+	if slos[1].Name != "fsync" || slos[1].Threshold != 20*time.Millisecond || slos[1].Objective != 0.99 {
+		t.Errorf("second SLO = %+v", slos[1])
+	}
+
+	if got, err := ParseSLOs(""); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{
+		"commit:5ms",          // missing objective
+		"commit:fast:0.99",    // unparseable threshold
+		"commit:-5ms:0.99",    // non-positive threshold
+		"commit:5ms:1.0",      // objective not in (0,1)
+		"commit:5ms:0",        // objective not in (0,1)
+		"commit:5ms:ninety",   // unparseable objective
+		":5ms:0.99",           // empty name
+		"commit:5ms:0.99:bad", // too many fields
+	} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestSLOBurnAndBreach(t *testing.T) {
+	// Objective 0.75 keeps the error budget (0.25) exact in binary, so the
+	// burn==1.0 boundary below is not at the mercy of float rounding.
+	s := &SLO{Name: "commit", Threshold: time.Millisecond, Objective: 0.75}
+	// Three good events: burn 0, no breach.
+	for i := 0; i < 3; i++ {
+		if s.Observe(100 * time.Microsecond) {
+			t.Fatal("breach on a good event")
+		}
+	}
+	if s.BurnRate() != 0 {
+		t.Errorf("burn = %g after all-good, want 0", s.BurnRate())
+	}
+	// One bad event out of four: bad fraction 0.25 = budget, burn exactly
+	// 1.0, still compliant.
+	if s.Observe(5 * time.Millisecond) {
+		t.Error("breach at burn exactly 1.0, want crossing only above 1.0")
+	}
+	if got := s.BurnRate(); got != 1.0 {
+		t.Errorf("burn = %g, want 1.0", got)
+	}
+	// A second bad event crosses: edge-triggered true, then false while the
+	// breach persists.
+	if !s.Observe(5 * time.Millisecond) {
+		t.Error("want breach crossing on burn rising above 1.0")
+	}
+	if !s.InBreach() {
+		t.Error("InBreach = false inside a breach")
+	}
+	if s.Observe(5 * time.Millisecond) {
+		t.Error("repeat bad event re-reported the breach; want edge-triggered")
+	}
+	// Enough good events to dilute the bad fraction back under budget:
+	// 3 bad / 16 total = 0.1875 < 0.25.
+	for i := 0; i < 10; i++ {
+		s.Observe(100 * time.Microsecond)
+	}
+	if s.InBreach() {
+		t.Errorf("still in breach at burn %g after recovery", s.BurnRate())
+	}
+	if s.Good() != 13 || s.Total() != 16 {
+		t.Errorf("good/total = %d/%d, want 13/16", s.Good(), s.Total())
+	}
+}
+
+func TestSLORegister(t *testing.T) {
+	r := NewRegistry()
+	s := &SLO{Name: "commit", Threshold: time.Millisecond, Objective: 0.5}
+	s.Register(r)
+	s.Observe(time.Microsecond)
+	s.Observe(time.Second)
+	s.Observe(time.Second)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`td_slo_good_total{slo="commit"} 1`,
+		`td_slo_events_total{slo="commit"} 3`,
+		`td_slo_burn_rate{slo="commit"} 1.3333333333333333`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n---\n%s", want, out)
+		}
+	}
+}

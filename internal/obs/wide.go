@@ -1,0 +1,47 @@
+package obs
+
+import "encoding/json"
+
+// WideEvent is the one-line-per-transaction structured event: everything
+// the server knows about a finished transaction, flattened into a single
+// record ("wide event" in the canonical-log-line sense). It is emitted on
+// the same JSONL stream as span trees; the Event discriminator ("txn")
+// distinguishes the two line shapes, and span lines — whose top-level keys
+// never include "event" — are skipped by wide-event readers.
+type WideEvent struct {
+	Event      string           `json:"event"` // always "txn"
+	Trace      uint64           `json:"trace,omitempty"`
+	Session    uint64           `json:"session,omitempty"`
+	Verb       string           `json:"verb,omitempty"`
+	Goal       string           `json:"goal,omitempty"`
+	LSN        uint64           `json:"lsn,omitempty"`
+	Retries    int              `json:"retries,omitempty"`  // OCC rounds lost before this commit
+	Conflict   string           `json:"conflict,omitempty"` // cause of the last lost round
+	Lanes      []int            `json:"lanes,omitempty"`    // commit lanes touched
+	CrossShard bool             `json:"cross_shard,omitempty"`
+	Ops        int              `json:"ops,omitempty"`   // write-set size
+	Batch      int64            `json:"batch,omitempty"` // commits covered by the fsync that acked us
+	StageUs    map[string]int64 `json:"stage_us,omitempty"`
+	TotalUs    int64            `json:"total_us,omitempty"`
+}
+
+// WideSink receives wide events. Implementations must be safe for
+// concurrent use and must not retain or mutate the event.
+type WideSink interface {
+	EmitWide(*WideEvent)
+}
+
+// EmitWide appends e as one JSONL line, interleaved with any span lines on
+// the same stream. Marshal errors are swallowed for the same reason as in
+// Emit.
+func (j *JSONLSink) EmitWide(e *WideEvent) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	j.w.Write(data)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+	j.mu.Unlock()
+}

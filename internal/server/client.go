@@ -188,6 +188,31 @@ func (c *Client) TraceDump() (*obs.Span, error) {
 	return resp.Trace, nil
 }
 
+// ProfileOn enables per-predicate prover profiling for this session: every
+// subsequent RUN/EXEC/QUERY goal attributes its proof-search time to the
+// predicates it dispatched, retrievable with ProfileDump.
+func (c *Client) ProfileOn() error {
+	_, err := c.roundTrip(&Request{Op: OpProfile, Arg: "on"})
+	return err
+}
+
+// ProfileOff disables session-level prover profiling.
+func (c *Client) ProfileOff() error {
+	_, err := c.roundTrip(&Request{Op: OpProfile, Arg: "off"})
+	return err
+}
+
+// ProfileDump fetches the server-wide prover time attribution, keyed by
+// predicate (live sessions folded with attribution absorbed from closed
+// sessions and engine rebuilds).
+func (c *Client) ProfileDump() (map[string]PredProfile, error) {
+	resp, err := c.roundTrip(&Request{Op: OpProfile, Arg: "dump"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Profile, nil
+}
+
 // Checkpoint triggers an incremental checkpoint on the server (snapshot +
 // WAL truncation, off the commit path) and returns the checkpoint's LSN.
 func (c *Client) Checkpoint() (uint64, error) {

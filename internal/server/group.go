@@ -25,7 +25,15 @@ import (
 // gcWaiter is one committer parked until a sync covers its LSN.
 type gcWaiter struct {
 	lsn uint64
-	ch  chan error
+	ch  chan gcResult
+}
+
+// gcResult settles one waiter: the sync error (sticky) and how many commits
+// the covering fsync made durable — the batch size the committer's wide
+// event reports.
+type gcResult struct {
+	err   error
+	batch int64
 }
 
 // groupCommit is the flusher state shared between committers and the
@@ -95,27 +103,39 @@ func (g *groupCommit) failed() error {
 }
 
 // waitDurable blocks until a sync covers lsn, returning the sync error if
-// the batch (or a previous one) failed. The fast path — an overlapping
-// batch already synced past lsn — takes only the flusher mutex.
-func (g *groupCommit) waitDurable(lsn uint64) error {
+// the batch (or a previous one) failed, and on success how many commits the
+// covering fsync made durable. The fast path — an overlapping batch already
+// synced past lsn — takes only the flusher mutex and reports batch 0 (the
+// commit rode a sync it never waited for).
+func (g *groupCommit) waitDurable(lsn uint64) (int64, error) {
 	g.mu.Lock()
 	if g.err != nil {
 		err := g.err
 		g.mu.Unlock()
-		return err
+		return 0, err
 	}
 	if g.synced >= lsn {
 		g.mu.Unlock()
-		return nil
+		return 0, nil
 	}
-	w := gcWaiter{lsn: lsn, ch: make(chan error, 1)}
+	w := gcWaiter{lsn: lsn, ch: make(chan gcResult, 1)}
 	g.waiters = append(g.waiters, w)
 	g.mu.Unlock()
 	select {
 	case g.wake <- struct{}{}:
 	default: // a wakeup is already pending; the flusher will see us
 	}
-	return <-w.ch
+	res := <-w.ch
+	return res.batch, res.err
+}
+
+// setSyncerForTest swaps the flusher's sync target under the flusher lock —
+// the latency/fault injection seam (e.g. a slow syncer that breaches an
+// fsync SLO on demand).
+func (g *groupCommit) setSyncerForTest(st syncer) {
+	g.mu.Lock()
+	g.store = st
+	g.mu.Unlock()
 }
 
 // close drains the flusher: one final flush covers any appended tail, then
@@ -189,13 +209,14 @@ func (g *groupCommit) flush() {
 	g.mu.Lock()
 	target := g.appended
 	prev := g.synced
+	st := g.store // read under mu: tests may swap the syncer mid-run
 	if g.err != nil {
 		woken := g.waiters
 		g.waiters = nil
 		err := g.err
 		g.mu.Unlock()
 		for _, w := range woken {
-			w.ch <- err
+			w.ch <- gcResult{err: err}
 		}
 		return
 	}
@@ -206,7 +227,8 @@ func (g *groupCommit) flush() {
 	g.mu.Unlock()
 
 	start := time.Now()
-	err := g.store.Commit() // flush + fsync
+	err := st.Commit() // flush + fsync
+	elapsed := time.Since(start)
 
 	g.mu.Lock()
 	var woken, kept []gcWaiter
@@ -227,18 +249,20 @@ func (g *groupCommit) flush() {
 	}
 	g.mu.Unlock()
 
+	covered := int64(target - prev)
 	if err == nil {
-		g.stats.fsyncLat.Observe(time.Since(start).Microseconds())
+		g.stats.fsyncLat.Observe(elapsed.Microseconds())
 		g.stats.fsyncs.Add(1)
-		if covered := target - prev; covered > 0 {
+		g.stats.observeSLOs(g.stats.sloFsync, elapsed)
+		if covered > 0 {
 			g.stats.groupCommits.Add(1)
-			g.stats.batchSize.Observe(int64(covered))
+			g.stats.batchSize.Observe(covered)
 			g.mu.Lock()
-			g.lastBatch = covered
+			g.lastBatch = uint64(covered)
 			g.mu.Unlock()
 		}
 	}
 	for _, w := range woken {
-		w.ch <- err
+		w.ch <- gcResult{err: err, batch: covered}
 	}
 }

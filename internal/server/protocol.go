@@ -42,6 +42,9 @@ const (
 	OpCheckpoint = "CHECKPOINT" // snapshot the store and truncate the WAL
 	OpAsOf       = "ASOF"       // pin session reads to a historical LSN
 	OpChanges    = "CHANGES"    // committed op delta since an LSN
+
+	// Added with stage-level latency attribution (PR 8).
+	OpProfile = "PROFILE" // toggle prover profiling / dump per-predicate attribution
 )
 
 // Error codes carried in Response.Code.
@@ -103,6 +106,9 @@ type Response struct {
 	// LSN answers CHECKPOINT (the checkpoint's LSN) and ASOF (the LSN the
 	// session is now pinned to; 0 after "ASOF off").
 	LSN uint64 `json:"lsn,omitempty"`
+	// Profile answers PROFILE dump: server-wide prover time attribution,
+	// keyed by predicate.
+	Profile map[string]PredProfile `json:"profile,omitempty"`
 }
 
 // CommitDelta is one commit's effective write set on the wire.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/db"
+	"repro/internal/engine"
 	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -109,6 +110,30 @@ type Options struct {
 	// count in their checkpoint manifests and refuse to reopen under a
 	// different one.
 	StoreShards int
+	// StageSample enables stage-level latency attribution on every Nth
+	// transaction per session: the sampled transaction carries a stage
+	// clock from parse to acknowledgment, feeding the
+	// td_txn_stage_us{stage=} histograms, the STATS stage quantiles, and
+	// the wide-event stream. 0 disables attribution (the default); setting
+	// WideSink without a sample rate implies 1 (every transaction).
+	StageSample int
+	// WideSink receives one "wide event" per sampled transaction: the
+	// canonical log line carrying the verb, goal, LSN, retries, touched
+	// lanes, conflict cause, fsync batch size, and all stage timings.
+	// Typically an obs.JSONLSink shared with TraceSink.
+	WideSink obs.WideSink
+	// SLOs are latency objectives tracked against the commit and fsync
+	// signals (matched by SLO.Name: "commit" observes end-to-end commit
+	// latency, "fsync" the flusher's sync latency). Each is exported as
+	// td_slo_*{slo=} series and a STATS entry; a burn-rate crossing above
+	// 1.0 is logged once per breach episode through Logger. Build them
+	// with obs.ParseSLOs ("commit:5ms:0.999,fsync:20ms:0.99").
+	SLOs []*obs.SLO
+	// Profile enables per-predicate prover attribution for every session
+	// (each session can also opt in with the PROFILE verb). The aggregate
+	// is served by PROFILE dump, the STATS prover_profile section, and the
+	// td_prover_pred_us{pred=} metric family.
+	Profile bool
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +182,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StoreShards > 64 {
 		o.StoreShards = 64 // shard masks are uint64 bit sets
+	}
+	if o.WideSink != nil && o.StageSample == 0 {
+		// A wide-event sink without an explicit rate means "every txn":
+		// an armed sink that silently never emits would be a foot-gun.
+		o.StageSample = 1
 	}
 	return o
 }
@@ -253,12 +283,21 @@ type Server struct {
 	group *groupCommit          // nil in memory-only or NoSync mode
 	ckptr *history.Checkpointer // nil in memory-only mode
 
+	// sessID and traceID are serial counters stamping sessions and sampled
+	// transactions for wide-event correlation.
+	sessID  atomic.Uint64
+	traceID atomic.Uint64
+
 	// mu guards the session registry and lifecycle state. It nests inside
 	// shard locks (lane pruning reads replica positions under it) and must
 	// never be held while taking a shard lock or seqMu.
 	mu       sync.Mutex
 	sessions map[*session]struct{}
 	closed   bool
+	// deadProf accumulates per-predicate prover attribution from engines
+	// that went away (closed sessions, PROFILE/TRACE/LOAD engine rebuilds),
+	// so the profile outlives both. Guarded by mu.
+	deadProf map[string]PredProfile
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -287,6 +326,28 @@ func New(opts Options) (*Server, error) {
 		nshards:  opts.StoreShards,
 	}
 	s.stats.init(s.reg)
+	s.stats.logger = opts.Logger
+	for _, slo := range opts.SLOs {
+		switch slo.Name {
+		case "commit":
+			s.stats.sloCommit = append(s.stats.sloCommit, slo)
+		case "fsync":
+			s.stats.sloFsync = append(s.stats.sloFsync, slo)
+		default:
+			return nil, fmt.Errorf("server: SLO %q names no latency signal (have commit, fsync)", slo.Name)
+		}
+		slo.Register(s.reg)
+	}
+	s.reg.FamilyFunc("td_prover_pred_us",
+		"prover time attributed per predicate in microseconds (flat, most-recent-dispatch)",
+		"counter", func() []obs.Sample {
+			prof := s.proverProfile()
+			out := make([]obs.Sample, 0, len(prof))
+			for pred, p := range prof {
+				out = append(out, obs.Sample{Labels: `pred="` + pred + `"`, Value: p.TimeUs})
+			}
+			return out
+		})
 	s.reg.GaugeFunc("td_version", "current commit version of the shared database",
 		func() int64 { return int64(s.Version()) })
 	s.reg.GaugeFunc("td_db_size", "tuples in the shared database", func() int64 {
@@ -516,6 +577,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 	sess := &session{
 		srv:     s,
 		conn:    conn,
+		id:      s.sessID.Add(1),
 		prog:    s.prog,
 		varHigh: s.prog.VarHigh,
 		applied: make([]atomic.Uint64, s.nshards),
@@ -530,6 +592,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 
 func (s *Server) dropSession(sess *session) {
 	sess.conn.Close()
+	s.absorbProfile(sess.eng)
 	s.mu.Lock()
 	delete(s.sessions, sess)
 	s.mu.Unlock()
@@ -538,6 +601,62 @@ func (s *Server) dropSession(sess *session) {
 		s.pruneShardLocked(sh)
 		sh.mu.Unlock()
 	}
+}
+
+// absorbProfile folds an engine's per-predicate prover attribution into the
+// server-wide aggregate. Sessions close and engines get rebuilt (LOAD,
+// TRACE, PROFILE all replace the session engine); the profile outlives both
+// by being harvested here first. A nil engine or an unprofiled one
+// contributes nothing.
+func (s *Server) absorbProfile(eng *engine.Engine) {
+	if eng == nil {
+		return
+	}
+	prof := eng.ProfileSnapshot()
+	if prof == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.deadProf == nil {
+		s.deadProf = make(map[string]PredProfile, len(prof))
+	}
+	for pred, p := range prof {
+		agg := s.deadProf[pred]
+		agg.Calls += p.Calls
+		agg.Fanout += p.Fanout
+		agg.TimeUs += p.TimeUs
+		s.deadProf[pred] = agg
+	}
+	s.mu.Unlock()
+}
+
+// proverProfile aggregates per-predicate prover attribution: the retained
+// totals of dead engines plus a snapshot of every live session's engine.
+// Returns nil when nothing was ever profiled, keeping the STATS section and
+// the metric family off for unprofiled servers.
+func (s *Server) proverProfile() map[string]PredProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]PredProfile
+	add := func(pred string, p PredProfile) {
+		if out == nil {
+			out = make(map[string]PredProfile)
+		}
+		agg := out[pred]
+		agg.Calls += p.Calls
+		agg.Fanout += p.Fanout
+		agg.TimeUs += p.TimeUs
+		out[pred] = agg
+	}
+	for pred, p := range s.deadProf {
+		add(pred, p)
+	}
+	for sess := range s.sessions {
+		for pred, p := range sess.eng.ProfileSnapshot() {
+			add(pred, PredProfile{Calls: p.Calls, Fanout: p.Fanout, TimeUs: p.TimeUs})
+		}
+	}
+	return out
 }
 
 // rebuildReplica builds the session's replica from scratch out of the lane
@@ -643,6 +762,7 @@ func (s *Server) catchUpShard(sess *session, i int) bool {
 // per-lane positions; on success it is caught up to the new head in place.
 func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error) {
 	started := time.Now()
+	clk := sess.clk // nil unless this transaction is stage-sampled
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -655,6 +775,11 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		return 0, err
 	}
 	in := newCommitIntent(s.nshards, rs, ops) // conflict keys + lane split, outside every lock
+	if clk != nil {
+		clk.lanes |= in.mask
+		clk.ops += len(ops)
+		clk.crossShard = clk.crossShard || in.crossShard()
+	}
 
 	// Stage 1a: snapshot each touched lane's validation view.
 	views := make([][]commitRecord, s.nshards)
@@ -671,6 +796,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			sh.mu.Unlock()
 			s.stats.conflicts.Add(1)
 			s.stats.conflictStale.Add(1)
+			if clk != nil {
+				clk.conflict = "stale_replica"
+			}
 			return 0, errConflict
 		}
 		views[i] = sh.suffixLocked(from)
@@ -684,9 +812,15 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			if views[i][j].conflictsWith(rs, in.rec.writes) {
 				s.stats.conflicts.Add(1)
 				s.stats.conflictRW.Add(1)
+				if clk != nil {
+					clk.conflict = "read_write"
+				}
 				return 0, errConflict
 			}
 		}
+	}
+	if clk != nil {
+		clk.mark(stageValidate)
 	}
 
 	// Stage 2: lock every touched lane in index order, re-validate the
@@ -703,6 +837,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			locked = append(locked, s.shards[i])
 		}
 	}
+	if clk != nil {
+		clk.mark(stageLaneWait)
+	}
 	deltas := make([][]commitRecord, s.nshards)
 	for _, sh := range locked {
 		if sess.applied[sh.idx].Load() < sh.floor {
@@ -711,6 +848,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 			unlockAll()
 			s.stats.conflicts.Add(1)
 			s.stats.conflictStale.Add(1)
+			if clk != nil {
+				clk.conflict = "stale_replica"
+			}
 			return 0, errConflict
 		}
 		delta := sh.suffixLocked(snaps[sh.idx])
@@ -719,10 +859,16 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 				unlockAll()
 				s.stats.conflicts.Add(1)
 				s.stats.conflictRW.Add(1)
+				if clk != nil {
+					clk.conflict = "read_write"
+				}
 				return 0, errConflict
 			}
 		}
 		deltas[sh.idx] = delta
+	}
+	if clk != nil {
+		clk.mark(stageValidate) // delta re-checks accumulate onto validate
 	}
 
 	// Apply to the write lanes' heads in original op order, collecting the
@@ -742,6 +888,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		if in.writeMask&(1<<uint(sh.idx)) != 0 {
 			sh.head.ResetTrail()
 		}
+	}
+	if clk != nil {
+		clk.mark(stageApply)
 	}
 
 	// Sequence: claim the LSN, append the WAL block, advance the global
@@ -765,6 +914,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 	s.version.Store(lsn)
 	s.group.noteAppend(lsn)
 	s.seqMu.Unlock()
+	if clk != nil {
+		clk.mark(stageWALAppend)
+	}
 
 	// Publish the commit records to the write lanes and advance the
 	// session's positions on every touched lane (a read-only lane cannot
@@ -809,11 +961,19 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		}
 	}
 	sess.d.ResetTrail()
+	if clk != nil {
+		clk.mark(stageApply) // publish + replica fold-in accumulate onto apply
+	}
 
 	// Stage 3: wait for a batched WAL sync to cover the LSN.
 	if s.group != nil {
-		if err := s.group.waitDurable(lsn); err != nil {
+		batch, err := s.group.waitDurable(lsn)
+		if err != nil {
 			return 0, err
+		}
+		if clk != nil {
+			clk.batch = batch
+			clk.mark(stageFsyncWait)
 		}
 	}
 	s.stats.commits.Add(1)
@@ -821,7 +981,9 @@ func (s *Server) commit(sess *session, rs *readSet, ops []db.Op) (uint64, error)
 		s.stats.crossShardCommits.Add(1)
 	}
 	s.stats.deltaOps.Add(int64(len(ops)))
-	s.stats.recordCommitLatency(time.Since(started))
+	elapsed := time.Since(started)
+	s.stats.recordCommitLatency(elapsed)
+	s.stats.observeSLOs(s.stats.sloCommit, elapsed)
 	return lsn, nil
 }
 
@@ -983,6 +1145,34 @@ func (s *Server) Stats() StatsSnapshot {
 			}
 			snap.VerbP99Us[v] = h.Quantile(0.99)
 		}
+	}
+	// Stage quantiles, prover profile, and SLO state (PR 8) ride only when
+	// the corresponding feature produced data, so servers running with
+	// everything off keep emitting the pre-PR-8 frame byte for byte.
+	for i := 0; i < nStages; i++ {
+		h := s.stats.stageLat[i]
+		if h.Count() == 0 {
+			continue
+		}
+		if snap.StageP50Us == nil {
+			snap.StageP50Us = map[string]int64{}
+			snap.StageP99Us = map[string]int64{}
+		}
+		snap.StageP50Us[stageNames[i]] = h.Quantile(0.50)
+		snap.StageP99Us[stageNames[i]] = h.Quantile(0.99)
+	}
+	if prof := s.proverProfile(); len(prof) > 0 {
+		snap.ProverProfile = prof
+	}
+	for _, slo := range s.opts.SLOs {
+		snap.SLOs = append(snap.SLOs, SLOSnapshot{
+			Name:        slo.Name,
+			ThresholdUs: slo.Threshold.Microseconds(),
+			Objective:   slo.Objective,
+			Good:        slo.Good(),
+			Total:       slo.Total(),
+			BurnRate:    slo.BurnRate(),
+		})
 	}
 	return snap
 }

@@ -27,6 +27,7 @@ var errGoalTime = errors.New("goal wall-clock budget exhausted")
 type session struct {
 	srv  *Server
 	conn net.Conn
+	id   uint64 // session serial, stamped into wide events
 
 	d       *db.DB
 	version uint64
@@ -52,7 +53,19 @@ type session struct {
 	asOfLSN uint64
 
 	traceOn  bool      // session-level TRACE on/off toggle
+	profOn   bool      // session-level PROFILE on/off toggle
 	lastSpan *obs.Span // span tree of the most recent successful goal
+	// spanFresh marks lastSpan as produced by the request being served, so
+	// stage spans attach only to their own transaction's tree.
+	spanFresh bool
+
+	// Stage-level latency attribution. clk points at clkBuf while the
+	// current transaction is sampled (nil otherwise — every mark site is
+	// nil-guarded); sampleN drives the 1-in-StageSample decision. All
+	// session-goroutine-private, no atomics.
+	clk     *stageClock
+	clkBuf  stageClock
+	sampleN uint64
 }
 
 // tracing reports whether goals run with structured execution tracing:
@@ -74,12 +87,16 @@ func (sess *session) freshReadSet() *readSet {
 	return sess.rsBuf.reset()
 }
 
-// buildEngine (re)builds the session engine for the current program.
+// buildEngine (re)builds the session engine for the current program. The
+// outgoing engine's prover profile (if any) is folded into the server-wide
+// aggregate first, so rebuilds never lose attribution.
 func (sess *session) buildEngine() {
+	sess.srv.absorbProfile(sess.eng)
 	opts := engine.Options{
 		LoopCheck: true,
 		Table:     true,
 		MaxSteps:  sess.srv.opts.MaxSteps,
+		Profile:   sess.profOn || sess.srv.opts.Profile,
 		// Span emission is handled by the session (it stamps wall-clock
 		// duration and owns slow-transaction reporting), not an engine sink.
 		Trace: sess.tracing(),
@@ -109,6 +126,7 @@ func (sess *session) serve() {
 			break // EOF, deadline, or protocol garbage: drop the session
 		}
 		began := time.Now()
+		sess.spanFresh = false
 		resp := sess.handle(&req)
 		if h := sess.srv.stats.verbLat[req.Op]; h != nil {
 			h.Observe(time.Since(began).Microseconds())
@@ -118,6 +136,13 @@ func (sess *session) serve() {
 		}
 		if err := w.Flush(); err != nil {
 			break
+		}
+		// A sampled transaction's clock survives its handler so that the
+		// ack stage covers response serialization and the socket write.
+		if clk := sess.clk; clk != nil {
+			sess.clk = nil
+			clk.mark(stageAck)
+			sess.finishStages(clk, &req, resp)
 		}
 	}
 	// An open transaction dies with its session.
@@ -163,6 +188,8 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleAsOf(req)
 	case OpChanges:
 		return sess.handleChanges(req)
+	case OpProfile:
+		return sess.handleProfile(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -280,6 +307,7 @@ func (sess *session) finishSpans(sp *obs.Span, elapsed time.Duration) {
 	}
 	sp.DurUs = elapsed.Microseconds()
 	sess.lastSpan = sp
+	sess.spanFresh = true
 	if sink := sess.srv.opts.TraceSink; sink != nil {
 		sink.Emit(sp)
 	}
@@ -292,6 +320,89 @@ func (sess *session) finishSpans(sp *obs.Span, elapsed time.Duration) {
 			"steps", sp.Steps,
 			"spans", "\n"+sp.Tree())
 	}
+}
+
+// beginStageClock decides whether the transaction that is starting is
+// sampled (1-in-StageSample per session) and, if so, arms the session's
+// stage clock. Unsampled transactions get a nil clock: every downstream
+// mark site is a nil check and nothing else.
+func (sess *session) beginStageClock() *stageClock {
+	n := sess.srv.opts.StageSample
+	if n <= 0 {
+		return nil
+	}
+	sess.sampleN++
+	if sess.sampleN%uint64(n) != 0 {
+		return nil
+	}
+	sess.clkBuf.reset()
+	return &sess.clkBuf
+}
+
+// finishStages settles a sampled transaction after its response is on the
+// wire: stage durations feed the td_txn_stage_us histograms, the wide event
+// goes to the sink, and the stage breakdown is grafted onto the goal's span
+// tree for TRACE dump.
+func (sess *session) finishStages(clk *stageClock, req *Request, resp *Response) {
+	sess.srv.stats.recordStages(clk)
+	sess.emitWide(clk, req, resp)
+	sess.attachStageSpans(clk)
+}
+
+// emitWide writes the transaction's one-line summary — identity, outcome,
+// commit-path facts, and the full stage breakdown — to the wide-event sink.
+func (sess *session) emitWide(clk *stageClock, req *Request, resp *Response) {
+	sink := sess.srv.opts.WideSink
+	if sink == nil {
+		return
+	}
+	ev := obs.WideEvent{
+		Event:      "txn",
+		Trace:      sess.srv.traceID.Add(1),
+		Session:    sess.id,
+		Verb:       req.Op,
+		Goal:       req.Goal,
+		LSN:        resp.Version,
+		Retries:    resp.Retries,
+		Conflict:   clk.conflict,
+		Lanes:      clk.laneList(),
+		CrossShard: clk.crossShard,
+		Ops:        clk.ops,
+		Batch:      clk.batch,
+		TotalUs:    clk.total().Microseconds(),
+	}
+	for i, d := range clk.dur {
+		if us := d.Microseconds(); us > 0 {
+			if ev.StageUs == nil {
+				ev.StageUs = make(map[string]int64, nStages)
+			}
+			ev.StageUs[stageNames[i]] = us
+		}
+	}
+	sink.EmitWide(&ev)
+}
+
+// attachStageSpans grafts the stage breakdown onto the span tree the
+// transaction just produced, so TRACE dump shows where the wall-clock went
+// alongside the proof structure. The tree is shallow-cloned first: the
+// original may already be in the trace sink's hands.
+func (sess *session) attachStageSpans(clk *stageClock) {
+	sp := sess.lastSpan
+	if sp == nil || !sess.spanFresh {
+		return
+	}
+	clone := *sp
+	clone.Children = append([]*obs.Span{}, sp.Children...)
+	for i, d := range clk.dur {
+		if us := d.Microseconds(); us > 0 {
+			clone.Children = append(clone.Children, &obs.Span{
+				Kind:  "stage",
+				Label: stageNames[i],
+				DurUs: us,
+			})
+		}
+	}
+	sess.lastSpan = &clone
 }
 
 // runGoal executes one parsed goal inside the open transaction, recording
@@ -367,6 +478,9 @@ func (sess *session) handleCommit() *Response {
 		return fail(CodeBadRequest, "COMMIT outside a transaction")
 	}
 	sess.inTxn = false
+	// An interactive transaction's proof time was spent in earlier RUN
+	// frames; the clock armed here covers validate through ack only.
+	sess.clk = sess.beginStageClock()
 	ops := sess.d.DeltaSince(sess.beginMark)
 	if len(ops) == 0 {
 		// Read-only: serializable at its snapshot point, nothing to
@@ -410,9 +524,13 @@ func (sess *session) handleExec(req *Request) *Response {
 		return fail(CodeBadRequest, "EXEC while pinned AS OF %d (the past is read-only; ASOF off first)", sess.asOfLSN)
 	}
 	sess.varHigh = sess.prog.VarHigh
+	sess.clk = sess.beginStageClock()
 	g, errResp := sess.parseGoal(req.Goal)
 	if errResp != nil {
 		return errResp
+	}
+	if clk := sess.clk; clk != nil {
+		clk.mark(stageParse)
 	}
 	for attempt := 0; ; attempt++ {
 		sess.srv.syncSession(sess)
@@ -420,6 +538,11 @@ func (sess *session) handleExec(req *Request) *Response {
 		sess.rs = sess.freshReadSet()
 		mark := sess.d.Mark()
 		res, errResp := sess.runGoal(g)
+		// Replica sync and proof search both charge to prove; retries
+		// accumulate (attempt N's proof time adds to attempt N-1's).
+		if clk := sess.clk; clk != nil {
+			clk.mark(stageProve)
+		}
 		if errResp != nil {
 			sess.srv.stats.aborts.Add(1)
 			return errResp
@@ -529,6 +652,30 @@ func (sess *session) handleTrace(req *Request) *Response {
 		return &Response{OK: true, Trace: sess.lastSpan}
 	default:
 		return fail(CodeBadRequest, "TRACE takes on, off, or dump; got %q", req.Arg)
+	}
+}
+
+// handleProfile toggles per-predicate prover profiling for this session or
+// dumps the server-wide attribution (live sessions' counters folded with
+// those absorbed from closed sessions and engine rebuilds).
+func (sess *session) handleProfile(req *Request) *Response {
+	switch req.Arg {
+	case "on":
+		sess.profOn = true
+		sess.buildEngine()
+		return &Response{OK: true}
+	case "off":
+		sess.profOn = false
+		sess.buildEngine()
+		return &Response{OK: true}
+	case "", "dump":
+		prof := sess.srv.proverProfile()
+		if prof == nil {
+			return fail(CodeBadRequest, "no profiled predicates yet (PROFILE on, then RUN/EXEC a goal)")
+		}
+		return &Response{OK: true, Profile: prof}
+	default:
+		return fail(CodeBadRequest, "PROFILE takes on, off, or dump; got %q", req.Arg)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -51,10 +52,17 @@ type serverStats struct {
 	batchSize *obs.Histogram            // commits made durable per WAL sync
 	ckptLat   *obs.Histogram            // checkpoint wall-clock duration
 	verbLat   map[string]*obs.Histogram // fixed verb set, built at init
+	stageLat  [nStages]*obs.Histogram   // sampled per-stage latency, by pipeline stage
+
+	// Latency objectives fed by the commit and fsync signals, plus the
+	// logger that reports burn-rate crossings. Set once at New.
+	sloCommit []*obs.SLO
+	sloFsync  []*obs.SLO
+	logger    *slog.Logger
 }
 
 // statVerbs is the fixed set of per-verb latency series.
-var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges}
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges, OpProfile}
 
 // init creates the histograms and registers every instrument with reg.
 func (st *serverStats) init(reg *obs.Registry) {
@@ -70,6 +78,10 @@ func (st *serverStats) init(reg *obs.Registry) {
 	for _, v := range statVerbs {
 		st.verbLat[v] = reg.HistogramL("td_request_latency_us",
 			"request handling latency by protocol verb in microseconds", `verb="`+v+`"`)
+	}
+	for i := 0; i < nStages; i++ {
+		st.stageLat[i] = reg.HistogramL("td_txn_stage_us",
+			"sampled transaction wall-clock by pipeline stage in microseconds", `stage="`+stageNames[i]+`"`)
 	}
 
 	cf := func(name, help string, v *atomic.Int64) { reg.CounterFunc(name, help, v.Load) }
@@ -104,6 +116,33 @@ func (st *serverStats) init(reg *obs.Registry) {
 
 func (st *serverStats) recordCommitLatency(d time.Duration) {
 	st.commitLat.Observe(d.Microseconds())
+}
+
+// recordStages folds a finished sampled transaction's stage clock into the
+// per-stage histograms. Every stage is observed, including zero-duration
+// ones (a read-only transaction genuinely spent 0 in fsync_wait), so the
+// eight series keep identical sample counts.
+func (st *serverStats) recordStages(clk *stageClock) {
+	for i := 0; i < nStages; i++ {
+		st.stageLat[i].Observe(clk.dur[i].Microseconds())
+	}
+}
+
+// observeSLOs feeds one latency observation to a signal's objectives and
+// logs each burn-rate crossing (once per breach episode — Observe is
+// edge-triggered).
+func (st *serverStats) observeSLOs(slos []*obs.SLO, d time.Duration) {
+	for _, slo := range slos {
+		if slo.Observe(d) && st.logger != nil {
+			st.logger.Warn("SLO breach",
+				"slo", slo.Name,
+				"threshold", slo.Threshold,
+				"objective", slo.Objective,
+				"burn_rate", slo.BurnRate(),
+				"good", slo.Good(),
+				"total", slo.Total())
+		}
+	}
 }
 
 // quantiles returns the p50 and p99 commit latencies in microseconds
@@ -167,4 +206,36 @@ type StatsSnapshot struct {
 	ShardCommits       []int64 `json:"shard_commits,omitempty"`
 	CrossShardCommits  int64   `json:"cross_shard_commits,omitempty"`
 	CrossShardFraction float64 `json:"cross_shard_fraction,omitempty"`
+
+	// Added with stage-level latency attribution (PR 8). The stage maps
+	// carry the sampled pipeline quantiles (only once something was
+	// sampled), ProverProfile the per-predicate attribution (only when a
+	// session profiled), and SLOs the configured objectives' state — all
+	// omitted when their feature is off, so such servers keep the exact
+	// pre-PR-8 payload.
+	StageP50Us    map[string]int64       `json:"stage_p50_us,omitempty"`
+	StageP99Us    map[string]int64       `json:"stage_p99_us,omitempty"`
+	ProverProfile map[string]PredProfile `json:"prover_profile,omitempty"`
+	SLOs          []SLOSnapshot          `json:"slos,omitempty"`
+}
+
+// PredProfile is one predicate's prover attribution on the wire: how often
+// the prover dispatched into the predicate, how many clause alternatives
+// those dispatches fanned out to, and the flat time charged to it. The wire
+// twin of engine.PredProfile, kept separate so the protocol never imports
+// engine types.
+type PredProfile struct {
+	Calls  int64 `json:"calls"`
+	Fanout int64 `json:"fanout"`
+	TimeUs int64 `json:"time_us"`
+}
+
+// SLOSnapshot is one configured latency objective's state in STATS.
+type SLOSnapshot struct {
+	Name        string  `json:"name"`
+	ThresholdUs int64   `json:"threshold_us"`
+	Objective   float64 `json:"objective"`
+	Good        int64   `json:"good"`
+	Total       int64   `json:"total"`
+	BurnRate    float64 `json:"burn_rate"`
 }

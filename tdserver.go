@@ -32,6 +32,15 @@ type (
 	ServerCommitDelta = server.CommitDelta
 	// ServerWireOp is a single insert/delete within a ServerCommitDelta.
 	ServerWireOp = server.WireOp
+	// ServerPredProfile is one predicate's prover-time attribution, as
+	// reported by the PROFILE verb and ServerStats.ProverProfile.
+	ServerPredProfile = server.PredProfile
+	// ServerSLOSnapshot is one configured latency objective's state.
+	ServerSLOSnapshot = server.SLOSnapshot
+	// WideEvent is a sampled transaction's one-line structured summary.
+	WideEvent = obs.WideEvent
+	// WideSink receives wide events (obs.OpenJSONL satisfies it).
+	WideSink = obs.WideSink
 	// Span is one node of a structured execution trace (see docs/OBSERVABILITY.md).
 	Span = obs.Span
 	// SpanSink receives span trees of traced transactions.
