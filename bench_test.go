@@ -127,6 +127,39 @@ func BenchmarkProverAbort(b *testing.B) {
 	}
 }
 
+// BenchmarkProverPlanned times the laboratory analyze workload — a ground
+// hot-sample query over a cold sample, the worst case that exhausts the
+// search under any literal order — with planning off (textual order: full
+// reading scan per proof attempt) and on (tdplan hoists the first-arg-
+// indexed sample_reading lookup). Same program, same goal, same (empty)
+// answer; only the literal order differs. BENCH_PR9.json records both and
+// make bench-compare gates the planned/textual ratio.
+func BenchmarkProverPlanned(b *testing.B) {
+	cfg := workflow.DefaultAnalyze(64)
+	prog := parser.MustParse(workflow.AnalyzeSource(cfg))
+	g := parser.MustParseGoal(fmt.Sprintf("hot(%s)", workflow.ColdSample(cfg)), prog.VarHigh)
+	run := func(b *testing.B, eng *engine.Engine) {
+		b.Helper()
+		d, _ := db.FromFacts(prog.Facts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Prove(g, d)
+			if err != nil || res.Success {
+				b.Fatal(err, res)
+			}
+		}
+	}
+	b.Run("textual", func(b *testing.B) {
+		run(b, engine.NewDefault(prog))
+	})
+	b.Run("planned", func(b *testing.B) {
+		opts := engine.DefaultOptions()
+		opts.Plan = true
+		run(b, engine.New(prog, opts))
+	})
+}
+
 // BenchmarkSimLab times the full genome laboratory simulation (8 samples).
 func BenchmarkSimLab(b *testing.B) {
 	cfg := workflow.DefaultLab(8)

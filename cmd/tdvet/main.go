@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 )
@@ -23,14 +24,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// reportSchemaVersion identifies the -json payload shape: 2 adds
+// schema_version itself and the optional plan section.
+const reportSchemaVersion = 2
+
 // fileReport is the per-file JSON payload emitted under -json.
 type fileReport struct {
-	File       string                `json:"file"`
-	Fragment   string                `json:"fragment"`
-	Complexity string                `json:"complexity"`
-	Diags      []analysis.Diagnostic `json:"diagnostics"`
-	Suppressed int                   `json:"suppressed,omitempty"`
-	ParseError string                `json:"parse_error,omitempty"`
+	SchemaVersion int                   `json:"schema_version"`
+	File          string                `json:"file"`
+	Fragment      string                `json:"fragment"`
+	Complexity    string                `json:"complexity"`
+	Diags         []analysis.Diagnostic `json:"diagnostics"`
+	Suppressed    int                   `json:"suppressed,omitempty"`
+	ParseError    string                `json:"parse_error,omitempty"`
+	// Plan carries the tdplan report under -plan: adornment signatures,
+	// reorder decisions, and tabling-safety certificates.
+	Plan *analysis.PlanReport `json:"plan,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -39,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
 	werror := fs.Bool("Werror", false, "treat warnings as errors (exit 1)")
 	quiet := fs.Bool("q", false, "suppress info-severity diagnostics")
+	plan := fs.Bool("plan", false, "run the tdplan planner: adornments, reorder decisions, tabling certificates")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: tdvet [flags] file.td ...\n")
 		fs.PrintDefaults()
@@ -70,11 +80,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		fr := fileReport{
-			File:       path,
-			Fragment:   rep.Fragment,
-			Complexity: rep.Complexity,
-			Diags:      rep.Diags,
-			Suppressed: rep.Suppressed,
+			SchemaVersion: reportSchemaVersion,
+			File:          path,
+			Fragment:      rep.Fragment,
+			Complexity:    rep.Complexity,
+			Diags:         rep.Diags,
+			Suppressed:    rep.Suppressed,
+		}
+		if *plan {
+			// Parse errors were caught above, so PlanSource cannot fail
+			// here; its reorder diagnostics (info-severity, pragma-filtered
+			// like every pass) merge into the file's stream.
+			pr, perr := analysis.PlanSource(string(data))
+			if perr != nil {
+				fmt.Fprintf(stderr, "tdvet: %s: %v\n", path, perr)
+				return 2
+			}
+			fr.Plan = pr
+			fr.Diags = append(fr.Diags, pr.Diags...)
+			fr.Suppressed += pr.Suppressed
+			sort.SliceStable(fr.Diags, func(i, j int) bool {
+				a, b := fr.Diags[i], fr.Diags[j]
+				if a.Line != b.Line {
+					return a.Line < b.Line
+				}
+				return a.Col < b.Col
+			})
 		}
 		if *quiet {
 			kept := fr.Diags[:0]
@@ -99,6 +130,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*jsonOut {
 			for _, d := range fr.Diags {
 				fmt.Fprintf(stdout, "%s:%s\n", path, d)
+			}
+			// The certificate table is informational, like the reorder
+			// diagnostics: -q keeps CI runs quiet.
+			if fr.Plan != nil && !*quiet {
+				for _, pp := range fr.Plan.Predicates {
+					fmt.Fprintf(stdout, "%s: plan: %s update_free=%t hypothetical_free=%t recursion=%s tabling_eligible=%t adornments=%v\n",
+						path, pp.Pred, pp.UpdateFree, pp.HypotheticalFree, pp.Recursion, pp.TablingEligible, pp.Adornments)
+				}
 			}
 		}
 	}

@@ -138,3 +138,78 @@ func TestParseErrorExitsTwo(t *testing.T) {
 		t.Errorf("expected a parse_error report, got: %+v", reports)
 	}
 }
+
+func TestPlanFlagHuman(t *testing.T) {
+	path := filepath.Join("testdata", "plan.td")
+	exit, stdout, _ := runCLI("-plan", path)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", exit, stdout)
+	}
+	if !strings.Contains(stdout, "[plan]") || !strings.Contains(stdout, "reordered: [2 0 1]") {
+		t.Errorf("expected the hot/1 reorder diagnostic, got:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "plan: hot/1 update_free=true hypothetical_free=true recursion=none tabling_eligible=true") {
+		t.Errorf("expected the hot/1 certificate line, got:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "plan: mark/1 update_free=false") {
+		t.Errorf("expected mark/1 certified not update-free, got:\n%s", stdout)
+	}
+}
+
+func TestPlanFlagQuiet(t *testing.T) {
+	// -plan -q -Werror is the make vet fold: plan diagnostics are info
+	// severity, so a clean corpus stays silent and exits 0.
+	exit, stdout, _ := runCLI("-plan", "-q", "-Werror", filepath.Join("testdata", "plan.td"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", exit, stdout)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("-plan -q should print nothing on a clean program, got:\n%s", stdout)
+	}
+}
+
+func TestPlanFlagJSON(t *testing.T) {
+	exit, stdout, _ := runCLI("-plan", "-json", filepath.Join("testdata", "plan.td"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0", exit)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	fr := reports[0]
+	if fr.SchemaVersion != reportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", fr.SchemaVersion, reportSchemaVersion)
+	}
+	if fr.Plan == nil || fr.Plan.Reorders == 0 {
+		t.Fatalf("plan section missing or empty: %+v", fr.Plan)
+	}
+	var hotEligible, markEligible *bool
+	for _, pp := range fr.Plan.Predicates {
+		p := pp
+		switch pp.Pred {
+		case "hot/1":
+			hotEligible = &p.TablingEligible
+		case "mark/1":
+			markEligible = &p.TablingEligible
+		}
+	}
+	if hotEligible == nil || !*hotEligible {
+		t.Errorf("hot/1 should be tabling-eligible: %+v", fr.Plan.Predicates)
+	}
+	if markEligible == nil || *markEligible {
+		t.Errorf("mark/1 writes and must not be tabling-eligible: %+v", fr.Plan.Predicates)
+	}
+	// Without -plan, the section stays absent but schema_version is stamped.
+	_, stdout, _ = runCLI("-json", filepath.Join("testdata", "clean.td"))
+	reports = nil
+	if err := json.Unmarshal([]byte(stdout), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Plan != nil {
+		t.Errorf("plan section present without -plan: %+v", reports[0].Plan)
+	}
+	if reports[0].SchemaVersion != reportSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", reports[0].SchemaVersion, reportSchemaVersion)
+	}
+}

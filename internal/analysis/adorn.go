@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Adornment dataflow: propagate bound/free argument signatures from query
+// entry points through the call graph, computing the set of binding
+// patterns each derived predicate is invoked with. An adornment is a
+// string over 'b'/'f', one character per argument position ("bf" means
+// "first argument bound, second free" — written path^bf in the magic-sets
+// literature). The planner reorders each rule body once per adornment its
+// head is reachable with; the engine picks the variant matching the
+// runtime groundness of the call's arguments.
+//
+// Propagation mirrors passSafety's left-to-right sideways information
+// passing: a variable is bound if it occurs in a head position the
+// adornment marks 'b', in an earlier query or call of the same sequence,
+// or as an arithmetic output. Concurrent branches only see bindings made
+// before the composition (interleaving order is not statically known).
+
+// maxAdornments caps the binding patterns tracked per predicate. Programs
+// that exceed it keep their first-discovered patterns (the worklist is
+// deterministic); calls with an untracked pattern fall back to textual
+// order at run time, which is always sound.
+const maxAdornments = 16
+
+// adornSet holds one predicate's binding patterns in discovery order
+// (discovery order makes the cap deterministic).
+type adornSet struct {
+	seen map[string]bool
+	list []string
+}
+
+func (s *adornSet) add(ad string) bool {
+	if s.seen[ad] {
+		return false
+	}
+	if len(s.list) >= maxAdornments {
+		return false
+	}
+	if s.seen == nil {
+		s.seen = make(map[string]bool)
+	}
+	s.seen[ad] = true
+	s.list = append(s.list, ad)
+	return true
+}
+
+// adornOf renders the binding pattern of a call's arguments against the
+// current bound-variable set: constants and bound variables are 'b',
+// everything else 'f'.
+func adornOf(args []term.Term, bound varset) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(len(args))
+	for _, t := range args {
+		if bound.has(t) {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+// allBound returns the all-'b' adornment for the given arity.
+func allBound(arity int) string { return strings.Repeat("b", arity) }
+
+// boundPositions seeds a bound-variable set from the head arguments the
+// adornment marks 'b'.
+func boundPositions(head term.Atom, ad string) varset {
+	bound := varset{}
+	for i, t := range head.Args {
+		if i < len(ad) && ad[i] == 'b' {
+			bound.add(t)
+		}
+	}
+	return bound
+}
+
+// adornWork is one worklist entry: propagate adornment ad through the
+// bodies of pred's rules.
+type adornWork struct {
+	pred predKey
+	ad   string
+}
+
+// adornments runs the interprocedural dataflow to a fixpoint and returns
+// each derived predicate's binding patterns. Seeds are the ?- query goals
+// (their calls are adorned against an initially empty binding set) plus
+// the all-bound pattern for every derived predicate: the server's EXEC
+// goals and the engine's Prove entry points take arbitrary, typically
+// ground, goals, so the fully bound pattern is always live.
+func (v *vetter) adornments() map[predKey]*adornSet {
+	sets := make(map[predKey]*adornSet, len(v.nodes))
+	var queue []adornWork
+	push := func(k predKey, ad string) {
+		s := sets[k]
+		if s == nil {
+			s = &adornSet{}
+			sets[k] = s
+		}
+		if s.add(ad) {
+			queue = append(queue, adornWork{pred: k, ad: ad})
+		}
+	}
+	emit := func(k predKey, ad string) {
+		if v.derived[k] {
+			push(k, ad)
+		}
+	}
+	for _, k := range v.nodes {
+		push(k, allBound(k.arity))
+	}
+	for _, q := range v.prog.Queries {
+		v.adornGoal(q, varset{}, emit)
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, r := range v.prog.Rules {
+			if litKey(r.Head) != w.pred {
+				continue
+			}
+			v.adornGoal(r.Body, boundPositions(r.Head, w.ad), emit)
+		}
+	}
+	return sets
+}
+
+// adornGoal scans g left to right, maintaining the bound-variable set the
+// way passSafety does (queries and calls bind their arguments, arithmetic
+// binds its output, eq binds both sides) and emitting the adornment of
+// every call to a derived predicate at the moment it is reached.
+func (v *vetter) adornGoal(g ast.Goal, bound varset, emit func(predKey, string)) {
+	switch g := g.(type) {
+	case *ast.Lit:
+		if g.Op == ast.OpCall && ast.IsBuiltinName(g.Atom.Pred) {
+			adornBuiltin(g.Atom.Pred, g.Atom.Args, bound)
+			return
+		}
+		switch g.Op {
+		case ast.OpCall:
+			if k := litKey(g.Atom); v.derived[k] {
+				emit(k, adornOf(g.Atom.Args, bound))
+			}
+			fallthrough
+		case ast.OpQuery:
+			for _, t := range g.Atom.Args {
+				bound.add(t)
+			}
+		}
+		// ins/del require ground arguments and bind nothing.
+	case *ast.Builtin:
+		adornBuiltin(g.Name, g.Args, bound)
+	case *ast.Seq:
+		for _, sub := range g.Goals {
+			v.adornGoal(sub, bound, emit)
+		}
+	case *ast.Conc:
+		after := bound.clone()
+		for _, sub := range g.Goals {
+			branch := bound.clone()
+			v.adornGoal(sub, branch, emit)
+			for k := range branch {
+				after[k] = true
+			}
+		}
+		for k := range after {
+			bound[k] = true
+		}
+	case *ast.Iso:
+		v.adornGoal(g.Body, bound, emit)
+	}
+}
+
+// adornBuiltin applies a builtin's binding effect to bound, mirroring
+// safeBuiltin without the diagnostics.
+func adornBuiltin(name string, args []term.Term, bound varset) {
+	if name == "eq" && len(args) == 2 {
+		bound.add(args[0])
+		bound.add(args[1])
+		return
+	}
+	if isArith(name) && len(args) == 3 {
+		bound.add(args[2])
+	}
+}

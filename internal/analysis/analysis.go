@@ -101,6 +101,9 @@ const (
 	LintNeverCommit = "never-commit"
 	// LintFragment: the program-level fragment/complexity classification.
 	LintFragment = "fragment"
+	// LintPlan: an informational tdplan decision — a rule body was
+	// reordered under some adornment. Suppressible like any lint.
+	LintPlan = "plan"
 )
 
 // Diagnostic is one analyzer finding, anchored to a 1-based source

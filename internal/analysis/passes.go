@@ -15,6 +15,7 @@ const (
 	citeBounded  = "Section 5: fully bounded TD restricts recursion to sequential iteration"
 	citeEntail   = "Section 2: a transaction commits only if some execution path succeeds"
 	citeFragment = "Theorems 4.4-4.7, Section 5"
+	citePlan     = "Section 2: read-only queries commute within a sequential conjunction"
 )
 
 // ---------------------------------------------------------------- safety --

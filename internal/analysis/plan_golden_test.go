@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// renderPlan flattens a PlanReport into the stable text compared by the
+// golden fixtures: one line per predicate certificate, indented reorder
+// decisions, then the totals and surviving diagnostics.
+func renderPlan(rep *PlanReport) string {
+	var b strings.Builder
+	flag := func(v bool) string {
+		if v {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, pp := range rep.Predicates {
+		fmt.Fprintf(&b, "pred %s update_free=%s hypothetical_free=%s recursion=%s tabling=%s",
+			pp.Pred, flag(pp.UpdateFree), flag(pp.HypotheticalFree), pp.Recursion, flag(pp.TablingEligible))
+		if len(pp.Adornments) > 0 {
+			fmt.Fprintf(&b, " adorn=%v", pp.Adornments)
+		}
+		b.WriteByte('\n')
+		for _, rp := range pp.Rules {
+			for _, op := range rp.Orders {
+				fmt.Fprintf(&b, "  rule %d line %d order%s=%v\n", rp.Rule, rp.Line, adornLabel(op.Adornment), op.Order)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "reorders: %d\n", rep.Reorders)
+	for _, d := range rep.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	if rep.Suppressed > 0 {
+		fmt.Fprintf(&b, "suppressed: %d\n", rep.Suppressed)
+	}
+	return b.String()
+}
+
+// TestPlanGolden runs every testdata/plan/*.td fixture through PlanSource
+// and compares the rendered report against the paired .want file.
+// Regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/analysis -run TestPlanGolden
+func TestPlanGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "plan", "*.td"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no plan fixtures in testdata/plan/")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".td")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := PlanSource(string(src))
+			if err != nil {
+				t.Fatalf("PlanSource(%s): %v", file, err)
+			}
+			got := renderPlan(rep)
+
+			wantFile := strings.TrimSuffix(file, ".td") + ".want"
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(wantFile, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(wantFile)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan mismatch for %s\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}

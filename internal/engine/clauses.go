@@ -40,52 +40,45 @@ type clauseIndex struct {
 	byPred map[enginePredArity]*predClauses
 }
 
-// compileClauses builds the dispatch table from the program's rulebase.
-func compileClauses(prog *ast.Program) *clauseIndex {
-	ci := &clauseIndex{byPred: make(map[enginePredArity]*predClauses)}
-	for _, r := range prog.Rules {
-		k := enginePredArity{pred: r.Head.Pred, arity: len(r.Head.Args)}
-		pc := ci.byPred[k]
-		if pc == nil {
-			pc = &predClauses{}
-			if k.arity > 0 {
-				pc.byCode = make(map[uint64][]ast.Rule)
-			}
-			ci.byPred[k] = pc
-		}
-		pc.all = append(pc.all, r)
-		if k.arity == 0 {
-			continue
-		}
-		first := r.Head.Args[0]
-		if first.IsVar() {
-			// A variable-headed rule joins every existing bucket (and the
-			// catch-all list); buckets created later pick it up from
-			// varOnly via the seeding below.
-			pc.varOnly = append(pc.varOnly, r)
-			for c := range pc.byCode {
-				pc.byCode[c] = append(pc.byCode[c], r)
-			}
-			continue
-		}
-		c := first.Code()
-		if _, ok := pc.byCode[c]; !ok {
-			// New constant bucket: seed it with the variable-headed rules
-			// seen so far, keeping global source order.
-			pc.byCode[c] = append([]ast.Rule(nil), pc.varOnly...)
-		}
-		pc.byCode[c] = append(pc.byCode[c], r)
+// newPredClauses returns an empty dispatch entry for one predicate.
+func newPredClauses(arity int) *predClauses {
+	pc := &predClauses{}
+	if arity > 0 {
+		pc.byCode = make(map[uint64][]ast.Rule)
 	}
-	return ci
+	return pc
 }
 
-// candidates returns the rules a call of pred(args) must try, in source
-// order, under the current bindings. nil means the predicate has no rules.
-func (ci *clauseIndex) candidates(pred string, args []term.Term, env *term.Env) []ast.Rule {
-	pc := ci.byPred[enginePredArity{pred: pred, arity: len(args)}]
-	if pc == nil {
-		return nil
+// add indexes one rule, preserving source order within every bucket. The
+// same construction serves the program-wide clauseIndex and the planner's
+// per-adornment variants (plan.go).
+func (pc *predClauses) add(r ast.Rule) {
+	pc.all = append(pc.all, r)
+	if len(r.Head.Args) == 0 {
+		return
 	}
+	first := r.Head.Args[0]
+	if first.IsVar() {
+		// A variable-headed rule joins every existing bucket (and the
+		// catch-all list); buckets created later pick it up from
+		// varOnly via the seeding below.
+		pc.varOnly = append(pc.varOnly, r)
+		for c := range pc.byCode {
+			pc.byCode[c] = append(pc.byCode[c], r)
+		}
+		return
+	}
+	c := first.Code()
+	if _, ok := pc.byCode[c]; !ok {
+		// New constant bucket: seed it with the variable-headed rules
+		// seen so far, keeping global source order.
+		pc.byCode[c] = append([]ast.Rule(nil), pc.varOnly...)
+	}
+	pc.byCode[c] = append(pc.byCode[c], r)
+}
+
+// pick returns the candidate list for a call's (walked) first argument.
+func (pc *predClauses) pick(args []term.Term, env *term.Env) []ast.Rule {
 	if len(args) == 0 {
 		return pc.all
 	}
@@ -97,4 +90,29 @@ func (ci *clauseIndex) candidates(pred string, args []term.Term, env *term.Env) 
 		return rules
 	}
 	return pc.varOnly
+}
+
+// compileClauses builds the dispatch table from the program's rulebase.
+func compileClauses(prog *ast.Program) *clauseIndex {
+	ci := &clauseIndex{byPred: make(map[enginePredArity]*predClauses)}
+	for _, r := range prog.Rules {
+		k := enginePredArity{pred: r.Head.Pred, arity: len(r.Head.Args)}
+		pc := ci.byPred[k]
+		if pc == nil {
+			pc = newPredClauses(k.arity)
+			ci.byPred[k] = pc
+		}
+		pc.add(r)
+	}
+	return ci
+}
+
+// candidates returns the rules a call of pred(args) must try, in source
+// order, under the current bindings. nil means the predicate has no rules.
+func (ci *clauseIndex) candidates(pred string, args []term.Term, env *term.Env) []ast.Rule {
+	pc := ci.byPred[enginePredArity{pred: pred, arity: len(args)}]
+	if pc == nil {
+		return nil
+	}
+	return pc.pick(args, env)
 }

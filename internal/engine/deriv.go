@@ -50,6 +50,18 @@ type deriv struct {
 	// Plain increments on paths already taken — no extra lookups.
 	unifs        int64
 	dispatchHits int64
+	planHits     int64
+
+	// concTaint marks that the current descent passed through an
+	// un-isolated '|' composition: the literal being stepped interleaves
+	// with concurrent siblings, so plan-reordered bodies are not
+	// semantics-preserving there (a sibling's update between two reads
+	// distinguishes the orders). Every explore receives a whole-tree
+	// residual (or an iso body) and restarts the descent from its root,
+	// so the flag is cleared on explore entry and re-established by each
+	// Conc node passed through; iso bodies start clean — they are atomic
+	// and safe to plan inside.
+	concTaint bool
 
 	trace []TraceEntry
 
@@ -147,6 +159,8 @@ func (dv *deriv) reset(d *db.DB) {
 	dv.loopHits = 0
 	dv.unifs = 0
 	dv.dispatchHits = 0
+	dv.planHits = 0
+	dv.concTaint = false
 	dv.trace = dv.trace[:0]
 	dv.branchStack = dv.branchStack[:0]
 	dv.descentBase = 0
@@ -199,6 +213,7 @@ func (dv *deriv) stats() Stats {
 		TableSize:    len(dv.failed),
 		Unifications: dv.unifs,
 		DispatchHits: dv.dispatchHits,
+		PlanHits:     dv.planHits,
 	}
 }
 
@@ -279,6 +294,9 @@ func (dv *deriv) explore(g ast.Goal, depth int, emit func() bool) bool {
 	if dv.err != nil {
 		return false
 	}
+	// Fresh descent from the residual's root: any '|' context above a
+	// literal will be re-entered (and re-taint) on the way down.
+	dv.concTaint = false
 	if dv.recording() {
 		// Every explore receives a whole-tree residual (or an iso body),
 		// so its descent restarts from the root: record branch ids pushed
@@ -439,6 +457,10 @@ func (dv *deriv) step(g ast.Goal, rebuild func(ast.Goal) ast.Goal, depth int, em
 			if ids != nil {
 				dv.branchStack = append(dv.branchStack, ids[i])
 			}
+			// Children of an un-isolated '|' interleave with their
+			// siblings: planned dispatch is off below this point (the
+			// next explore starts a fresh descent and clears the taint).
+			dv.concTaint = true
 			cont := dv.step(g.Goals[i], func(res ast.Goal) ast.Goal {
 				goals := make([]ast.Goal, len(g.Goals))
 				copy(goals, g.Goals)
@@ -564,7 +586,20 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 			rules = dv.e.prog.RulesFor(g.Atom.Pred, len(g.Atom.Args))
 		} else {
 			dv.dispatchHits++
-			rules = dv.e.idx.candidates(g.Atom.Pred, g.Atom.Args, dv.env)
+			planned := false
+			if dv.e.plan != nil && !dv.concTaint {
+				// Planned dispatch: an exact hit on the call's runtime
+				// adornment serves the reordered bodies. Misses (and any
+				// call under an un-isolated '|') keep textual order.
+				if pr, ok := dv.e.plan.plannedRules(g.Atom.Pred, g.Atom.Args, dv.env); ok {
+					rules = pr
+					planned = true
+					dv.planHits++
+				}
+			}
+			if !planned {
+				rules = dv.e.idx.candidates(g.Atom.Pred, g.Atom.Args, dv.env)
+			}
 		}
 		if dv.e.opts.Profile {
 			dv.noteCall(g.Atom.Pred, len(rules))

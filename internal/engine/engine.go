@@ -84,6 +84,18 @@ type Options struct {
 	// Diagnostics either way. The analysis runs only in New — nothing is
 	// added to the prove hot path.
 	Vet bool
+	// Plan runs the tdplan static planner (internal/analysis.Plan) over
+	// the program once, at construction time, and compiles its reordered
+	// rule variants into a per-adornment dispatch table. Call steps whose
+	// runtime binding pattern matches a planned variant — and that are not
+	// interleaving with un-isolated '|' siblings — evaluate the reordered
+	// bodies; everything else keeps textual order. The answer set is
+	// unchanged (plan_test.go and the corpus differential test check
+	// this); only the search order within read-only conjunctions moves.
+	// Leaving Plan off (the default, and the server's -noplan fallback)
+	// reproduces the unplanned engine exactly. Plan composes with the
+	// clause index; under NoClauseIndex it is ignored.
+	Plan bool
 	// Profile accumulates per-predicate prover cost: call-step count,
 	// clause-dispatch fan-out, and flat time attribution (each interval
 	// between consecutive call steps is charged to the most recently
@@ -216,6 +228,7 @@ type Stats struct {
 	Successes    int64 // number of successful executions emitted
 	Unifications int64 // head-unification attempts across call steps
 	DispatchHits int64 // call steps served by the first-argument clause index
+	PlanHits     int64 // call steps served by a plan-reordered rule variant
 	Truncated    bool  // true when budget/depth aborted the search
 }
 
@@ -260,6 +273,11 @@ type Engine struct {
 	// built a fresh one (an observability instrument for the PR 2 pooling).
 	poolHits   atomic.Int64
 	poolMisses atomic.Int64
+	// plan is the per-adornment planned dispatch table (Options.Plan),
+	// nil when planning is off or the planner reordered nothing; planRep
+	// is the full tdplan report for PlanReport.
+	plan    *planIndex
+	planRep *analysis.PlanReport
 	// vet holds the load-time analysis report when Options.Vet is on;
 	// vetErr is its error form when the report carries error-severity
 	// diagnostics, and fails every Prove-family call.
@@ -312,6 +330,10 @@ func New(prog *ast.Program, opts Options) *Engine {
 		opts.MaxDepth = DefaultMaxDepth
 	}
 	e := &Engine{prog: prog, opts: opts, idx: compileClauses(prog)}
+	if opts.Plan {
+		e.planRep = analysis.Plan(prog)
+		e.plan = compilePlan(e.planRep)
+	}
 	if opts.Vet {
 		e.vet = analysis.Vet(prog)
 		e.vetErr = e.vet.Err()
@@ -334,6 +356,10 @@ func (e *Engine) Program() *ast.Program { return e.prog }
 // VetReport returns the load-time analysis report, or nil when the engine
 // was built without Options.Vet.
 func (e *Engine) VetReport() *analysis.Report { return e.vet }
+
+// PlanReport returns the load-time tdplan report, or nil when the engine
+// was built without Options.Plan.
+func (e *Engine) PlanReport() *analysis.PlanReport { return e.planRep }
 
 // Diagnostics returns the load-time analysis diagnostics, or nil when the
 // engine was built without Options.Vet.

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Planned dispatch. With Options.Plan on, New runs the tdplan analysis
+// (internal/analysis.Plan) and compiles every reordered rule variant into
+// a per-(predicate, adornment) dispatch table that composes with the
+// first-argument clause index. At a call step the runtime adornment is the
+// groundness bitmask of the call's walked arguments; an exact hit serves
+// the reordered bodies, a miss falls back to the textual-order index —
+// always sound, since untracked binding patterns were simply never
+// planned.
+//
+// Reordered bodies are only semantics-preserving when the call is not
+// interleaving with un-isolated concurrent siblings: a sibling's updates
+// can distinguish the textual order from the planned one (a read that
+// succeeds before a sibling's delete may fail after it). The search
+// therefore tracks a per-descent taint flag — set while stepping the
+// children of a '|' composition, cleared on every fresh descent and
+// inside iso bodies, which are atomic and safe to plan — and tainted call
+// steps use textual order. See deriv.go's concTaint.
+
+// planMaxArity bounds the argument count a runtime adornment bitmask can
+// represent; calls with more arguments are never planned.
+const planMaxArity = 30
+
+// planIndex maps (predicate, arity) → adornment bitmask → the dispatch
+// entry compiled from that variant's reordered rules.
+type planIndex struct {
+	byPred map[enginePredArity]map[uint32]*predClauses
+}
+
+// adornMask converts an analysis adornment string to its bitmask: bit i
+// set iff argument i is bound.
+func adornMask(ad string) uint32 {
+	var m uint32
+	for i := 0; i < len(ad); i++ {
+		if ad[i] == 'b' {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// compilePlan builds the planned dispatch table from the report's rule
+// variants. nil when the planner found nothing to reorder.
+func compilePlan(rep *analysis.PlanReport) *planIndex {
+	variants := rep.Variants()
+	if len(variants) == 0 {
+		return nil
+	}
+	pi := &planIndex{byPred: make(map[enginePredArity]map[uint32]*predClauses)}
+	for _, v := range variants {
+		if v.Arity > planMaxArity {
+			continue
+		}
+		k := enginePredArity{pred: v.Pred, arity: v.Arity}
+		inner := pi.byPred[k]
+		if inner == nil {
+			inner = make(map[uint32]*predClauses)
+			pi.byPred[k] = inner
+		}
+		pc := newPredClauses(v.Arity)
+		for _, r := range v.Rules {
+			pc.add(r)
+		}
+		inner[adornMask(v.Adornment)] = pc
+	}
+	if len(pi.byPred) == 0 {
+		return nil
+	}
+	return pi
+}
+
+// plannedRules returns the planned candidate rules for a call, and whether
+// a variant matched the call's runtime adornment exactly. On a miss the
+// caller uses the textual-order index.
+func (pi *planIndex) plannedRules(pred string, args []term.Term, env *term.Env) ([]ast.Rule, bool) {
+	if len(args) > planMaxArity {
+		return nil, false
+	}
+	inner := pi.byPred[enginePredArity{pred: pred, arity: len(args)}]
+	if inner == nil {
+		return nil, false
+	}
+	var mask uint32
+	for i, t := range args {
+		if !env.Walk(t).IsVar() {
+			mask |= 1 << uint(i)
+		}
+	}
+	pc := inner[mask]
+	if pc == nil {
+		return nil, false
+	}
+	return pc.pick(args, env), true
+}

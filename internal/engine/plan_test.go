@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/parser"
+)
+
+// Planned evaluation must be invisible in the answers: for every corpus
+// program and goal, the engine with Options.Plan on returns exactly the
+// solutions (bindings and final database states) of the textual-order
+// engine. Span trees are byte-identical when the planner reordered
+// nothing; when it did reorder, trees are compared modulo the one thing
+// planning is allowed to change — the order of read-only leaves within a
+// parent — and the planned witness must be one of the textual answers.
+
+// planCorpus returns every shipped .td program path.
+func planCorpus(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, dir := range []string{filepath.Join("..", "..", "testdata"), filepath.Join("..", "..", "examples", "programs")} {
+		m, err := filepath.Glob(filepath.Join(dir, "*.td"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus programs found")
+	}
+	sort.Strings(files)
+	return files
+}
+
+const planSolutionCap = 256
+
+// planSolutions enumerates goal's solutions as a sorted multiset of
+// (bindings, final fingerprint) strings. capped reports whether the
+// enumeration hit the cap (sets are then incomparable across engines).
+func planSolutions(t *testing.T, e *Engine, prog *ast.Program, g ast.Goal) (sols []string, capped bool) {
+	t.Helper()
+	d := freshDB(t, prog)
+	list, _, err := e.Solutions(g, d, planSolutionCap)
+	if err != nil {
+		t.Fatalf("solutions: %v", err)
+	}
+	for _, s := range list {
+		fp := s.Final.Fingerprint()
+		sols = append(sols, fmt.Sprintf("%s|%x.%x", renderBindings(s.Bindings), fp[0], fp[1]))
+	}
+	sort.Strings(sols)
+	return sols, len(list) == planSolutionCap
+}
+
+// canonSpan renders a span tree with every maximal run of consecutive
+// read-only leaves (query/builtin/empty/call) under one parent sorted by
+// kind and label: the only reordering planned evaluation may introduce.
+// Structural nodes (iso, branch) and write leaves pin their positions.
+func canonSpan(s *obs.Span) string {
+	var b strings.Builder
+	var walk func(s *obs.Span, depth int)
+	readOnlyLeaf := func(c *obs.Span) bool {
+		if len(c.Children) > 0 {
+			return false
+		}
+		switch c.Kind {
+		case "query", "builtin", "empty", "call":
+			return true
+		}
+		return false
+	}
+	walk = func(s *obs.Span, depth int) {
+		fmt.Fprintf(&b, "%s%s %s\n", strings.Repeat(" ", depth), s.Kind, s.Label)
+		kids := append([]*obs.Span(nil), s.Children...)
+		for lo := 0; lo < len(kids); {
+			if !readOnlyLeaf(kids[lo]) {
+				lo++
+				continue
+			}
+			hi := lo
+			for hi < len(kids) && readOnlyLeaf(kids[hi]) {
+				hi++
+			}
+			run := kids[lo:hi]
+			sort.SliceStable(run, func(i, j int) bool {
+				if run[i].Kind != run[j].Kind {
+					return run[i].Kind < run[j].Kind
+				}
+				return run[i].Label < run[j].Label
+			})
+			lo = hi
+		}
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return b.String()
+}
+
+// planGoals returns the goals to run for one corpus program: its own ?-
+// directives.
+func planGoals(t *testing.T, prog *ast.Program) []ast.Goal {
+	t.Helper()
+	return prog.Queries
+}
+
+func TestPlanDifferentialCorpus(t *testing.T) {
+	for _, file := range planCorpus(t) {
+		prog, err := parser.ParseFile(file)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		textualOpts := DefaultOptions()
+		textualOpts.Trace = true
+		plannedOpts := textualOpts
+		plannedOpts.Plan = true
+		textual := New(prog, textualOpts)
+		planned := New(prog, plannedOpts)
+		reorders := planned.PlanReport().Reorders
+		for i, g := range planGoals(t, prog) {
+			name := fmt.Sprintf("%s/goal%d", filepath.Base(file), i)
+			t.Run(name, func(t *testing.T) {
+				// Answer sets: identical solutions (bindings + final DB).
+				st, ct := planSolutions(t, textual, prog, g)
+				sp, cp := planSolutions(t, planned, prog, g)
+				if ct || cp {
+					if ct != cp {
+						t.Fatalf("solution cap hit by one engine only: textual=%v planned=%v", ct, cp)
+					}
+				} else if strings.Join(st, "\n") != strings.Join(sp, "\n") {
+					t.Fatalf("solution sets differ:\n textual: %v\n planned: %v", st, sp)
+				}
+
+				// Witnesses: success parity always; identical span trees
+				// when nothing was reordered, canonical equality otherwise.
+				dt := freshDB(t, prog)
+				rt, err := textual.Prove(g, dt)
+				if err != nil {
+					t.Fatalf("textual prove: %v", err)
+				}
+				dp := freshDB(t, prog)
+				rp, err := planned.Prove(g, dp)
+				if err != nil {
+					t.Fatalf("planned prove: %v", err)
+				}
+				if rt.Success != rp.Success {
+					t.Fatalf("success differs: textual=%v planned=%v", rt.Success, rp.Success)
+				}
+				if !rt.Success {
+					return
+				}
+				if reorders == 0 {
+					if rt.Spans.Tree() != rp.Spans.Tree() {
+						t.Fatalf("span trees differ with zero reorders:\n textual:\n%s\n planned:\n%s",
+							rt.Spans.Tree(), rp.Spans.Tree())
+					}
+					return
+				}
+				// The planned witness must be a textual answer.
+				fpp := dp.Fingerprint()
+				key := fmt.Sprintf("%s|%x.%x", renderBindings(rp.Bindings), fpp[0], fpp[1])
+				if !ct {
+					found := false
+					for _, s := range st {
+						if s == key {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("planned witness %q is not a textual solution", key)
+					}
+				}
+				// Same witness => same tree modulo read-only leaf order.
+				fpt := dt.Fingerprint()
+				if fpt == fpp && renderBindings(rt.Bindings) == renderBindings(rp.Bindings) {
+					if canonSpan(rt.Spans) != canonSpan(rp.Spans) {
+						t.Fatalf("canonical span trees differ:\n textual:\n%s\n planned:\n%s",
+							canonSpan(rt.Spans), canonSpan(rp.Spans))
+					}
+				}
+			})
+		}
+	}
+}
+
+// The analyze workload: naive textual order scans every reading; the
+// planner rewrites the body to start from the first-arg-indexed
+// sample_reading lookup when the sample is bound.
+const planAnalyzeSrc = `
+sample_reading(s1, r1). sample_reading(s1, r2).
+sample_reading(s2, r3). sample_reading(s2, r4).
+reading(r1, 950). reading(r2, 10).
+reading(r3, 20).  reading(r4, 30).
+hot(W) :- reading(R, V), V > 900, sample_reading(W, R).
+`
+
+func planParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func planGoal(t *testing.T, prog *ast.Program, src string) ast.Goal {
+	t.Helper()
+	g, _, err := parser.ParseGoal(src, prog.VarHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPlannedDispatchFires proves a ground call takes the planned variant
+// (PlanHits > 0) and does measurably less work than textual order.
+func TestPlannedDispatchFires(t *testing.T) {
+	prog := planParse(t, planAnalyzeSrc)
+	opts := DefaultOptions()
+	opts.Plan = true
+	planned := New(prog, opts)
+	if planned.PlanReport() == nil || planned.PlanReport().Reorders == 0 {
+		t.Fatalf("expected a reorder for hot/1, report: %+v", planned.PlanReport())
+	}
+	textual := NewDefault(prog)
+	g := planGoal(t, prog, "hot(s2)")
+
+	dp := freshDB(t, prog)
+	rp, err := planned.Prove(g, dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := freshDB(t, prog)
+	rt, err := textual.Prove(g, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Success || rt.Success {
+		t.Fatalf("hot(s2) should fail on both engines: planned=%v textual=%v", rp.Success, rt.Success)
+	}
+	if rp.Stats.PlanHits == 0 {
+		t.Fatalf("planned engine never used a planned variant: %+v", rp.Stats)
+	}
+	if rt.Stats.PlanHits != 0 {
+		t.Fatalf("textual engine reported plan hits: %+v", rt.Stats)
+	}
+	if rp.Stats.Steps >= rt.Stats.Steps {
+		t.Fatalf("planned search did not save steps: planned=%d textual=%d", rp.Stats.Steps, rt.Stats.Steps)
+	}
+}
+
+// TestPlanUnseenAdornmentFallsBack: a call pattern the dataflow never saw
+// (free argument where every planned variant wants it bound) must fall
+// back to textual order and still agree on the answers.
+func TestPlanUnseenAdornmentFallsBack(t *testing.T) {
+	prog := planParse(t, planAnalyzeSrc)
+	opts := DefaultOptions()
+	opts.Plan = true
+	planned := New(prog, opts)
+	textual := NewDefault(prog)
+	g := planGoal(t, prog, "hot(W)")
+	sols := func(e *Engine) []string {
+		d := freshDB(t, prog)
+		list, _, err := e.Solutions(g, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range list {
+			out = append(out, renderBindings(s.Bindings))
+		}
+		sort.Strings(out)
+		return out
+	}
+	sp, st := sols(planned), sols(textual)
+	if strings.Join(sp, ",") != strings.Join(st, ",") {
+		t.Fatalf("solutions differ: planned=%v textual=%v", sp, st)
+	}
+}
+
+// TestPlanConcTaint is the soundness counterexample for reordering under
+// '|': branch A reads p(X, b) then p(a, c); branch B inserts (z, b),
+// deletes it, then inserts (a, c). Textual A succeeds via interleaving;
+// A's planned order (the all-bound p(a, c) hoisted first) would fail —
+// p(a, c) only holds after (z, b) is gone for good. The taint flag must
+// keep the planned engine on textual order under the un-isolated '|', so
+// both engines succeed.
+func TestPlanConcTaint(t *testing.T) {
+	src := `
+seed(z).
+left :- p(X, b), p(a, c).
+right :- seed(Z), ins.p(Z, b), del.p(Z, b), ins.p(a, c).
+`
+	prog := planParse(t, src)
+	opts := DefaultOptions()
+	opts.Plan = true
+	planned := New(prog, opts)
+	rep := planned.PlanReport()
+	if rep.Reorders == 0 {
+		t.Fatalf("expected left/0's body to be reorderable, report: %+v", rep)
+	}
+	textual := NewDefault(prog)
+	g := planGoal(t, prog, "left | right")
+	for name, e := range map[string]*Engine{"planned": planned, "textual": textual} {
+		d := freshDB(t, prog)
+		res, err := e.Prove(g, d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Success {
+			t.Fatalf("%s engine failed the interleaving-dependent goal: taint not honored?", name)
+		}
+	}
+	// Outside the '|' the planned order must actually engage (and fail,
+	// since left alone never sees p populated).
+	d := freshDB(t, prog)
+	res, err := planned.Prove(planGoal(t, prog, "left"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success {
+		t.Fatal("left alone should fail")
+	}
+	if res.Stats.PlanHits == 0 {
+		t.Fatal("expected planned dispatch outside '|'")
+	}
+}
+
+// TestPlanInsideIso: iso bodies are atomic, so planned dispatch applies
+// inside them even when the iso sits under '|'.
+func TestPlanInsideIso(t *testing.T) {
+	src := `
+sample_reading(s1, r1). sample_reading(s2, r2).
+reading(r1, 950). reading(r2, 20).
+hot(W) :- reading(R, V), V > 900, sample_reading(W, R).
+`
+	prog := planParse(t, src)
+	opts := DefaultOptions()
+	opts.Plan = true
+	planned := New(prog, opts)
+	d := freshDB(t, prog)
+	res, err := planned.Prove(planGoal(t, prog, "iso(hot(s1)) | iso(hot(W))"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatal("goal should succeed")
+	}
+	if res.Stats.PlanHits == 0 {
+		t.Fatal("expected planned dispatch inside iso bodies")
+	}
+}
+
+// TestNoPlanDefault: without Options.Plan the engine carries no plan
+// state at all — the pre-plan behavior is reproduced bit for bit.
+func TestNoPlanDefault(t *testing.T) {
+	prog := planParse(t, planAnalyzeSrc)
+	e := NewDefault(prog)
+	if e.plan != nil || e.planRep != nil {
+		t.Fatal("default engine must not compile a plan")
+	}
+	if e.PlanReport() != nil {
+		t.Fatal("PlanReport must be nil without Options.Plan")
+	}
+}

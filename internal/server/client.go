@@ -262,3 +262,15 @@ func (c *Client) Vet(program string) ([]analysis.Diagnostic, string, error) {
 	}
 	return resp.Diagnostics, resp.Fragment, nil
 }
+
+// Plan runs the tdplan static planner server-side: over program when
+// non-empty (without installing it), otherwise over the session's loaded
+// program. The report carries adornment signatures, reorder decisions,
+// and the per-predicate tabling-safety certificates.
+func (c *Client) Plan(program string) (*analysis.PlanReport, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPlan, Program: program})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Plan, nil
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/obs"
+)
+
+// analyzeSrc is a program the planner reorders: with the sample bound,
+// the naive hot rule starts from the indexed sample_reading lookup.
+const analyzeSrc = `
+sample_reading(s1, r1). sample_reading(s2, r2).
+reading(r1, 950). reading(r2, 20).
+hot(W) :- reading(R, V), V > 900, sample_reading(W, R).
+`
+
+// --- PLAN verb --------------------------------------------------------------
+
+func TestPlanVerb(t *testing.T) {
+	s := newBankServer(t, Options{})
+	c := s.InProcClient()
+	defer c.Close()
+
+	// PLAN with a submitted program: full report, nothing installed.
+	rep, err := c.Plan(analyzeSrc)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if rep.SchemaVersion != analysis.PlanSchemaVersion {
+		t.Fatalf("schema_version = %d", rep.SchemaVersion)
+	}
+	if rep.Reorders == 0 {
+		t.Fatalf("expected a reorder for hot/1: %+v", rep)
+	}
+	var hot *analysis.PredPlan
+	for i := range rep.Predicates {
+		if rep.Predicates[i].Pred == "hot/1" {
+			hot = &rep.Predicates[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("no certificate for hot/1: %+v", rep.Predicates)
+	}
+	if !hot.TablingEligible || !hot.UpdateFree || !hot.HypotheticalFree || hot.Recursion != analysis.RecNone {
+		t.Fatalf("hot/1 certificate wrong: %+v", hot)
+	}
+
+	// PLAN without a program: the session's loaded rulebase (the bank).
+	rep, err = c.Plan("")
+	if err != nil {
+		t.Fatalf("Plan(loaded): %v", err)
+	}
+	found := false
+	for _, pp := range rep.Predicates {
+		if strings.HasPrefix(pp.Pred, "transfer/") {
+			found = true
+			if pp.UpdateFree {
+				t.Fatalf("transfer writes accounts but certifies update-free: %+v", pp)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("loaded-program plan misses transfer: %+v", rep.Predicates)
+	}
+
+	// Parse failures answer with CodeParse, like VET.
+	if _, err := c.Plan("p(."); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("bad program: err = %v, want parse error", err)
+	}
+}
+
+// --- STATS wire compatibility ----------------------------------------------
+
+// goldenPR9Stats extends the golden frame with the planner keys (PR 9).
+// As with every addition since PR 3 they are new names only, omitted when
+// zero, so pre-PR-9 clients keep decoding payloads unchanged and NoPlan
+// servers keep emitting the old frame.
+const goldenPR9Stats = `{
+	"commits": 10, "version": 10,
+	"plan_reorders": 3,
+	"plan_hits": 120,
+	"plan_tabling_eligible": 2
+}`
+
+func TestStatsSnapshotPlanKeys(t *testing.T) {
+	var snap StatsSnapshot
+	if err := json.Unmarshal([]byte(goldenPR9Stats), &snap); err != nil {
+		t.Fatalf("golden PR-9 payload no longer decodes: %v", err)
+	}
+	if snap.PlanReorders != 3 || snap.PlanHits != 120 || snap.PlanTablingEligible != 2 {
+		t.Fatalf("PR-9 fields decoded wrong: %+v", snap)
+	}
+
+	// Zero-valued planner keys stay off the wire.
+	body, err := json.Marshal(StatsSnapshot{Commits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"plan_reorders", "plan_hits", "plan_tabling_eligible"} {
+		if _, ok := wire[key]; ok {
+			t.Errorf("zero-valued PR-9 key %q leaked onto the wire", key)
+		}
+	}
+
+	// A NoPlan server never mentions the planner in STATS: the pre-PR-9
+	// frame, byte for byte.
+	s := newBankServer(t, Options{NoPlan: true})
+	c := s.InProcClient()
+	defer c.Close()
+	if _, err := c.Exec("transfer(1, a, b)"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	body, err = json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "plan") {
+		t.Errorf("NoPlan STATS frame mentions the planner:\n%s", body)
+	}
+}
+
+// --- planner counters and gauge --------------------------------------------
+
+func TestPlanMetricsAndStats(t *testing.T) {
+	s, err := New(Options{Program: analyzeSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := s.InProcClient()
+	defer c.Close()
+
+	// A ground query over the planned predicate: planned dispatch fires.
+	sols, err := c.Query("hot(s1)", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("hot(s1) solutions = %v", sols)
+	}
+	snap := s.Stats()
+	if snap.PlanReorders == 0 {
+		t.Errorf("plan_reorders = 0, want > 0 (session engine carries the plan)")
+	}
+	if snap.PlanHits == 0 {
+		t.Errorf("plan_hits = 0, want > 0 (ground call should hit the variant)")
+	}
+	if snap.PlanTablingEligible == 0 {
+		t.Errorf("plan_tabling_eligible = 0, want > 0 (hot/1 is eligible)")
+	}
+
+	rec := httptest.NewRecorder()
+	obs.Handler(s.Metrics()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE td_plan_reorders_total counter",
+		"# TYPE td_plan_hits_total counter",
+		"# TYPE td_plan_tabling_eligible gauge",
+		`td_plan_tabling_eligible{pred="hot/1"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n----\n%s", want, body)
+		}
+	}
+
+	// NoPlan: no planned dispatch, empty gauge family, zero counters — and
+	// identical answers.
+	s2, err := New(Options{Program: analyzeSrc, NoPlan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	c2 := s2.InProcClient()
+	defer c2.Close()
+	sols2, err := c2.Query("hot(s1)", 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(sols2) != len(sols) {
+		t.Fatalf("NoPlan answers differ: %v vs %v", sols2, sols)
+	}
+	snap2 := s2.Stats()
+	if snap2.PlanReorders != 0 || snap2.PlanHits != 0 || snap2.PlanTablingEligible != 0 {
+		t.Errorf("NoPlan server reports planner work: %+v", snap2)
+	}
+	rec2 := httptest.NewRecorder()
+	obs.Handler(s2.Metrics()).ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rec2.Body.String(), `td_plan_tabling_eligible{`) {
+		t.Error("NoPlan /metrics carries tabling-eligibility samples")
+	}
+}

@@ -45,6 +45,9 @@ const (
 
 	// Added with stage-level latency attribution (PR 8).
 	OpProfile = "PROFILE" // toggle prover profiling / dump per-predicate attribution
+
+	// Added with the tdplan static planner (PR 9).
+	OpPlan = "PLAN" // plan a submitted program (or the loaded one) without running it
 )
 
 // Error codes carried in Response.Code.
@@ -109,6 +112,10 @@ type Response struct {
 	// Profile answers PROFILE dump: server-wide prover time attribution,
 	// keyed by predicate.
 	Profile map[string]PredProfile `json:"profile,omitempty"`
+	// Plan answers PLAN: the tdplan report (adornment signatures, reorder
+	// decisions, and tabling-safety certificates) for the submitted
+	// program, or for the session's loaded program when none is submitted.
+	Plan *analysis.PlanReport `json:"plan,omitempty"`
 }
 
 // CommitDelta is one commit's effective write set on the wire.

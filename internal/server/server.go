@@ -134,6 +134,12 @@ type Options struct {
 	// is served by PROFILE dump, the STATS prover_profile section, and the
 	// td_prover_pred_us{pred=} metric family.
 	Profile bool
+	// NoPlan disables the tdplan static planner for session engines: rule
+	// bodies evaluate in textual order, reproducing pre-planner behavior
+	// exactly. Planning is on by default (answer sets are unchanged by
+	// construction; only literal order inside sequential conjunctions
+	// differs). The PLAN verb works either way.
+	NoPlan bool
 }
 
 func (o Options) withDefaults() Options {
@@ -298,6 +304,11 @@ type Server struct {
 	// that went away (closed sessions, PROFILE/TRACE/LOAD engine rebuilds),
 	// so the profile outlives both. Guarded by mu.
 	deadProf map[string]PredProfile
+	// planPreds maps each planned derived predicate to its tabling
+	// eligibility, merged from every computed plan (initial program at New,
+	// session programs at LOAD). Feeds the td_plan_tabling_eligible{pred=}
+	// gauge family and the STATS eligible count. Guarded by mu.
+	planPreds map[string]bool
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -348,6 +359,26 @@ func New(opts Options) (*Server, error) {
 			}
 			return out
 		})
+	s.reg.FamilyFunc("td_plan_tabling_eligible",
+		"tabling-safety certificate per derived predicate (1 = memoizable per snapshot version)",
+		"gauge", func() []obs.Sample {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			out := make([]obs.Sample, 0, len(s.planPreds))
+			for pred, ok := range s.planPreds {
+				var v int64
+				if ok {
+					v = 1
+				}
+				out = append(out, obs.Sample{Labels: `pred="` + pred + `"`, Value: v})
+			}
+			return out
+		})
+	if !opts.NoPlan {
+		// Seed the eligibility gauge from the initial program before any
+		// session connects; session engine builds keep it merged.
+		s.notePlan(analysis.Plan(prog), false)
+	}
 	s.reg.GaugeFunc("td_version", "current commit version of the shared database",
 		func() int64 { return int64(s.Version()) })
 	s.reg.GaugeFunc("td_db_size", "tuples in the shared database", func() int64 {
@@ -626,6 +657,27 @@ func (s *Server) absorbProfile(eng *engine.Engine) {
 		agg.Fanout += p.Fanout
 		agg.TimeUs += p.TimeUs
 		s.deadProf[pred] = agg
+	}
+	s.mu.Unlock()
+}
+
+// notePlan folds one computed plan into the server-wide planning state:
+// the tabling-eligibility map always, the reorder counter only when the
+// plan was installed into a session engine (count). Later plans win per
+// predicate, so LOADing a changed program updates the gauge in place.
+func (s *Server) notePlan(rep *analysis.PlanReport, count bool) {
+	if rep == nil {
+		return
+	}
+	if count {
+		s.stats.planReorders.Add(int64(rep.Reorders))
+	}
+	s.mu.Lock()
+	if s.planPreds == nil {
+		s.planPreds = make(map[string]bool, len(rep.Predicates))
+	}
+	for _, pp := range rep.Predicates {
+		s.planPreds[pp.Pred] = pp.TablingEligible
 	}
 	s.mu.Unlock()
 }
@@ -1164,6 +1216,17 @@ func (s *Server) Stats() StatsSnapshot {
 	if prof := s.proverProfile(); len(prof) > 0 {
 		snap.ProverProfile = prof
 	}
+	// Planner counters (PR 9): zero (and omitted) under NoPlan, so such
+	// servers keep the pre-planner payload.
+	snap.PlanReorders = s.stats.planReorders.Load()
+	snap.PlanHits = s.stats.planHits.Load()
+	s.mu.Lock()
+	for _, ok := range s.planPreds {
+		if ok {
+			snap.PlanTablingEligible++
+		}
+	}
+	s.mu.Unlock()
 	for _, slo := range s.opts.SLOs {
 		snap.SLOs = append(snap.SLOs, SLOSnapshot{
 			Name:        slo.Name,

@@ -97,6 +97,9 @@ func (sess *session) buildEngine() {
 		Table:     true,
 		MaxSteps:  sess.srv.opts.MaxSteps,
 		Profile:   sess.profOn || sess.srv.opts.Profile,
+		// tdplan literal reordering, on by default; -noplan reproduces the
+		// pre-planner engine exactly.
+		Plan: !sess.srv.opts.NoPlan,
 		// Span emission is handled by the session (it stamps wall-clock
 		// duration and owns slow-transaction reporting), not an engine sink.
 		Trace: sess.tracing(),
@@ -110,6 +113,7 @@ func (sess *session) buildEngine() {
 		}
 	}
 	sess.eng = engine.New(sess.prog, opts)
+	sess.srv.notePlan(sess.eng.PlanReport(), true)
 }
 
 // serve is the request loop: one frame in, one frame out, until the
@@ -190,6 +194,8 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleChanges(req)
 	case OpProfile:
 		return sess.handleProfile(req)
+	case OpPlan:
+		return sess.handlePlan(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -291,6 +297,7 @@ func (sess *session) addEngineStats(d *db.DB, st engine.Stats, before db.Counter
 	s.engineSteps.Add(st.Steps)
 	s.engineUnifs.Add(st.Unifications)
 	s.engineTable.Add(st.TableHits)
+	s.planHits.Add(st.PlanHits)
 	after := d.Counters()
 	s.dbLookups.Add(after.Lookups - before.Lookups)
 	s.dbIndexHits.Add(after.IndexHits - before.IndexHits)
@@ -631,6 +638,22 @@ func (sess *session) handleVet(req *Request) *Response {
 		return fail(CodeParse, "program: %v", err)
 	}
 	return &Response{OK: true, Diagnostics: rep.Diags, Fragment: rep.Fragment}
+}
+
+// handlePlan runs the tdplan static planner — adornment dataflow, literal
+// reorder decisions, and tabling-safety certificates — over a submitted
+// program without installing it, or, when no program is submitted, over
+// the session's loaded rulebase. Pure analysis: it never touches the
+// session engine or the shared database, and it works under NoPlan too.
+func (sess *session) handlePlan(req *Request) *Response {
+	if req.Program != "" {
+		rep, err := analysis.PlanSource(req.Program)
+		if err != nil {
+			return fail(CodeParse, "program: %v", err)
+		}
+		return &Response{OK: true, Plan: rep}
+	}
+	return &Response{OK: true, Plan: analysis.Plan(sess.prog)}
 }
 
 // handleTrace toggles session-level tracing or dumps the span tree of the

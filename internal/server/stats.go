@@ -37,6 +37,9 @@ type serverStats struct {
 
 	crossShardCommits atomic.Int64 // commits whose touch-set spanned lanes
 
+	planReorders atomic.Int64 // rule-body reorders installed into session engines
+	planHits     atomic.Int64 // call steps served by plan-reordered rule variants
+
 	// Engine and database work, aggregated per served goal.
 	engineSteps atomic.Int64
 	engineUnifs atomic.Int64
@@ -62,7 +65,7 @@ type serverStats struct {
 }
 
 // statVerbs is the fixed set of per-verb latency series.
-var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges, OpProfile}
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges, OpProfile, OpPlan}
 
 // init creates the histograms and registers every instrument with reg.
 func (st *serverStats) init(reg *obs.Registry) {
@@ -112,6 +115,8 @@ func (st *serverStats) init(reg *obs.Registry) {
 	cf("td_db_scans_total", "full relation scans", &st.dbScans)
 	cf("td_db_order_rebuilds_total", "deterministic scan-order cache rebuilds", &st.dbRebuilds)
 	cf("td_delta_ops_total", "tuples written by committed transactions", &st.deltaOps)
+	cf("td_plan_reorders_total", "rule-body reorders installed into session engines by the tdplan planner", &st.planReorders)
+	cf("td_plan_hits_total", "call steps served by a plan-reordered rule variant", &st.planHits)
 }
 
 func (st *serverStats) recordCommitLatency(d time.Duration) {
@@ -217,6 +222,13 @@ type StatsSnapshot struct {
 	StageP99Us    map[string]int64       `json:"stage_p99_us,omitempty"`
 	ProverProfile map[string]PredProfile `json:"prover_profile,omitempty"`
 	SLOs          []SLOSnapshot          `json:"slos,omitempty"`
+
+	// Added with the tdplan static planner (PR 9). All zero (and omitted)
+	// under Options.NoPlan or when the planner found nothing to do, so such
+	// servers keep emitting the exact pre-PR-9 payload.
+	PlanReorders        int64 `json:"plan_reorders,omitempty"`
+	PlanHits            int64 `json:"plan_hits,omitempty"`
+	PlanTablingEligible int64 `json:"plan_tabling_eligible,omitempty"`
 }
 
 // PredProfile is one predicate's prover attribution on the wire: how often

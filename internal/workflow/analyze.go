@@ -1,0 +1,79 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The analyze stage of the genome workload produces results that are
+// "queried by analysis programs, but never deleted or altered". This file
+// generates that read-only analysis workload: per-sample readings plus a
+// naive hot-sample rule written in the textual order an analyst would —
+// scan the readings, filter by threshold, then join back to the sample.
+// It is the reference workload for the tdplan phase (BenchmarkProverPlanned):
+// invoked with the sample bound, the planned order starts from the
+// first-arg-indexed sample_reading lookup instead of the full reading
+// scan, while the answers are identical by construction.
+
+// AnalyzeConfig sizes a generated analysis workload.
+type AnalyzeConfig struct {
+	// Samples is the number of work items with recorded readings.
+	Samples int
+	// ReadingsPer is the number of readings recorded per sample.
+	ReadingsPer int
+	// HotEvery makes every HotEvery-th sample hot (one reading over the
+	// threshold). Samples not divisible by HotEvery are entirely cold, so
+	// a query against one is an exhaustive (worst-case) search under any
+	// literal order. 0 means no sample is hot.
+	HotEvery int
+}
+
+// DefaultAnalyze returns a lab-sized analysis workload: n samples, 8
+// readings each, every 4th sample hot.
+func DefaultAnalyze(n int) AnalyzeConfig {
+	return AnalyzeConfig{Samples: n, ReadingsPer: 8, HotEvery: 4}
+}
+
+// AnalyzeSource renders the analysis program: reading facts, the
+// sample→reading ownership relation, and the naive hot/1 rule. Reading
+// values are deterministic in (sample, reading) position; hot samples get
+// value 901+sample on their last reading, everything else stays below
+// 900.
+func AnalyzeSource(cfg AnalyzeConfig) string {
+	var b strings.Builder
+	b.WriteString("% generated analysis workload: readings are appended, never altered\n")
+	for s := 1; s <= cfg.Samples; s++ {
+		for r := 1; r <= cfg.ReadingsPer; r++ {
+			id := (s-1)*cfg.ReadingsPer + r
+			fmt.Fprintf(&b, "sample_reading(s%d, r%d).\n", s, id)
+			v := (id*37)%800 + 50 // always below the 900 threshold
+			if cfg.HotEvery > 0 && s%cfg.HotEvery == 0 && r == cfg.ReadingsPer {
+				v = 901 + s
+			}
+			fmt.Fprintf(&b, "reading(r%d, %d).\n", id, v)
+		}
+	}
+	b.WriteString("hot(W) :- reading(R, V), V > 900, sample_reading(W, R).\n")
+	return b.String()
+}
+
+// ColdSample returns the name of a sample AnalyzeSource guarantees has no
+// hot reading — a ground hot/1 call against it fails only after the
+// search is exhausted.
+func ColdSample(cfg AnalyzeConfig) string {
+	for s := cfg.Samples; s >= 1; s-- {
+		if cfg.HotEvery == 0 || s%cfg.HotEvery != 0 {
+			return fmt.Sprintf("s%d", s)
+		}
+	}
+	return "s0" // no such sample: every configured sample is hot
+}
+
+// HotSample returns the name of a sample AnalyzeSource made hot, or "" if
+// none is.
+func HotSample(cfg AnalyzeConfig) string {
+	if cfg.HotEvery <= 0 || cfg.HotEvery > cfg.Samples {
+		return ""
+	}
+	return fmt.Sprintf("s%d", cfg.HotEvery)
+}

@@ -99,6 +99,13 @@ type (
 	VetError = analysis.VetError
 	// Severity ranks diagnostics (SevInfo, SevWarning, SevError).
 	Severity = analysis.Severity
+	// PlanReport is the tdplan static-planner output: adornment
+	// signatures, literal-reorder decisions, and per-predicate
+	// tabling-safety certificates.
+	PlanReport = analysis.PlanReport
+	// PredPlan is one predicate's plan entry (its certificate plus the
+	// per-rule, per-adornment body orders).
+	PredPlan = analysis.PredPlan
 )
 
 // Diagnostic severities.
@@ -230,6 +237,16 @@ func Vet(p *Program) *VetReport { return analysis.Vet(p) }
 
 // VetSource parses src and vets the program.
 func VetSource(src string) (*VetReport, error) { return analysis.VetSource(src) }
+
+// Plan runs the tdplan static planner: interprocedural adornment analysis
+// from the program's query entry points, semantics-preserving literal
+// reordering per rule body and adornment, and a tabling-safety certificate
+// per derived predicate. Use EngineOptions.Plan to have an engine apply
+// the reordered bodies at load time.
+func Plan(p *Program) *PlanReport { return analysis.Plan(p) }
+
+// PlanSource parses src and plans the program.
+func PlanSource(src string) (*PlanReport, error) { return analysis.PlanSource(src) }
 
 // Run is the one-shot convenience: parse src, build the database from its
 // facts, prove goal, and return the result together with the final
