@@ -28,18 +28,19 @@ race:
 check: vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/server ./internal/db ./internal/term ./internal/obs ./internal/history
-	$(GO) test -race -count=2 -run 'TestGroupCommit|TestConcurrentTransfers|TestShardedSerializabilityHammer' ./internal/server
+	$(GO) test -race -count=2 -run 'TestGroupCommit|TestConcurrentTransfers|TestShardedSerializabilityHammer|TestMemoTableHammer' ./internal/server ./internal/engine
 	$(GO) test -race -count=2 -run 'TestCheckpoint|TestWALv1|TestASOF|TestPersistentLSNs|TestCommitsFlowDuringCheckpoint' ./internal/db ./internal/server
 
 cover:
 	$(GO) test -short -cover ./...
 
 # Fixed-iteration run of the hot-path benchmarks, recorded as
-# BENCH_PR9.json in three sections: "disabled" (observability instrumented
+# BENCH_PR10.json in three sections: "disabled" (observability instrumented
 # but no tracing) — which includes the sharded-store workloads, disjoint
 # (every client in a private commit lane) and contended (shared accounts,
-# mostly cross-lane), plus the planned-vs-textual prover pair added with
-# PR 9 — "durable" (real WAL + fsync per acknowledged commit, including
+# mostly cross-lane), the planned-vs-textual prover pair added with PR 9,
+# and the tabled-vs-untabled repeated-analyze pair added with PR 10 —
+# "durable" (real WAL + fsync per acknowledged commit, including
 # the stage-sampled variant added with PR 8), and "enabled" (full
 # structured tracing into a sink). Durable throughput runs time-based
 # (fsync cost varies too much across machines for a fixed iteration
@@ -53,13 +54,13 @@ cover:
 # an empty file; the old `> tmp && mv` chain could not survive a failed
 # producer).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkProverPlanned$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$|BenchmarkServerThroughputDisjoint$$|BenchmarkServerThroughputContended$$' \
-		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR9.json -o BENCH_PR9.json
+	$(GO) test -run '^$$' -bench 'BenchmarkProverTransfer$$|BenchmarkProverPlanned$$|BenchmarkProverTabled$$|BenchmarkProverTabledChain$$|BenchmarkDBInsertDelete$$|BenchmarkSimLab$$|BenchmarkServerThroughput$$|BenchmarkServerThroughputDisjoint$$|BenchmarkServerThroughputContended$$' \
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label disabled -merge BENCH_PR10.json -o BENCH_PR10.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServerThroughputDurable$$|BenchmarkServerThroughputDurableSampled$$|BenchmarkServerThroughputDisjointDurable$$|BenchmarkServerThroughputContendedDurable$$' \
-		-benchtime=4s -count=5 -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR9.json -o BENCH_PR9.json
+		-benchtime=4s -count=5 -benchmem . | $(GO) run ./cmd/benchjson -label durable -merge BENCH_PR10.json -o BENCH_PR10.json
 	$(GO) test -run '^$$' -bench 'BenchmarkProverTransferTraced$$|BenchmarkServerThroughputTraced$$' \
-		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR9.json -o BENCH_PR9.json
-	@cat BENCH_PR9.json
+		-benchtime=10000x -count=10 -benchmem . | $(GO) run ./cmd/benchjson -label enabled -merge BENCH_PR10.json -o BENCH_PR10.json
+	@cat BENCH_PR10.json
 
 # Bounded-recovery numbers, recorded as BENCH_PR6.json: cold-start time
 # over growing WAL histories, with and without an incremental checkpoint
@@ -76,11 +77,13 @@ recovery-bench:
 # single-benchmark regressions are printed but informational — identical
 # code re-recorded minutes apart swings 10%+ on individual contended
 # benchmarks on this VM, so only a systematic whole-section slowdown is
-# actionable. The baseline is BENCH_PR8.json; comparing adjacent PRs
+# actionable. The baseline is BENCH_PR9.json; comparing adjacent PRs
 # recorded close in time keeps host drift (fsync latency, allocator/GC
-# throughput vary across recording days) out of the code delta.
+# throughput vary across recording days) out of the code delta. The tabled
+# benchmarks are new with PR 10, so the section geomean compares the
+# benchmarks both records share.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR9.json BENCH_PR10.json
 
 # Span-tree smoke test: prove the concurrent two-workflow goal with tracing
 # on and check that the rendered tree shows the expected structure — iso

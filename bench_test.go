@@ -160,6 +160,79 @@ func BenchmarkProverPlanned(b *testing.B) {
 	})
 }
 
+// BenchmarkProverTabled times the repeated-analyze workload — the same
+// ground hot-sample query proved over and over against an unchanged
+// database, the access pattern the paper's analyze stage produces
+// ("queried by analysis programs, but never deleted or altered") — with
+// tabling off and on. The off variant re-exhausts the search every call;
+// the tabled variant fills the memo table once and replays the cached
+// answer multiset (here: empty — cold sample) on every later call, so its
+// steady state is a key build plus a fingerprint check. BENCH_PR10.json
+// records both; the acceptance gate is a >=10x off/tabled ratio, with the
+// off variant itself staying within noise of PR 9's textual baseline.
+func BenchmarkProverTabled(b *testing.B) {
+	cfg := workflow.DefaultAnalyze(64)
+	prog := parser.MustParse(workflow.AnalyzeSource(cfg))
+	g := parser.MustParseGoal(fmt.Sprintf("hot(%s)", workflow.ColdSample(cfg)), prog.VarHigh)
+	run := func(b *testing.B, eng *engine.Engine) {
+		b.Helper()
+		d, _ := db.FromFacts(prog.Facts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Prove(g, d)
+			if err != nil || res.Success {
+				b.Fatal(err, res)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, engine.NewDefault(prog))
+	})
+	b.Run("tabled", func(b *testing.B) {
+		opts := engine.DefaultOptions()
+		opts.Memo = &engine.MemoOptions{Mode: "all"}
+		run(b, engine.New(prog, opts))
+	})
+}
+
+// BenchmarkProverTabledChain is the machine-encoding variant of
+// BenchmarkProverTabled: repeated reachability over a read-only 48-node
+// edge chain (the Theorem 4.x encodings reduced to their recursive
+// skeleton, with no update literals so reach/2 stays tabling-eligible).
+// Untabled, every call re-walks the chain; tabled, the first call caches
+// the single ground answer and the rest replay it.
+func BenchmarkProverTabledChain(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("reach(X, Y) :- edge(X, Y).\nreach(X, Z) :- edge(X, Y), reach(Y, Z).\n")
+	const chain = 48
+	for i := 0; i < chain; i++ {
+		fmt.Fprintf(&sb, "edge(n%d, n%d).\n", i, i+1)
+	}
+	prog := parser.MustParse(sb.String())
+	g := parser.MustParseGoal(fmt.Sprintf("reach(n0, n%d)", chain), prog.VarHigh)
+	run := func(b *testing.B, eng *engine.Engine) {
+		b.Helper()
+		d, _ := db.FromFacts(prog.Facts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Prove(g, d)
+			if err != nil || !res.Success {
+				b.Fatal(err, res)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, engine.NewDefault(prog))
+	})
+	b.Run("tabled", func(b *testing.B) {
+		opts := engine.DefaultOptions()
+		opts.Memo = &engine.MemoOptions{Mode: "all"}
+		run(b, engine.New(prog, opts))
+	})
+}
+
 // BenchmarkSimLab times the full genome laboratory simulation (8 samples).
 func BenchmarkSimLab(b *testing.B) {
 	cfg := workflow.DefaultLab(8)

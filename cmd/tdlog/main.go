@@ -340,6 +340,12 @@ func dumpWide(w io.Writer, path string) error {
 		if ev.Batch > 0 {
 			fmt.Fprintf(w, " batch=%d", ev.Batch)
 		}
+		if ev.MemoHits > 0 {
+			fmt.Fprintf(w, " memo_hits=%d", ev.MemoHits)
+		}
+		if ev.MemoMisses > 0 {
+			fmt.Fprintf(w, " memo_misses=%d", ev.MemoMisses)
+		}
 		fmt.Fprintf(w, " total=%dus\n", ev.TotalUs)
 		if len(ev.StageUs) > 0 {
 			fmt.Fprint(w, " ")

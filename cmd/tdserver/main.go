@@ -172,6 +172,8 @@ func serveCmd(args []string) error {
 		obsSample   = fs.Int("obs.sample", 0, "attribute every Nth transaction's latency to pipeline stages (0 = off; implied 1 by -obs.jsonl)")
 		obsSLO      = fs.String("obs.slo", "", `latency objectives, e.g. "commit:5ms:0.999,fsync:20ms:0.99"`)
 		obsProfile  = fs.Bool("obs.profile", false, "attribute prover time per predicate for every session (PROFILE verb toggles per session)")
+		table       = fs.String("engine.table", "", `table derived-predicate answers: "auto" (profile-driven top-K), "all", a predicate list, or "" = off (TABLE verb toggles per session)`)
+		tableMaxMB  = fs.Int("engine.table.maxmb", 0, "memo-store answer budget in MiB before LRU eviction (0 = default)")
 		prof        = addProfileFlags(fs)
 	)
 	fs.Parse(args)
@@ -199,6 +201,8 @@ func serveCmd(args []string) error {
 		SlowTxn:            *obsSlow,
 		StageSample:        *obsSample,
 		Profile:            *obsProfile,
+		Table:              *table,
+		TableMaxMB:         *tableMaxMB,
 		Logger:             slog.Default(),
 	}
 	if *obsSLO != "" {
@@ -545,6 +549,15 @@ func statsCmd(args []string) error {
 			if p99, ok := st.StageP99Us[stage]; ok {
 				fmt.Printf("  %-10s %6d / %6d\n", stage, st.StageP50Us[stage], p99)
 			}
+		}
+	}
+	if st.MemoHits+st.MemoMisses > 0 {
+		total := st.MemoHits + st.MemoMisses
+		fmt.Printf("memo: %d hits / %d calls (%.1f%%), %d entries, %dB, %d invalidations, %d evictions\n",
+			st.MemoHits, total, float64(st.MemoHits)/float64(total)*100,
+			st.MemoEntries, st.MemoBytes, st.MemoInvalidations, st.MemoEvictions)
+		for _, p := range st.MemoPreds {
+			fmt.Printf("  %-16s hits=%d misses=%d\n", p.Pred, p.Hits, p.Misses)
 		}
 	}
 	if len(st.ProverProfile) > 0 {

@@ -1,8 +1,8 @@
 // Command tdtop is a refresh-loop terminal view of a running tdserver —
 // "top" for the transaction pipeline. Each tick it fetches STATS over the
 // wire protocol and renders throughput, the sampled per-stage latency
-// quantiles, per-lane commit balance, SLO burn rates, and the hottest
-// profiled predicates.
+// quantiles, per-lane commit balance, SLO burn rates, the memo-table hit
+// rate, and the hottest profiled predicates.
 //
 // Usage:
 //
@@ -10,8 +10,9 @@
 //
 // Stage quantiles appear only when the server samples transactions
 // (-obs.sample or -obs.jsonl), the prover section only when something
-// profiled (-obs.profile or the PROFILE verb), and the SLO section only when
-// objectives are configured (-obs.slo). See docs/OBSERVABILITY.md.
+// profiled (-obs.profile or the PROFILE verb), the memo section only when
+// tabling saw traffic (-engine.table or the TABLE verb), and the SLO section
+// only when objectives are configured (-obs.slo). See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -146,6 +147,28 @@ func render(w io.Writer, cur, prev *td.ServerStats, dt time.Duration) {
 			slo.Name, slo.Good, slo.Total, slo.ThresholdUs, slo.Objective, slo.BurnRate, state)
 	}
 	if len(cur.SLOs) > 0 {
+		fmt.Fprintln(w)
+	}
+
+	if cur.MemoHits+cur.MemoMisses > 0 {
+		hits, misses := cur.MemoHits, cur.MemoMisses
+		memoLabel := "lifetime"
+		if prev != nil && dt > 0 {
+			hits, misses, memoLabel = cur.MemoHits-prev.MemoHits, cur.MemoMisses-prev.MemoMisses, "interval"
+		}
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(w, "memo (%s): %.1f%% hit rate (%d/%d), %d entries, %dB, %d evictions\n",
+			memoLabel, rate, hits, hits+misses, cur.MemoEntries, cur.MemoBytes, cur.MemoEvictions)
+		preds := cur.MemoPreds
+		if len(preds) > 5 {
+			preds = preds[:5]
+		}
+		for _, p := range preds {
+			fmt.Fprintf(w, "  %-20s hits %9d  misses %9d\n", p.Pred, p.Hits, p.Misses)
+		}
 		fmt.Fprintln(w)
 	}
 

@@ -79,8 +79,17 @@ type PredPlan struct {
 	TablingEligible bool `json:"tabling_eligible"`
 	// Adornments lists the binding patterns the dataflow found, in
 	// discovery order (capped at maxAdornments).
-	Adornments []string   `json:"adornments,omitempty"`
-	Rules      []RulePlan `json:"rules,omitempty"`
+	Adornments []string `json:"adornments,omitempty"`
+	// Support is the predicate's base-relation support set: every stored
+	// relation whose content the predicate's answers can depend on,
+	// transitively through the call graph. Entries are "name/arity" for
+	// relation reads (queries, rule-less calls) and a bare "name" for
+	// predicate-level reads (empty.p observes every arity). Sorted. This
+	// is the set a snapshot-versioned memo table keys its version vector
+	// on: if none of these relations changed, a cached answer multiset is
+	// still exact.
+	Support []string   `json:"support,omitempty"`
+	Rules   []RulePlan `json:"rules,omitempty"`
 }
 
 // RulePlan records the reorder decisions for one rule of a predicate.
@@ -157,6 +166,7 @@ type planner struct {
 	updateFree []bool // per node: no ins/del reachable
 	isoFree    []bool // per node: no iso reachable
 	recClass   []string
+	support    []map[string]bool // per node: reachable base-relation reads
 	adorn      map[predKey]*adornSet
 }
 
@@ -205,6 +215,7 @@ func (p *planner) certify() {
 	}
 	p.updateFree = fixpoint(directUpd)
 	p.isoFree = fixpoint(directIso)
+	p.supportSets()
 
 	// Recursion class is a property of the SCC: one conc-recursive or
 	// non-tail clause anywhere in the cycle taints every member.
@@ -236,6 +247,73 @@ func (p *planner) certify() {
 			p.recClass[i] = RecTail
 		}
 	}
+}
+
+// supportSets computes each predicate's base-relation support set: the
+// stored relations whose content its answers can depend on, transitively
+// through the call graph. Direct reads are base-relation queries, calls
+// to rule-less predicates (the engine evaluates them as queries), and
+// emptiness tests (recorded as a bare predicate name: empty.p observes
+// every arity of p). Update targets are not support entries — a predicate
+// that reaches an update is never tabling-eligible, so its support set is
+// advisory only. The closure mirrors certify's reverse-reachability
+// fixpoint over the call edges.
+func (p *planner) supportSets() {
+	n := len(p.nodes)
+	p.support = make([]map[string]bool, n)
+	for i := range p.support {
+		p.support[i] = make(map[string]bool)
+	}
+	for _, r := range p.prog.Rules {
+		idx := p.nodeIdx[litKey(r.Head)]
+		ast.Walk(r.Body, func(sub ast.Goal) bool {
+			switch sub := sub.(type) {
+			case *ast.Lit:
+				switch sub.Op {
+				case ast.OpQuery:
+					p.support[idx][litKey(sub.Atom).String()] = true
+				case ast.OpCall:
+					if ast.IsBuiltinName(sub.Atom.Pred) {
+						break
+					}
+					if !p.derived[litKey(sub.Atom)] {
+						p.support[idx][litKey(sub.Atom).String()] = true
+					}
+				}
+			case *ast.Empty:
+				p.support[idx][sub.Pred] = true
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for from := 0; from < n; from++ {
+			for _, to := range p.edges[from] {
+				for e := range p.support[to] {
+					if !p.support[from][e] {
+						p.support[from][e] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Support resolves a derived predicate's base-relation support set by key,
+// sorted; nil when the predicate is unknown or reads nothing.
+func (p *planner) Support(k predKey) []string {
+	idx, ok := p.nodeIdx[k]
+	if !ok || len(p.support[idx]) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(p.support[idx]))
+	for e := range p.support[idx] {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // concRecursive reports whether g contains an intra-SCC recursive call
@@ -677,6 +755,7 @@ func (p *planner) report(rep *PlanReport) {
 			HypotheticalFree: iso,
 			Recursion:        class,
 			TablingEligible:  upd && iso && class != RecConc,
+			Support:          p.Support(k),
 		}
 		if set := p.adorn[k]; set != nil {
 			pp.Adornments = append(pp.Adornments, set.list...)

@@ -25,6 +25,9 @@ func renderPlan(rep *PlanReport) string {
 		if len(pp.Adornments) > 0 {
 			fmt.Fprintf(&b, " adorn=%v", pp.Adornments)
 		}
+		if len(pp.Support) > 0 {
+			fmt.Fprintf(&b, " support=%v", pp.Support)
+		}
 		b.WriteByte('\n')
 		for _, rp := range pp.Rules {
 			for _, op := range rp.Orders {

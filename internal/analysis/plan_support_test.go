@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanSupportSets checks the base-relation support computation: direct
+// queries, emptiness tests (bare predicate name), rule-less calls (which
+// the engine evaluates as queries), and transitive closure through derived
+// calls — including around a recursive cycle.
+func TestPlanSupportSets(t *testing.T) {
+	const src = `
+a(X) :- base1(X), b(X).
+b(X) :- base2(X, Y), empty.gate, c(Y).
+c(X) :- orphan(X).
+c(X) :- base3(X), c(X).
+upd(X) :- base1(X), ins.log(X).
+`
+	rep, err := PlanSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"a/1":   {"base1/1", "base2/2", "base3/1", "gate", "orphan/1"},
+		"b/1":   {"base2/2", "base3/1", "gate", "orphan/1"},
+		"c/1":   {"base3/1", "orphan/1"},
+		"upd/1": {"base1/1"}, // update target is not a support entry
+	}
+	got := map[string][]string{}
+	for _, pp := range rep.Predicates {
+		got[pp.Pred] = pp.Support
+	}
+	for pred, sup := range want {
+		if !reflect.DeepEqual(got[pred], sup) {
+			t.Errorf("%s: support = %v, want %v", pred, got[pred], sup)
+		}
+	}
+}

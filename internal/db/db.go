@@ -151,6 +151,16 @@ type relation struct {
 	// computed once so per-tuple hashing only folds the argument codes.
 	seedLo uint64
 	seedHi uint64
+	// version counts mutations of this relation (monotone within one DB;
+	// NOT comparable across replicas — each counts its own churn).
+	version uint64
+	// fpLo/fpHi are the relation's own 128-bit content fingerprint, the
+	// per-relation slice of the DB fingerprint. XOR-maintained from the
+	// same tuple hashes, so two replicas holding the same tuples agree on
+	// it regardless of how they got there — the property snapshot-
+	// versioned memo tables key on.
+	fpLo uint64
+	fpHi uint64
 }
 
 // ibucket is one first-argument index bucket, with the same per-bucket
@@ -374,6 +384,9 @@ func (d *DB) removeRow(r *relation, key string, stored []term.Term) {
 	lo, hi := tupleHashFrom(r.seedLo, r.seedHi, stored)
 	d.hashLo ^= lo
 	d.hashHi ^= hi
+	r.version++
+	r.fpLo ^= lo
+	r.fpHi ^= hi
 }
 
 func (d *DB) addRow(r *relation, key string, stored []term.Term) {
@@ -397,6 +410,9 @@ func (d *DB) addRow(r *relation, key string, stored []term.Term) {
 	lo, hi := tupleHashFrom(r.seedLo, r.seedHi, stored)
 	d.hashLo ^= lo
 	d.hashHi ^= hi
+	r.version++
+	r.fpLo ^= lo
+	r.fpHi ^= hi
 }
 
 // Mark returns the current undo-log position.
@@ -425,6 +441,45 @@ func (d *DB) TrailLen() int { return len(d.trail) }
 // Fingerprint returns a 128-bit content fingerprint of the current state,
 // independent of insertion order. Used as a tabling key.
 func (d *DB) Fingerprint() [2]uint64 { return [2]uint64{d.hashLo, d.hashHi} }
+
+// RelVersion returns the mutation counter of pred/arity: bumped on every
+// addRow/removeRow (including undo replay), monotone within this DB.
+// Counters are NOT comparable across replicas — each DB counts its own
+// churn — so cross-DB staleness checks must use RelFingerprint instead.
+// A relation never touched reports 0.
+func (d *DB) RelVersion(pred string, arity int) uint64 {
+	if r := d.rel(pred, arity, false); r != nil {
+		return r.version
+	}
+	return 0
+}
+
+// RelFingerprint returns the 128-bit content fingerprint of pred/arity —
+// the relation's slice of the whole-DB Fingerprint. It is a pure function
+// of the relation's tuple set: replicas holding the same tuples agree on
+// it no matter how they were built, and rolling mutations back restores
+// it. A missing relation fingerprints like an empty one ({0, 0}).
+func (d *DB) RelFingerprint(pred string, arity int) [2]uint64 {
+	if r := d.rel(pred, arity, false); r != nil {
+		return [2]uint64{r.fpLo, r.fpHi}
+	}
+	return [2]uint64{}
+}
+
+// PredFingerprint returns the combined content fingerprint of pred at
+// every arity — the state the emptiness test empty.p depends on. The
+// per-relation fingerprints XOR, so the result is order-independent and
+// exact.
+func (d *DB) PredFingerprint(pred string) [2]uint64 {
+	var lo, hi uint64
+	for _, r := range d.rels {
+		if r.pred == pred {
+			lo ^= r.fpLo
+			hi ^= r.fpHi
+		}
+	}
+	return [2]uint64{lo, hi}
+}
 
 // snapshot returns a stable slice of the relation's rows, cached until the
 // next mutation. With wantSorted the slice is in deterministic term order;
@@ -611,6 +666,8 @@ func (d *DB) Clone() *DB {
 			pred: r.pred, arity: r.arity,
 			rows:   make(map[string]trow, len(r.rows)),
 			seedLo: r.seedLo, seedHi: r.seedHi,
+			version: r.version,
+			fpLo:    r.fpLo, fpHi: r.fpHi,
 		}
 		if d.useIndex && r.arity > 0 {
 			nr.index = make(map[uint64]*ibucket, len(r.index))

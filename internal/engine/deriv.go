@@ -52,6 +52,17 @@ type deriv struct {
 	dispatchHits int64
 	planHits     int64
 
+	// Memo-table state (Options.Memo; all nil/zero otherwise — the
+	// disabled hot path pays one nil check in the call step). memoFlight
+	// guards against a recursive tabled predicate re-entering its own
+	// fill; memoBuf is key-encoding scratch, safe to reuse because a key
+	// is fully consumed (lookup or string copy) before any nested search.
+	memoHits    int64
+	memoMisses  int64
+	memoInvalid int64
+	memoFlight  map[string]bool
+	memoBuf     []byte
+
 	// concTaint marks that the current descent passed through an
 	// un-isolated '|' composition: the literal being stepped interleaves
 	// with concurrent siblings, so plan-reordered bodies are not
@@ -160,6 +171,12 @@ func (dv *deriv) reset(d *db.DB) {
 	dv.unifs = 0
 	dv.dispatchHits = 0
 	dv.planHits = 0
+	dv.memoHits = 0
+	dv.memoMisses = 0
+	dv.memoInvalid = 0
+	if dv.memoFlight != nil {
+		clear(dv.memoFlight)
+	}
 	dv.concTaint = false
 	dv.trace = dv.trace[:0]
 	dv.branchStack = dv.branchStack[:0]
@@ -214,6 +231,10 @@ func (dv *deriv) stats() Stats {
 		Unifications: dv.unifs,
 		DispatchHits: dv.dispatchHits,
 		PlanHits:     dv.planHits,
+
+		MemoHits:          dv.memoHits,
+		MemoMisses:        dv.memoMisses,
+		MemoInvalidations: dv.memoInvalid,
 	}
 }
 
@@ -578,6 +599,18 @@ func (dv *deriv) stepLit(g *ast.Lit, rebuild func(ast.Goal) ast.Goal, depth int,
 		return cont
 
 	case ast.OpCall:
+		// Tabled dispatch: a call to a memoized predicate replays the
+		// cached answer multiset. Bypassed under un-isolated '|' (a
+		// sibling's update between replayed answers would be invisible),
+		// under iterative deepening (a cutoff makes the fill
+		// non-exhaustive), and under parallel search (shared budget /
+		// frontier collection); a re-entrant same-key call mid-fill falls
+		// through to the ordinary path below.
+		if dv.e.memo != nil && !dv.concTaint && dv.depthLimit == 0 && dv.shared == nil && dv.frontier == nil {
+			if handled, cont := dv.memoStep(g, rebuild, depth, emit); handled {
+				return cont
+			}
+		}
 		// First-argument dispatch: only rules whose head can unify with the
 		// call's (walked) first argument are attempted. The linear fallback
 		// tries every rule; both enumerate candidates in source order.

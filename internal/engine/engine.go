@@ -96,6 +96,14 @@ type Options struct {
 	// reproduces the unplanned engine exactly. Plan composes with the
 	// clause index; under NoClauseIndex it is ignored.
 	Plan bool
+	// Memo, when non-nil, enables snapshot-versioned memo tables for
+	// tabling-eligible derived predicates (see memo.go): repeat calls with
+	// the same binding pattern over unchanged support relations replay the
+	// cached answer multiset instead of re-running proof search. The answer
+	// multiset and success/failure behavior are identical either way (the
+	// corpus differential test checks this); with Memo nil the prove hot
+	// path pays a single nil check.
+	Memo *MemoOptions
 	// Profile accumulates per-predicate prover cost: call-step count,
 	// clause-dispatch fan-out, and flat time attribution (each interval
 	// between consecutive call steps is charged to the most recently
@@ -199,7 +207,18 @@ type TraceEntry struct {
 	// Steps is the engine's step counter at the time the entry was pushed
 	// (used to attribute step counts to iso sub-transactions).
 	Steps int64
+	// Memo annotates a TraceCall entry served by the memo table (MemoHit:
+	// answers replayed from a prior fill; MemoMiss: this call filled the
+	// table first). MemoNone for untabled calls.
+	Memo uint8
 }
+
+// Memo annotation values on a TraceCall entry.
+const (
+	MemoNone uint8 = iota
+	MemoHit
+	MemoMiss
+)
 
 func (t TraceEntry) String() string {
 	switch t.Op {
@@ -230,6 +249,11 @@ type Stats struct {
 	DispatchHits int64 // call steps served by the first-argument clause index
 	PlanHits     int64 // call steps served by a plan-reordered rule variant
 	Truncated    bool  // true when budget/depth aborted the search
+
+	// Memo-table effort (Options.Memo; all zero with tabling off).
+	MemoHits          int64 // call steps replayed from a valid memo entry
+	MemoMisses        int64 // call steps that filled (or re-filled) an entry
+	MemoInvalidations int64 // lookups dropped on a stale support fingerprint
 }
 
 // Result is the outcome of Prove.
@@ -278,6 +302,10 @@ type Engine struct {
 	// is the full tdplan report for PlanReport.
 	plan    *planIndex
 	planRep *analysis.PlanReport
+	// memo is the compiled tabling configuration (Options.Memo): the
+	// selected predicates, their support sets, and the (possibly shared)
+	// answer store. nil when tabling is off or nothing was selected.
+	memo *engineMemo
 	// vet holds the load-time analysis report when Options.Vet is on;
 	// vetErr is its error form when the report carries error-severity
 	// diagnostics, and fails every Prove-family call.
@@ -333,6 +361,16 @@ func New(prog *ast.Program, opts Options) *Engine {
 	if opts.Plan {
 		e.planRep = analysis.Plan(prog)
 		e.plan = compilePlan(e.planRep)
+	}
+	if opts.Memo != nil {
+		// Tabling gates on the plan report's certificates and support
+		// sets; run the planner here if Options.Plan did not (the report
+		// stays private — PlanReport() keeps reflecting Options.Plan).
+		rep := e.planRep
+		if rep == nil {
+			rep = analysis.Plan(prog)
+		}
+		e.memo = newEngineMemo(prog, rep, opts.Memo)
 	}
 	if opts.Vet {
 		e.vet = analysis.Vet(prog)

@@ -61,7 +61,16 @@ func (dv *deriv) buildSpans(label string, st Stats) *obs.Span {
 			}
 		default:
 			parent := attach(top, e.Path)
-			leaf := &obs.Span{Kind: e.Op.String(), Label: e.String(), Ops: 1}
+			label := e.String()
+			// Annotate tabled call steps: hit = answers replayed from a
+			// prior fill, miss = this call filled the memo table.
+			switch e.Memo {
+			case MemoHit:
+				label += " [memo hit]"
+			case MemoMiss:
+				label += " [memo miss]"
+			}
+			leaf := &obs.Span{Kind: e.Op.String(), Label: label, Ops: 1}
 			switch e.Op {
 			case TraceQuery, TraceEmpty:
 				leaf.Reads = 1

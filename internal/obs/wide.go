@@ -23,6 +23,11 @@ type WideEvent struct {
 	Batch      int64            `json:"batch,omitempty"` // commits covered by the fsync that acked us
 	StageUs    map[string]int64 `json:"stage_us,omitempty"`
 	TotalUs    int64            `json:"total_us,omitempty"`
+	// MemoHits and MemoMisses count tabled-call answer replays and memo
+	// fills by the transaction's final proof attempt (0 on untabled
+	// sessions, so pre-tabling readers see unchanged lines).
+	MemoHits   int64 `json:"memo_hits,omitempty"`
+	MemoMisses int64 `json:"memo_misses,omitempty"`
 }
 
 // WideSink receives wide events. Implementations must be safe for

@@ -213,6 +213,24 @@ func (c *Client) ProfileDump() (map[string]PredProfile, error) {
 	return resp.Profile, nil
 }
 
+// Table sets the session's tabling mode — "auto" (profile-driven top-K),
+// "all" (every tabling-eligible predicate), "none" (off), or a
+// comma-separated predicate list like "hot,reach/2" — and returns the
+// resulting status. "on" and "off" alias "auto" and "none".
+func (c *Client) Table(mode string) (*MemoStatus, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTable, Arg: mode})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Memo, nil
+}
+
+// TableStatus reports the session's tabling mode, the predicates its engine
+// tables, and the shared memo store's counters, without changing anything.
+func (c *Client) TableStatus() (*MemoStatus, error) {
+	return c.Table("status")
+}
+
 // Checkpoint triggers an incremental checkpoint on the server (snapshot +
 // WAL truncation, off the commit path) and returns the checkpoint's LSN.
 func (c *Client) Checkpoint() (uint64, error) {

@@ -48,6 +48,9 @@ const (
 
 	// Added with the tdplan static planner (PR 9).
 	OpPlan = "PLAN" // plan a submitted program (or the loaded one) without running it
+
+	// Added with tabled evaluation (PR 10).
+	OpTable = "TABLE" // set the session's tabling mode / report memo-table status
 )
 
 // Error codes carried in Response.Code.
@@ -75,7 +78,9 @@ type Request struct {
 	Max int `json:"max,omitempty"`
 	// Arg carries verb modifiers: TRACE takes "on", "off", or "dump"
 	// (empty defaults to "dump"); ASOF takes a decimal LSN or "off";
-	// CHANGES takes the decimal LSN to stream from.
+	// CHANGES takes the decimal LSN to stream from; TABLE takes a tabling
+	// mode ("auto", "all", "none", or a predicate list) or "status"
+	// (empty defaults to "status").
 	Arg string `json:"arg,omitempty"`
 }
 
@@ -116,6 +121,9 @@ type Response struct {
 	// decisions, and tabling-safety certificates) for the submitted
 	// program, or for the session's loaded program when none is submitted.
 	Plan *analysis.PlanReport `json:"plan,omitempty"`
+	// Memo answers TABLE: the session's tabling mode, the predicates its
+	// engine tables, and the shared memo store's counters.
+	Memo *MemoStatus `json:"memo,omitempty"`
 }
 
 // CommitDelta is one commit's effective write set on the wire.

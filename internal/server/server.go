@@ -140,6 +140,18 @@ type Options struct {
 	// construction; only literal order inside sequential conjunctions
 	// differs). The PLAN verb works either way.
 	NoPlan bool
+	// Table selects tabled evaluation for session engines: "auto" tables
+	// the top-K tabling-eligible predicates by observed prover profile,
+	// "all" every eligible one, a comma-separated list exactly those named,
+	// and "" or "none" disables tabling (the default — the proof path then
+	// pays a single nil check). Sessions share one snapshot-fingerprinted
+	// memo store, so replicas reuse each other's fills; the TABLE verb
+	// overrides the mode per session.
+	Table string
+	// TableMaxMB bounds the shared memo store's answer storage; least
+	// recently used entries are evicted beyond it. 0 means the engine
+	// default (64 MB).
+	TableMaxMB int
 }
 
 func (o Options) withDefaults() Options {
@@ -310,6 +322,14 @@ type Server struct {
 	// gauge family and the STATS eligible count. Guarded by mu.
 	planPreds map[string]bool
 
+	// memo is the shared answer store for tabled evaluation: every tabled
+	// session engine fills and replays through it, keyed by program hash +
+	// call pattern and guarded by support-set content fingerprints (so the
+	// private replicas need no invalidation protocol). Always present —
+	// TABLE can enable tabling at runtime on a server started with
+	// Options.Table unset — and empty until a tabled goal runs.
+	memo *engine.MemoStore
+
 	ln net.Listener
 	wg sync.WaitGroup
 }
@@ -379,6 +399,22 @@ func New(opts Options) (*Server, error) {
 		// session connects; session engine builds keep it merged.
 		s.notePlan(analysis.Plan(prog), false)
 	}
+	s.memo = engine.NewMemoStore(opts.TableMaxMB)
+	memoCounter := func(pick func(h, m, i, e int64) int64) func() int64 {
+		return func() int64 { return pick(s.memo.Counters()) }
+	}
+	s.reg.CounterFunc("td_memo_hits_total", "tabled calls answered by memo-table replay",
+		memoCounter(func(h, _, _, _ int64) int64 { return h }))
+	s.reg.CounterFunc("td_memo_misses_total", "tabled calls that filled the memo table",
+		memoCounter(func(_, m, _, _ int64) int64 { return m }))
+	s.reg.CounterFunc("td_memo_invalidations_total", "memo entries dropped on a stale support fingerprint",
+		memoCounter(func(_, _, i, _ int64) int64 { return i }))
+	s.reg.CounterFunc("td_memo_evictions_total", "memo entries evicted by the LRU byte bound",
+		memoCounter(func(_, _, _, e int64) int64 { return e }))
+	s.reg.GaugeFunc("td_memo_bytes", "answer bytes held by the shared memo store", func() int64 {
+		b, _ := s.memo.Usage()
+		return b
+	})
 	s.reg.GaugeFunc("td_version", "current commit version of the shared database",
 		func() int64 { return int64(s.Version()) })
 	s.reg.GaugeFunc("td_db_size", "tuples in the shared database", func() int64 {
@@ -606,12 +642,13 @@ func (s *Server) InProcClient() *Client {
 // current lane heads.
 func (s *Server) newSession(conn net.Conn) *session {
 	sess := &session{
-		srv:     s,
-		conn:    conn,
-		id:      s.sessID.Add(1),
-		prog:    s.prog,
-		varHigh: s.prog.VarHigh,
-		applied: make([]atomic.Uint64, s.nshards),
+		srv:       s,
+		conn:      conn,
+		id:        s.sessID.Add(1),
+		prog:      s.prog,
+		varHigh:   s.prog.VarHigh,
+		applied:   make([]atomic.Uint64, s.nshards),
+		tableMode: s.opts.Table,
 	}
 	s.rebuildReplica(sess)
 	sess.buildEngine()
@@ -1227,6 +1264,20 @@ func (s *Server) Stats() StatsSnapshot {
 		}
 	}
 	s.mu.Unlock()
+	// Memo counters (PR 10): all zero (and omitted) until a tabled goal
+	// touches the shared store, so untabled servers keep the pre-PR-10
+	// payload byte for byte.
+	if ms := s.memo.Snapshot(); ms.Hits+ms.Misses+ms.Invalidations+ms.Evictions+ms.Entries > 0 {
+		snap.MemoHits = ms.Hits
+		snap.MemoMisses = ms.Misses
+		snap.MemoInvalidations = ms.Invalidations
+		snap.MemoEvictions = ms.Evictions
+		snap.MemoBytes = ms.Bytes
+		snap.MemoEntries = ms.Entries
+		for _, p := range ms.Preds {
+			snap.MemoPreds = append(snap.MemoPreds, MemoPredStat{Pred: p.Pred, Hits: p.Hits, Misses: p.Misses})
+		}
+	}
 	for _, slo := range s.opts.SLOs {
 		snap.SLOs = append(snap.SLOs, SLOSnapshot{
 			Name:        slo.Name,

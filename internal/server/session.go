@@ -52,9 +52,16 @@ type session struct {
 	asOf    *db.DB
 	asOfLSN uint64
 
-	traceOn  bool      // session-level TRACE on/off toggle
-	profOn   bool      // session-level PROFILE on/off toggle
-	lastSpan *obs.Span // span tree of the most recent successful goal
+	traceOn bool // session-level TRACE on/off toggle
+	profOn  bool // session-level PROFILE on/off toggle
+	// tableMode is the session's tabling mode ("auto", "all", "none", a
+	// predicate list, or "" = server default off), set by the TABLE verb;
+	// lastMemoHits/lastMemoMisses carry the most recent goal's memo
+	// counters into its wide event.
+	tableMode      string
+	lastMemoHits   int64
+	lastMemoMisses int64
+	lastSpan       *obs.Span // span tree of the most recent successful goal
 	// spanFresh marks lastSpan as produced by the request being served, so
 	// stage spans attach only to their own transaction's tree.
 	spanFresh bool
@@ -104,6 +111,18 @@ func (sess *session) buildEngine() {
 		// duration and owns slow-transaction reporting), not an engine sink.
 		Trace: sess.tracing(),
 	}
+	if mode := sess.tableMode; mode != "" && mode != "none" {
+		// Tabled evaluation: the session engine fills and replays through
+		// the server's shared memo store (support-set content fingerprints
+		// keep replicas sound without an invalidation protocol). Auto mode
+		// selects by the absorbed server-wide prover profile, so predicates
+		// that burned time in any session get tabled in the next engine.
+		opts.Memo = &engine.MemoOptions{
+			Mode:    mode,
+			Store:   sess.srv.memo,
+			Profile: engineProfile(sess.srv.proverProfile()),
+		}
+	}
 	if sess.srv.opts.MaxGoalTime > 0 {
 		opts.Watch = func(*db.DB) error {
 			if time.Now().After(sess.deadline) {
@@ -114,6 +133,19 @@ func (sess *session) buildEngine() {
 	}
 	sess.eng = engine.New(sess.prog, opts)
 	sess.srv.notePlan(sess.eng.PlanReport(), true)
+}
+
+// engineProfile converts the server-wide prover profile into the engine's
+// wire-free twin, feeding auto-mode tabling selection.
+func engineProfile(prof map[string]PredProfile) map[string]engine.PredProfile {
+	if len(prof) == 0 {
+		return nil
+	}
+	out := make(map[string]engine.PredProfile, len(prof))
+	for pred, p := range prof {
+		out[pred] = engine.PredProfile{Calls: p.Calls, Fanout: p.Fanout, TimeUs: p.TimeUs}
+	}
+	return out
 }
 
 // serve is the request loop: one frame in, one frame out, until the
@@ -196,6 +228,8 @@ func (sess *session) handle(req *Request) *Response {
 		return sess.handleProfile(req)
 	case OpPlan:
 		return sess.handlePlan(req)
+	case OpTable:
+		return sess.handleTable(req)
 	default:
 		return fail(CodeBadRequest, "unknown op %q", req.Op)
 	}
@@ -298,6 +332,10 @@ func (sess *session) addEngineStats(d *db.DB, st engine.Stats, before db.Counter
 	s.engineUnifs.Add(st.Unifications)
 	s.engineTable.Add(st.TableHits)
 	s.planHits.Add(st.PlanHits)
+	// Remembered per goal (not summed): the wide event of a sampled
+	// transaction reports the memo traffic of its final proof attempt.
+	sess.lastMemoHits = st.MemoHits
+	sess.lastMemoMisses = st.MemoMisses
 	after := d.Counters()
 	s.dbLookups.Add(after.Lookups - before.Lookups)
 	s.dbIndexHits.Add(after.IndexHits - before.IndexHits)
@@ -377,6 +415,8 @@ func (sess *session) emitWide(clk *stageClock, req *Request, resp *Response) {
 		Ops:        clk.ops,
 		Batch:      clk.batch,
 		TotalUs:    clk.total().Microseconds(),
+		MemoHits:   sess.lastMemoHits,
+		MemoMisses: sess.lastMemoMisses,
 	}
 	for i, d := range clk.dur {
 		if us := d.Microseconds(); us > 0 {
@@ -700,6 +740,51 @@ func (sess *session) handleProfile(req *Request) *Response {
 	default:
 		return fail(CodeBadRequest, "PROFILE takes on, off, or dump; got %q", req.Arg)
 	}
+}
+
+// handleTable sets the session's tabling mode — "auto" (profile-driven
+// top-K), "all" (every eligible predicate), "none" (off), or a
+// comma-separated predicate list — rebuilding the session engine, or
+// reports status: the mode, the predicates the engine tables, and the
+// shared memo store's counters. "on"/"off" alias "auto"/"none".
+func (sess *session) handleTable(req *Request) *Response {
+	switch req.Arg {
+	case "", "status", "dump":
+		// Pure read: no engine rebuild.
+	case "on", "auto":
+		sess.tableMode = "auto"
+		sess.buildEngine()
+	case "off", "none":
+		sess.tableMode = "none"
+		sess.buildEngine()
+	case "all":
+		sess.tableMode = "all"
+		sess.buildEngine()
+	default:
+		// A predicate list ("hot" or "hot/1", comma-separated). Anything
+		// naming no eligible predicate simply tables nothing.
+		sess.tableMode = req.Arg
+		sess.buildEngine()
+	}
+	return &Response{OK: true, Memo: sess.memoStatus()}
+}
+
+// memoStatus assembles the TABLE response: session mode and tabled set,
+// shared-store counters.
+func (sess *session) memoStatus() *MemoStatus {
+	mode := sess.tableMode
+	if mode == "" {
+		mode = "none"
+	}
+	st := &MemoStatus{Mode: mode, Tabled: sess.eng.MemoTabled()}
+	ms := sess.srv.memo.Snapshot()
+	st.Hits, st.Misses = ms.Hits, ms.Misses
+	st.Invalidations, st.Evictions = ms.Invalidations, ms.Evictions
+	st.Bytes, st.Entries = ms.Bytes, ms.Entries
+	for _, p := range ms.Preds {
+		st.Preds = append(st.Preds, MemoPredStat{Pred: p.Pred, Hits: p.Hits, Misses: p.Misses})
+	}
+	return st
 }
 
 // handleCheckpoint triggers an incremental checkpoint and reports its LSN.

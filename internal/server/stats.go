@@ -65,7 +65,7 @@ type serverStats struct {
 }
 
 // statVerbs is the fixed set of per-verb latency series.
-var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges, OpProfile, OpPlan}
+var statVerbs = []string{OpLoad, OpBegin, OpRun, OpCommit, OpAbort, OpExec, OpQuery, OpStats, OpPing, OpTrace, OpVet, OpCheckpoint, OpAsOf, OpChanges, OpProfile, OpPlan, OpTable}
 
 // init creates the histograms and registers every instrument with reg.
 func (st *serverStats) init(reg *obs.Registry) {
@@ -229,6 +229,41 @@ type StatsSnapshot struct {
 	PlanReorders        int64 `json:"plan_reorders,omitempty"`
 	PlanHits            int64 `json:"plan_hits,omitempty"`
 	PlanTablingEligible int64 `json:"plan_tabling_eligible,omitempty"`
+
+	// Added with tabled evaluation (PR 10). All zero (and omitted) when no
+	// session ever touched the memo store, so servers running with tabling
+	// off keep emitting the exact pre-PR-10 payload.
+	MemoHits          int64          `json:"memo_hits,omitempty"`
+	MemoMisses        int64          `json:"memo_misses,omitempty"`
+	MemoInvalidations int64          `json:"memo_invalidations,omitempty"`
+	MemoEvictions     int64          `json:"memo_evictions,omitempty"`
+	MemoBytes         int64          `json:"memo_bytes,omitempty"`
+	MemoEntries       int64          `json:"memo_entries,omitempty"`
+	MemoPreds         []MemoPredStat `json:"memo_preds,omitempty"`
+}
+
+// MemoPredStat is one tabled predicate's memo-store lookup counters on the
+// wire, hottest (most hits) first in StatsSnapshot.MemoPreds and
+// MemoStatus.Preds. The wire twin of engine.MemoPredStats.
+type MemoPredStat struct {
+	Pred   string `json:"pred"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+}
+
+// MemoStatus answers the TABLE verb: the session's tabling mode, the
+// predicates its engine currently tables, and the shared memo store's
+// counters.
+type MemoStatus struct {
+	Mode          string         `json:"mode"`
+	Tabled        []string       `json:"tabled,omitempty"`
+	Hits          int64          `json:"hits"`
+	Misses        int64          `json:"misses"`
+	Invalidations int64          `json:"invalidations"`
+	Evictions     int64          `json:"evictions"`
+	Bytes         int64          `json:"bytes"`
+	Entries       int64          `json:"entries"`
+	Preds         []MemoPredStat `json:"preds,omitempty"`
 }
 
 // PredProfile is one predicate's prover attribution on the wire: how often

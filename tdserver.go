@@ -37,6 +37,12 @@ type (
 	ServerPredProfile = server.PredProfile
 	// ServerSLOSnapshot is one configured latency objective's state.
 	ServerSLOSnapshot = server.SLOSnapshot
+	// ServerMemoStatus is a session's tabling state and the shared memo
+	// store's counters, as reported by the TABLE verb.
+	ServerMemoStatus = server.MemoStatus
+	// ServerMemoPredStat is one tabled predicate's hit/miss counters, as
+	// reported by TABLE and ServerStats.MemoPreds.
+	ServerMemoPredStat = server.MemoPredStat
 	// WideEvent is a sampled transaction's one-line structured summary.
 	WideEvent = obs.WideEvent
 	// WideSink receives wide events (obs.OpenJSONL satisfies it).
